@@ -1,0 +1,272 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Six studies beyond the paper's headline figures:
+
+* **Scalar fast dispatch** (§6's "as low as only one cycle"): the paper
+  evaluates G-Scalar without shortening dispatch; enabling it shows the
+  additional *performance* headroom scalar execution leaves on the
+  table, biggest for SFU-heavy BP.
+* **Half-register compression off**: quantifies what the second BVR/EBR
+  pair buys in RF energy (the 3% -> 7% area trade of §4.3).
+* **Scheduler policy**: LRR vs GTO sensitivity of the timing results.
+* **Compiler assist** (§3.3/§6): liveness-based decompress-move elision
+  and the static-scalarization shortfall.
+* **Warp 64** (§4.3): scalar execution keeps paying off on wider warps.
+* **Scalar-bank bottleneck** (§4.1): the prior architecture's single
+  scalar-RF bank serializes scalar bursts; G-Scalar's per-bank BVRs
+  do not.
+"""
+
+import dataclasses
+
+from repro.config import ArchitectureConfig, GpuConfig, SchedulerPolicy
+from repro.experiments.runner import ExperimentRunner
+from repro.power.accounting import PowerAccountant
+from repro.scalar.architectures import process_classified
+from repro.timing.gpu import simulate_architecture
+
+from conftest import run_once
+
+_SFU_HEAVY = ("BP", "MQ", "SR1")
+
+
+def _efficiency(runner, abbr, arch, config=None):
+    run = runner.run(abbr)
+    processed = process_classified(run.classified, arch, run.trace.warp_size)
+    timing = simulate_architecture(processed, arch, config)
+    report = PowerAccountant(arch, runner.params, config or runner.config).account(
+        processed, timing
+    )
+    return report
+
+
+def bench_ablation_fast_dispatch(benchmark, shared_runner):
+    """Scalar fast dispatch: IPC upside of 1-cycle scalar issue."""
+
+    def compute():
+        results = {}
+        paper_arch = ArchitectureConfig.gscalar()
+        fast_arch = paper_arch.replace(scalar_fast_dispatch=True)
+        for abbr in _SFU_HEAVY:
+            paper = _efficiency(shared_runner, abbr, paper_arch)
+            fast = _efficiency(shared_runner, abbr, fast_arch)
+            results[abbr] = (paper.ipc, fast.ipc)
+        return results
+
+    results = run_once(benchmark, compute)
+    print()
+    for abbr, (paper_ipc, fast_ipc) in results.items():
+        print(
+            f"  {abbr}: ipc {paper_ipc:.2f} -> {fast_ipc:.2f} "
+            f"({fast_ipc / paper_ipc:.2f}x) with 1-cycle scalar dispatch"
+        )
+    # BP's scalar SFU chains free the 8-cycle SFU dispatch port: big win.
+    bp_paper, bp_fast = results["BP"]
+    assert bp_fast > 1.2 * bp_paper
+    # No benchmark gets slower.
+    assert all(fast >= 0.98 * paper for paper, fast in results.values())
+
+
+def bench_ablation_half_register(benchmark, shared_runner):
+    """Half-register compression: RF energy with and without the second
+    BVR/EBR pair."""
+
+    def compute():
+        with_half = ArchitectureConfig.gscalar()
+        without_half = with_half.replace(
+            half_register_compression=False, half_warp_scalar=False
+        )
+        totals = {"with": 0.0, "without": 0.0}
+        for abbr in shared_runner.benchmark_names():
+            totals["with"] += _efficiency(
+                shared_runner, abbr, with_half
+            ).breakdown.rf_pj
+            totals["without"] += _efficiency(
+                shared_runner, abbr, without_half
+            ).breakdown.rf_pj
+        return totals
+
+    totals = run_once(benchmark, compute)
+    ratio = totals["with"] / totals["without"]
+    print(f"\n  RF energy with half-register pairs: {ratio:.3f}x of without")
+    # The second pair can only reduce data-array activations.
+    assert ratio <= 1.0
+    assert ratio > 0.75  # it is a refinement, not the main effect
+
+
+def bench_ablation_scheduler_policy(benchmark, shared_runner):
+    """LRR vs GTO: cycle-count sensitivity of the baseline timing."""
+
+    def compute():
+        arch = ArchitectureConfig.baseline()
+        cycles = {}
+        for policy in (SchedulerPolicy.LRR, SchedulerPolicy.GTO):
+            config = dataclasses.replace(GpuConfig(), scheduler_policy=policy)
+            total = 0
+            for abbr in ("HS", "MM", "SAD"):
+                total += _efficiency(shared_runner, abbr, arch, config).cycles
+            cycles[policy.value] = total
+        return cycles
+
+    cycles = run_once(benchmark, compute)
+    print(f"\n  total cycles: {cycles}")
+    # Both policies complete the same work within a modest band.
+    ratio = cycles["gto"] / cycles["lrr"]
+    assert 0.7 < ratio < 1.4
+
+
+def bench_ablation_compiler_assist(benchmark, shared_runner):
+    """§3.3 + §6 compiler techniques: move elision and the static-
+    scalarization comparison point."""
+    from repro.scalar.compiler import MoveElisionAnalysis, StaticScalarization
+    from repro.scalar.tracker import trace_statistics
+
+    def compute():
+        gscalar = ArchitectureConfig.gscalar()
+        moves_hw = 0
+        moves_compiler = 0
+        total = 0
+        static_fraction = 0.0
+        dynamic_fraction = 0.0
+        names = shared_runner.benchmark_names()
+        for abbr in names:
+            run = shared_runner.run(abbr)
+            stats = trace_statistics(run.classified)
+            total += stats.total_instructions
+            moves_hw += stats.decompress_moves
+            elision = MoveElisionAnalysis(run.built.kernel)
+            processed = process_classified(
+                run.classified, gscalar, run.trace.warp_size, move_elision=elision
+            )
+            moves_compiler += sum(
+                p.extra_instructions for warp in processed for p in warp
+            )
+            dynamic_fraction += stats.eligible_fraction
+            static_fraction += StaticScalarization(
+                run.built.kernel
+            ).dynamic_static_scalar_fraction(run.trace)
+        count = len(names)
+        return {
+            "hw_overhead": moves_hw / total,
+            "compiler_overhead": moves_compiler / total,
+            "static": static_fraction / count,
+            "dynamic": dynamic_fraction / count,
+        }
+
+    results = run_once(benchmark, compute)
+    print(
+        f"\n  decompress-move overhead: hardware {100 * results['hw_overhead']:.1f}% "
+        f"-> compiler-assisted {100 * results['compiler_overhead']:.1f}% "
+        "(paper: ~2% -> <2%)"
+    )
+    shortfall = 1 - results["static"] / results["dynamic"]
+    print(
+        f"  compile-time scalarization captures {100 * shortfall:.0f}% fewer "
+        "instructions than G-Scalar (paper: 24%)"
+    )
+    # Elision only removes moves; never adds.
+    assert results["compiler_overhead"] <= results["hw_overhead"]
+    assert results["compiler_overhead"] < 0.02  # the paper's "<2%"
+    # The compiler misses a sizeable share of dynamic opportunity.
+    assert 0.10 < shortfall < 0.60
+
+
+def bench_ablation_warp64(benchmark, shared_runner):
+    """§4.3's forward-looking claim: with wider SIMT warps (fewer
+    full-warp scalars), chunk-granular scalar execution lets future
+    GPUs "continuously benefit from scalar execution"."""
+    import dataclasses
+
+    from repro.scalar.tracker import classify_trace, trace_statistics
+    from repro.power.accounting import PowerAccountant
+
+    def compute():
+        arch = ArchitectureConfig.gscalar()
+        base = ArchitectureConfig.baseline()
+        config64 = dataclasses.replace(
+            GpuConfig(), warp_size=64, threads_per_sm=1536
+        )
+        results = {}
+        for abbr in ("BP", "HS", "MM"):
+            # Warp 32 (the paper's machine).
+            run32 = shared_runner.run(abbr)
+            eff32 = {}
+            for a in (base, arch):
+                processed = process_classified(run32.classified, a, 32)
+                timing = simulate_architecture(processed, a, shared_runner.config)
+                report = PowerAccountant(a, shared_runner.params).account(
+                    processed, timing
+                )
+                eff32[a.name] = report.ipc_per_watt
+            # Warp 64 (the future machine).
+            trace64 = shared_runner.trace_with_warp_size(abbr, 64)
+            built = shared_runner.run(abbr).built
+            classified64 = classify_trace(trace64, built.kernel.num_registers)
+            eff64 = {}
+            for a in (base, arch):
+                processed = process_classified(classified64, a, 64)
+                timing = simulate_architecture(
+                    processed, a, config64, warp_size=64
+                )
+                report = PowerAccountant(
+                    a, shared_runner.params, config64
+                ).account(processed, timing)
+                eff64[a.name] = report.ipc_per_watt
+            stats64 = trace_statistics(classified64)
+            results[abbr] = {
+                "gain32": eff32["gscalar"] / eff32["baseline"],
+                "gain64": eff64["gscalar"] / eff64["baseline"],
+                "eligible64": stats64.eligible_fraction,
+            }
+        return results
+
+    results = run_once(benchmark, compute)
+    print()
+    for abbr, values in results.items():
+        print(
+            f"  {abbr}: G-Scalar gain {values['gain32']:.2f}x @warp32 -> "
+            f"{values['gain64']:.2f}x @warp64 "
+            f"(eligible @64: {100 * values['eligible64']:.0f}%)"
+        )
+    # Scalar execution keeps paying off at warp 64 on every benchmark.
+    assert all(v["gain64"] > 1.0 for v in results.values())
+
+
+def bench_ablation_scalar_bank_bottleneck(benchmark, shared_runner):
+    """§4.1's scalability argument: the prior architecture funnels every
+    scalar operand through ONE scalar-RF bank, so bursts of scalar
+    instructions from pace-matched warps serialize there; G-Scalar's
+    per-bank BVR arrays have no such funnel."""
+
+    def compute():
+        alu_scalar = ArchitectureConfig.alu_scalar()
+        gscalar = ArchitectureConfig.gscalar()
+        results = {}
+        for abbr in ("MM", "MQ", "BP"):  # scalar-heavy benchmarks
+            run = shared_runner.run(abbr)
+            out = {}
+            for arch in (alu_scalar, gscalar):
+                processed = process_classified(
+                    run.classified, arch, run.trace.warp_size
+                )
+                timing = simulate_architecture(processed, arch, shared_runner.config)
+                out[arch.name] = timing
+            results[abbr] = out
+        return results
+
+    results = run_once(benchmark, compute)
+    print()
+    total_conflicts = 0
+    for abbr, out in results.items():
+        conflicts = out["alu_scalar"].scalar_bank_conflicts
+        total_conflicts += conflicts
+        print(
+            f"  {abbr}: scalar-bank conflict events {conflicts} (ALU-scalar) "
+            f"vs {out['gscalar'].scalar_bank_conflicts} (G-Scalar)"
+        )
+    # The single scalar bank really does serialize on scalar-heavy code.
+    assert total_conflicts > 0
+    # G-Scalar has no dedicated scalar bank at all.
+    assert all(
+        out["gscalar"].scalar_bank_conflicts == 0 for out in results.values()
+    )

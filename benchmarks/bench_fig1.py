@@ -1,0 +1,30 @@
+"""Regenerate Figure 1: divergent / divergent-scalar instruction share.
+
+Paper: 28% of instructions divergent on average; 45% of divergent
+instructions are divergent-scalar.
+"""
+
+from repro.experiments import fig1
+
+from conftest import run_once
+
+
+def bench_fig1(benchmark, shared_runner):
+    data = run_once(benchmark, fig1.compute, shared_runner)
+    print()
+    print(fig1.render(data))
+
+    # Shape: divergence is widespread and a large share of it is scalar.
+    assert 0.10 < data.average_divergent < 0.50
+    assert data.average_scalar_share_of_divergent > 0.35
+
+    by_abbr = {row.abbr: row.stats for row in data.rows}
+    # The paper names lbm and heartwall as the most divergent.
+    for heavy in ("LBM", "HW"):
+        assert by_abbr[heavy].divergent_fraction > 0.3
+    # And mri-q / sgemm as non-divergent.
+    for convergent in ("MQ", "MM"):
+        assert by_abbr[convergent].divergent_fraction < 0.05
+    # §5.2: HS / LBM / SAD carry large divergent-scalar populations.
+    for scalar_heavy in ("HS", "LBM", "SAD"):
+        assert by_abbr[scalar_heavy].divergent_scalar_fraction > 0.10

@@ -1,0 +1,45 @@
+"""Regenerate Figure 11: normalized power efficiency and performance.
+
+Paper: G-Scalar improves IPC/W by 24% over baseline and 15% over the
+ALU-scalar architecture; BP peaks at +79%; the +3-cycle pipeline
+stretch costs 1.7% IPC on average with LC hit hardest.
+"""
+
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def bench_fig11(benchmark, shared_runner):
+    data = run_once(benchmark, fig11.compute, shared_runner)
+    print()
+    print(fig11.render(data))
+
+    # Headline efficiency ordering: G-Scalar > ALU-scalar > baseline.
+    assert data.average_gscalar_efficiency > 1.08
+    assert data.average_gscalar_efficiency > data.average_alu_scalar_efficiency
+    assert data.average_alu_scalar_efficiency > 1.0
+
+    by_abbr = {row.abbr: row for row in data.rows}
+    # BP is the top gainer (scalar SFU chains).
+    bp_gain = by_abbr["BP"].normalized_efficiency("gscalar")
+    assert bp_gain == max(r.normalized_efficiency("gscalar") for r in data.rows)
+    assert bp_gain > 1.4
+
+    # Memory-intensive LBM gains less than 20% (§5.3).
+    assert by_abbr["LBM"].normalized_efficiency("gscalar") < 1.20
+
+    # Performance: small average loss; LC (low occupancy + integer DIV)
+    # is the most degraded benchmark (§5.4).
+    assert 0.85 < data.average_gscalar_ipc < 1.02
+    lc_ipc = by_abbr["LC"].normalized_ipc("gscalar")
+    assert lc_ipc < 0.96  # LC pays visibly for the +3 cycles
+    degraded = sorted(r.normalized_ipc("gscalar") for r in data.rows)
+    assert lc_ipc <= degraded[len(degraded) // 2]  # bottom half
+
+    # Divergent-scalar support helps the divergent benchmarks.
+    for abbr in ("HW", "SAD", "BT"):
+        row = by_abbr[abbr]
+        assert row.normalized_efficiency("gscalar") >= row.normalized_efficiency(
+            "gscalar_no_divergent"
+        )

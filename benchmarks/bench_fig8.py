@@ -1,0 +1,35 @@
+"""Regenerate Figure 8: RF access distribution for operand values.
+
+Paper averages: scalar 36%, 3-byte 17%, 2-byte 4%, 1-byte 7%.
+"""
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+def bench_fig8(benchmark, shared_runner):
+    data = run_once(benchmark, fig8.compute, shared_runner)
+    print()
+    print(fig8.render(data))
+
+    averages = data.average_fractions()
+    # Scalar is the dominant similarity class, near the paper's 36%.
+    assert 0.25 < averages["scalar"] < 0.50
+    # 3-byte is the second-largest non-divergent class.
+    assert averages["3-byte"] > averages["2-byte"]
+    assert 0.10 < averages["3-byte"] < 0.30
+    # Exploitable similarity (scalar + n-byte) covers most accesses.
+    exploitable = (
+        averages["scalar"]
+        + averages["3-byte"]
+        + averages["2-byte"]
+        + averages["1-byte"]
+    )
+    assert exploitable > 0.5
+
+    by_abbr = {row.abbr: row.distribution.fractions() for row in data.rows}
+    # §5.3: MG and MV have few scalars but many 3/2-byte accesses.
+    for abbr in ("MG", "MV"):
+        partial = by_abbr[abbr]["3-byte"] + by_abbr[abbr]["2-byte"]
+        assert partial > 0.25, abbr

@@ -1,0 +1,28 @@
+"""Regenerate Figure 9: instructions eligible for scalar execution.
+
+Paper: ALU-scalar covers 22% on average; adding SFU/memory, half-warp
+and divergent scalar brings G-Scalar to 40% — nearly double.
+"""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+def bench_fig9(benchmark, shared_runner):
+    data = run_once(benchmark, fig9.compute, shared_runner)
+    print()
+    print(fig9.render(data))
+
+    # The headline: G-Scalar roughly doubles eligibility over ALU-scalar.
+    assert 0.15 < data.average_alu_scalar < 0.35
+    assert data.average_total > 1.45 * data.average_alu_scalar
+    assert 0.30 < data.average_total < 0.55
+
+    by_abbr = {row.abbr: row for row in data.rows}
+    # §5.2: supporting divergent scalar doubles LBM's eligible count.
+    lbm = by_abbr["LBM"]
+    without_divergent = lbm.alu_scalar + lbm.sfu_mem_scalar + lbm.half_scalar
+    assert lbm.total_eligible > 1.8 * without_divergent
+    # BP has the largest half-warp population (paper: 12%).
+    assert by_abbr["BP"].half_scalar == max(r.half_scalar for r in data.rows)

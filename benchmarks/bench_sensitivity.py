@@ -1,0 +1,40 @@
+"""Calibration-sensitivity bench: is the headline robust?
+
+The power model is calibrated to GPUWattch's published proportions, so
+the reproduction's credibility rests on the headline (G-Scalar beats
+both the baseline and the ALU-scalar architecture) surviving large
+mis-calibrations of any single energy constant.  This bench sweeps the
+most influential constants across 0.5x-2x and prints the resulting mean
+gains.
+"""
+
+from repro.experiments.sensitivity import headline_is_robust, sweep_energy_parameter
+
+from conftest import run_once
+
+PARAMETERS = ("sm_static_w", "rf_full_access_pj", "alu_lane_pj", "dram_access_pj")
+FACTORS = (0.5, 1.0, 2.0)
+
+
+def bench_sensitivity(benchmark, shared_runner):
+    def compute():
+        return {
+            parameter: sweep_energy_parameter(shared_runner, parameter, FACTORS)
+            for parameter in PARAMETERS
+        }
+
+    sweeps = run_once(benchmark, compute)
+    print()
+    for parameter, points in sweeps.items():
+        series = ", ".join(
+            f"{p.scale_factor}x -> {p.mean_gscalar_gain:.2f}" for p in points
+        )
+        print(f"  {parameter:22s}: {series}")
+        assert headline_is_robust(points), parameter
+
+    # Directional physics: static power dilutes the gain, RF energy
+    # amplifies it.
+    static = sweeps["sm_static_w"]
+    assert static[0].mean_gscalar_gain > static[-1].mean_gscalar_gain
+    rf = sweeps["rf_full_access_pj"]
+    assert rf[-1].mean_gscalar_gain > rf[0].mean_gscalar_gain

@@ -1,0 +1,77 @@
+"""Compression explorer: byte-wise prefix coding vs BDI, value by value.
+
+Feeds characteristic value patterns through both compressors and prints
+what each stores — a hands-on version of the paper's Figure 2 example
+and the §5.3 ours-vs-BDI comparison.
+
+Run with:  python examples/compression_explorer.py
+"""
+
+import numpy as np
+
+from repro.compression import (
+    bdi_bytes_accessed,
+    bdi_compress,
+    common_prefix_bytes,
+    compress,
+    compress_halves,
+    decompress,
+)
+from repro.regfile import ByteRotatedLayout
+
+
+def show(name, values):
+    values = np.ascontiguousarray(values, dtype=np.uint32)
+    ours = compress(values)
+    bdi = bdi_compress(values)
+    layout = ByteRotatedLayout()
+    arrays = layout.arrays_for_compressed_access(ours.enc)
+    halves = compress_halves(values)
+    assert np.array_equal(decompress(ours), values)  # round-trip check
+
+    print(f"\n{name}")
+    print(f"  lanes[0:4]        : {[hex(int(v)) for v in values[:4]]}")
+    print(f"  ours: enc={ours.enc} ({'scalar' if ours.enc == 4 else f'{ours.enc}-byte prefix'}), "
+          f"{ours.total_bits} bits stored, ratio {ours.compression_ratio:.2f}x, "
+          f"{arrays}/8 SRAM arrays activated")
+    print(f"  halves: enc_lo={halves.enc_lo} enc_hi={halves.enc_hi} "
+          f"FS={halves.full_scalar}")
+    print(f"  BDI : mode={bdi.mode.value}, {bdi.total_bits} bits, "
+          f"ratio {bdi.compression_ratio:.2f}x, "
+          f"{bdi_bytes_accessed(bdi)} bytes/access")
+
+
+def main():
+    lanes = np.arange(32, dtype=np.uint32)
+
+    show("Figure 2's example (C04039C0, C04039C2, ...)",
+         0xC04039C0 + 2 * lanes)
+
+    show("scalar register (a broadcast kernel parameter)",
+         np.full(32, 0x3F8CCCCD, dtype=np.uint32))
+
+    show("per-half scalars (two 16-lane groups, distinct values)",
+         np.where(lanes < 16, 0x11111111, 0x22222222).astype(np.uint32))
+
+    show("coalesced addresses (base + tid*4)",
+         0x80041000 + 4 * lanes)
+
+    show("narrow-range floats (temperatures ~330K)",
+         (330.0 + 0.01 * lanes.astype(np.float32)).view(np.uint32))
+
+    show("BDI-friendly, byte-hostile: +200 strides cross byte boundaries",
+         0x00010000 + 200 * lanes)
+
+    show("uncompressible noise",
+         np.random.default_rng(0).integers(0, 2**32, 32, dtype=np.uint64)
+         .astype(np.uint32))
+
+    print(
+        "\nNote the '+200 strides' row: BDI wins there (delta2 fits, byte"
+        "\nprefix does not) — the 'special cases' §3.1 concedes to BDI,"
+        "\ntraded for a far simpler circuit (Table 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Power-efficiency sweep over all 17 benchmarks and 4 architectures.
+
+Reproduces the Figure 11 experiment end to end at a configurable scale
+and prints per-benchmark absolute numbers (IPC, watts, IPC/W) rather
+than the normalized view — useful for inspecting where the energy goes.
+
+Run with:  python examples/power_sweep.py [tiny|small|default]
+"""
+
+import sys
+
+from repro.config import EVALUATED_ARCHITECTURES
+from repro.experiments.runner import ExperimentRunner
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    runner = ExperimentRunner(scale=scale)
+    arch_names = [arch.name for arch in EVALUATED_ARCHITECTURES]
+
+    print(f"scale={scale}; columns are ipc / watts / ipc-per-watt\n")
+    header = f"{'bench':6s}" + "".join(f"{name:>28s}" for name in arch_names)
+    print(header)
+    print("-" * len(header))
+
+    gains = []
+    for abbr in runner.benchmark_names():
+        cells = []
+        baseline_eff = None
+        for arch in EVALUATED_ARCHITECTURES:
+            report = runner.power(abbr, arch)
+            if arch.name == "baseline":
+                baseline_eff = report.ipc_per_watt
+            cells.append(
+                f"{report.ipc:5.2f}/{report.total_power_w:5.2f}/{report.ipc_per_watt:6.3f}"
+            )
+        gscalar_eff = runner.power(abbr, EVALUATED_ARCHITECTURES[-1]).ipc_per_watt
+        gains.append(gscalar_eff / baseline_eff if baseline_eff else 0.0)
+        print(f"{abbr:6s}" + "".join(f"{cell:>28s}" for cell in cells))
+
+    print("-" * len(header))
+    average_gain = sum(gains) / len(gains)
+    print(f"\nG-Scalar mean IPC/W gain over baseline: {average_gain:.2f}x "
+          f"(paper: 1.24x at full scale)")
+
+    # Component breakdown for the headline benchmark.
+    report = runner.power("BP", EVALUATED_ARCHITECTURES[0])
+    print("\nBP baseline dynamic-energy breakdown:")
+    for component, fraction in report.breakdown.fractions().items():
+        print(f"  {component:12s} {100 * fraction:5.1f}%")
+    report_gs = runner.power("BP", EVALUATED_ARCHITECTURES[-1])
+    print(f"\nBP SFU power: {report.sfu_power_w:.2f} W -> "
+          f"{report_gs.sfu_power_w:.2f} W under G-Scalar "
+          f"({100 * report_gs.sfu_power_w / report.sfu_power_w:.0f}% of baseline; "
+          "paper: 'less than 10%')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a reproduction of G-Scalar (Liu et al., HPCA 2017).
+
+G-Scalar is a generalized scalar-execution architecture for GPUs built
+on a low-cost register-value compression technique.  This package
+implements the full stack the paper evaluates on:
+
+* a PTX-like SIMT instruction set and kernel DSL (:mod:`repro.isa`),
+* a trace-driven functional SIMT executor with immediate-post-dominator
+  reconvergence (:mod:`repro.simt`),
+* the paper's byte-wise register compressor plus the BDI baseline
+  (:mod:`repro.compression`),
+* the byte-rotated banked register file with BVR/EBR side arrays
+  (:mod:`repro.regfile`),
+* scalar-eligibility tracking for all four evaluated architectures
+  (:mod:`repro.scalar`),
+* a cycle-level SM timing model (:mod:`repro.timing`),
+* a GPUWattch-calibrated event-energy power model (:mod:`repro.power`),
+* 17 Rodinia/Parboil proxy workloads (:mod:`repro.workloads`), and
+* regenerators for every figure and table in the paper's evaluation
+  (:mod:`repro.experiments`; ``python -m repro --help``).
+"""
+
+from repro.config import (
+    EVALUATED_ARCHITECTURES,
+    ArchitectureConfig,
+    GpuConfig,
+    ScalarMode,
+    SchedulerPolicy,
+    architecture_by_name,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVALUATED_ARCHITECTURES",
+    "ArchitectureConfig",
+    "GpuConfig",
+    "ReproError",
+    "ScalarMode",
+    "SchedulerPolicy",
+    "architecture_by_name",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Trace analyses backing Figures 1, 8 and 10."""
+
+from repro.analysis.divergence import DivergenceStats, divergence_stats
+from repro.analysis.halfwarp import ChunkScalarStats, chunk_scalar_stats
+from repro.analysis.similarity import (
+    CATEGORIES,
+    AccessDistribution,
+    access_distribution,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "AccessDistribution",
+    "ChunkScalarStats",
+    "DivergenceStats",
+    "access_distribution",
+    "chunk_scalar_stats",
+    "divergence_stats",
+]

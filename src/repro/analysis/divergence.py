@@ -1,0 +1,62 @@
+"""Divergence statistics (Figure 1).
+
+Figure 1 reports, per benchmark, the percentage of dynamic instructions
+that are divergent and the percentage that are *divergent scalar* —
+divergent instructions whose active-lane operands make them eligible
+for scalar execution (§1: 28% and 45%-of-divergent on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scalar.eligibility import ScalarClass
+from repro.scalar.tracker import ClassifiedEvent
+
+
+@dataclass(frozen=True)
+class DivergenceStats:
+    """Figure 1 numbers for one benchmark."""
+
+    total_instructions: int
+    divergent_instructions: int
+    divergent_scalar_instructions: int
+
+    @property
+    def divergent_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.divergent_instructions / self.total_instructions
+
+    @property
+    def divergent_scalar_fraction(self) -> float:
+        """Divergent-scalar instructions as a fraction of *total*."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.divergent_scalar_instructions / self.total_instructions
+
+    @property
+    def scalar_share_of_divergent(self) -> float:
+        """Divergent-scalar as a fraction of divergent (the 45% number)."""
+        if self.divergent_instructions == 0:
+            return 0.0
+        return self.divergent_scalar_instructions / self.divergent_instructions
+
+
+def divergence_stats(classified: list[list[ClassifiedEvent]]) -> DivergenceStats:
+    """Compute Figure 1 statistics from a classified trace."""
+    total = 0
+    divergent = 0
+    divergent_scalar = 0
+    for warp_events in classified:
+        for item in warp_events:
+            total += 1
+            if item.divergent:
+                divergent += 1
+                if item.scalar_class is ScalarClass.DIVERGENT_SCALAR:
+                    divergent_scalar += 1
+    return DivergenceStats(
+        total_instructions=total,
+        divergent_instructions=divergent,
+        divergent_scalar_instructions=divergent_scalar,
+    )

@@ -1,0 +1,105 @@
+"""Chunk-granular scalar analysis for the warp-size sweep (Figure 10).
+
+Figure 10 keeps the checking granularity fixed at 16 threads while the
+warp size grows: at warp size 64 a "half-scalar" becomes a
+"quarter-scalar" instruction.  The main tracker models the two-halves
+hardware; this analysis generalizes to any number of 16-lane chunks by
+replaying a trace with per-chunk scalar flags.
+
+An instruction counts as chunk-scalar when it is non-divergent, not
+fully scalar, and at least one chunk has *all* of its register sources
+scalar within that chunk (immediates count as scalar everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.simt.trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class ChunkScalarStats:
+    """Figure 10 numbers for one benchmark at one warp size."""
+
+    warp_size: int
+    granularity: int
+    total_instructions: int
+    full_scalar_instructions: int
+    chunk_scalar_instructions: int
+
+    @property
+    def chunk_scalar_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.chunk_scalar_instructions / self.total_instructions
+
+
+def chunk_scalar_stats(trace: KernelTrace, granularity: int = 16) -> ChunkScalarStats:
+    """Replay a trace counting chunk-scalar-eligible instructions."""
+    warp_size = trace.warp_size
+    if warp_size % granularity != 0:
+        raise TraceError(
+            f"granularity {granularity} must divide warp size {warp_size}"
+        )
+    chunks = warp_size // granularity
+    full_mask = (1 << warp_size) - 1
+
+    total = 0
+    full_scalar = 0
+    chunk_scalar = 0
+    for warp in trace.warps:
+        # Per-register: per-chunk (is_scalar, value) state.
+        state: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for event in warp.events:
+            total += 1
+            divergent = event.active_mask != full_mask
+            if not divergent and not event.varying_special_src:
+                chunk_ok = np.ones(chunks, dtype=bool)
+                chunk_values_agree = True
+                known = True
+                reference: list[np.ndarray] = []
+                for register in event.src_regs:
+                    reg_state = state.get(register)
+                    if reg_state is None:
+                        known = False
+                        break
+                    flags, values = reg_state
+                    chunk_ok &= flags
+                    reference.append(values)
+                if known:
+                    if reference:
+                        fully = bool(chunk_ok.all()) and all(
+                            bool(np.all(v == v[0])) for v in reference
+                        )
+                    else:
+                        fully = True  # immediate-only sources
+                    if fully:
+                        full_scalar += 1
+                    elif chunk_ok.any():
+                        chunk_scalar += 1
+            if event.dst is not None and event.dst_values is not None:
+                if divergent:
+                    # Divergent writes invalidate chunk-scalar state
+                    # (Figure 10 counts non-divergent eligibility only).
+                    state[event.dst] = (
+                        np.zeros(chunks, dtype=bool),
+                        np.zeros(chunks, dtype=np.uint32),
+                    )
+                else:
+                    blocks = event.dst_values.reshape(chunks, granularity)
+                    flags = np.array(
+                        [bool(np.all(block == block[0])) for block in blocks]
+                    )
+                    values = blocks[:, 0].copy()
+                    state[event.dst] = (flags, values)
+    return ChunkScalarStats(
+        warp_size=warp_size,
+        granularity=granularity,
+        total_instructions=total,
+        full_scalar_instructions=full_scalar,
+        chunk_scalar_instructions=chunk_scalar,
+    )

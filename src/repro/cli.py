@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Examples::
+
+    python -m repro table2
+    python -m repro fig9 --scale small
+    python -m repro all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    extras,
+    fig1,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    scorecard,
+    suite,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.registry import SCALES
+
+_TRACE_EXPERIMENTS = (
+    "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "extras", "scorecard",
+    "suite",
+)
+_STATIC_EXPERIMENTS = ("table1", "table2", "table3")
+EXPERIMENTS = _TRACE_EXPERIMENTS + _STATIC_EXPERIMENTS
+
+
+def _run_one(name: str, runner: ExperimentRunner | None) -> str:
+    if name == "table1":
+        return table1.render()
+    if name == "table2":
+        return table2.render()
+    if name == "table3":
+        return table3.render()
+    assert runner is not None
+    module = {
+        "fig1": fig1,
+        "fig8": fig8,
+        "fig9": fig9,
+        "fig10": fig10,
+        "fig11": fig11,
+        "fig12": fig12,
+        "extras": extras,
+        "scorecard": scorecard,
+        "suite": suite,
+    }[name]
+    return module.render(module.compute(runner))
+
+
+def _bars_for(name: str, runner: ExperimentRunner) -> str:
+    """Bar-chart view of a normalized figure."""
+    from repro.experiments.tables import render_bar_chart
+
+    if name == "fig11":
+        data = fig11.compute(runner)
+        labels = [row.abbr for row in data.rows]
+        series = {
+            "ALU scalar": [r.normalized_efficiency("alu_scalar") for r in data.rows],
+            "G-Scalar": [r.normalized_efficiency("gscalar") for r in data.rows],
+        }
+        return render_bar_chart(
+            labels, series, reference=1.0,
+            title="Figure 11 (bars): normalized IPC/W, | marks baseline",
+        )
+    data = fig12.compute(runner)
+    labels = [row.abbr for row in data.rows]
+    series = {
+        "scalar only": [r.normalized["scalar_rf"] for r in data.rows],
+        "ours": [r.normalized["ours"] for r in data.rows],
+    }
+    return render_bar_chart(
+        labels, series, reference=1.0,
+        title="Figure 12 (bars): normalized RF power, | marks baseline",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the G-Scalar paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="workload problem size (default: default)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print progress while running"
+    )
+    parser.add_argument(
+        "--bars",
+        action="store_true",
+        help="append text bar-chart views to fig11/fig12 output",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the computed data as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    needs_runner = any(name in _TRACE_EXPERIMENTS for name in wanted)
+    runner = (
+        ExperimentRunner(scale=args.scale, verbose=args.verbose)
+        if needs_runner
+        else None
+    )
+    json_results = []
+    for name in wanted:
+        started = time.time()
+        print(_run_one(name, runner))
+        if args.bars and name in ("fig11", "fig12") and runner is not None:
+            print()
+            print(_bars_for(name, runner))
+        if args.json is not None and runner is not None:
+            from repro.experiments.export import (
+                export_experiment,
+                exportable_experiments,
+            )
+
+            if name in exportable_experiments():
+                json_results.append(export_experiment(name, runner, args.scale))
+        if args.verbose:
+            print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+        print()
+    if args.json is not None and json_results:
+        from repro.experiments.export import write_json
+
+        write_json(json_results, args.json)
+        print(f"[wrote JSON to {args.json}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Register-value compression: the paper's byte-wise scheme and BDI."""
+
+from repro.compression.bdi import (
+    BdiCompressed,
+    BdiMode,
+    bdi_bytes_accessed,
+    bdi_compress,
+    bdi_decompress,
+)
+from repro.compression.encoding import (
+    SCALAR_PREFIX,
+    RegisterEncoding,
+    bits_to_enc,
+    enc_to_bits,
+    is_scalar_encoding,
+)
+from repro.compression.gscalar import (
+    CompressedRegister,
+    common_prefix_bytes,
+    compress,
+    compressed_bits,
+    decompress,
+)
+from repro.compression.half import (
+    HalfRegisterEncoding,
+    compress_halves,
+    scalar_chunks,
+)
+from repro.compression.stats import CompressionComparison, compare_trace
+from repro.compression.wide import (
+    AddressWidthStudy,
+    address_width_study,
+    common_prefix_bytes_wide,
+)
+
+__all__ = [
+    "SCALAR_PREFIX",
+    "AddressWidthStudy",
+    "BdiCompressed",
+    "BdiMode",
+    "CompressedRegister",
+    "CompressionComparison",
+    "HalfRegisterEncoding",
+    "RegisterEncoding",
+    "address_width_study",
+    "bdi_bytes_accessed",
+    "bdi_compress",
+    "bdi_decompress",
+    "bits_to_enc",
+    "common_prefix_bytes",
+    "common_prefix_bytes_wide",
+    "compare_trace",
+    "compress",
+    "compress_halves",
+    "compressed_bits",
+    "decompress",
+    "enc_to_bits",
+    "is_scalar_encoding",
+    "scalar_chunks",
+]

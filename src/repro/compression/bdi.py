@@ -1,0 +1,93 @@
+"""Base-Delta-Immediate compression [Pekhimenko et al., PACT 2012].
+
+This is the scheme Warped-Compression [Lee et al., ISCA 2015] applies to
+GPU vector registers and against which the paper compares its byte-wise
+technique (Figure 12 and the §5.3 compression-ratio discussion).
+
+For a vector register of 4-byte lane values we implement the 4-byte-base
+variants: repeated-value (all lanes equal), base4-delta1 and
+base4-delta2, falling back to uncompressed.  The compressed layout is a
+32-bit base plus one signed delta per lane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+
+class BdiMode(enum.Enum):
+    """Which BDI variant a register compressed to."""
+
+    REPEATED = "repeated"  # all lanes identical: base only
+    DELTA1 = "delta1"  # 1-byte signed deltas
+    DELTA2 = "delta2"  # 2-byte signed deltas
+    UNCOMPRESSED = "uncompressed"
+
+    @property
+    def delta_bytes(self) -> int:
+        return {"repeated": 0, "delta1": 1, "delta2": 2, "uncompressed": 4}[self.value]
+
+
+@dataclass(frozen=True)
+class BdiCompressed:
+    """One register in BDI form."""
+
+    mode: BdiMode
+    base: int
+    warp_size: int
+    deltas: np.ndarray  # int64 view of lane - base (empty for REPEATED)
+
+    @property
+    def total_bits(self) -> int:
+        """Base + per-lane deltas + a 2-bit mode tag."""
+        if self.mode is BdiMode.UNCOMPRESSED:
+            return self.warp_size * 32 + 2
+        return 32 + self.warp_size * self.mode.delta_bytes * 8 + 2
+
+    @property
+    def compression_ratio(self) -> float:
+        return (self.warp_size * 32) / self.total_bits
+
+
+def bdi_compress(values: np.ndarray) -> BdiCompressed:
+    """Compress one warp-wide register with 4-byte-base BDI."""
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    if words.ndim != 1:
+        raise CompressionError(f"expected a 1-D lane array, got shape {words.shape}")
+    warp_size = words.shape[0]
+    base = int(words[0])
+    # Signed difference in 32-bit modular arithmetic, widened for analysis.
+    raw = (words.astype(np.int64) - base) & 0xFFFFFFFF
+    deltas = np.where(raw >= 2**31, raw - 2**32, raw)
+    if not deltas.any():
+        mode = BdiMode.REPEATED
+    elif bool(np.all((-128 <= deltas) & (deltas <= 127))):
+        mode = BdiMode.DELTA1
+    elif bool(np.all((-32768 <= deltas) & (deltas <= 32767))):
+        mode = BdiMode.DELTA2
+    else:
+        mode = BdiMode.UNCOMPRESSED
+    return BdiCompressed(mode=mode, base=base, warp_size=warp_size, deltas=deltas)
+
+
+def bdi_decompress(compressed: BdiCompressed) -> np.ndarray:
+    """Reconstruct the lane values from BDI form."""
+    if compressed.mode is BdiMode.REPEATED:
+        return np.full(compressed.warp_size, compressed.base, dtype=np.uint32)
+    return ((compressed.base + compressed.deltas) & 0xFFFFFFFF).astype(np.uint32)
+
+
+def bdi_bytes_accessed(compressed: BdiCompressed) -> int:
+    """Bytes moved for one access of the register in BDI form.
+
+    Warped-Compression reads the base and the packed delta array; an
+    uncompressed register moves all lanes.
+    """
+    if compressed.mode is BdiMode.UNCOMPRESSED:
+        return compressed.warp_size * 4
+    return 4 + compressed.warp_size * compressed.mode.delta_bytes

@@ -1,0 +1,104 @@
+"""Encoding-bit algebra for the byte-wise register compressor.
+
+The comparison logic of Figure 3 produces a *prefix* code over the four
+byte positions of a 32-bit value, MSB first: the only legal ``enc[3:0]``
+patterns are ``0000``, ``1000``, ``1100``, ``1110`` and ``1111``.  We
+represent an encoding as the integer prefix length ``n`` (0..4 common
+most-significant bytes) and convert to/from the hardware bit pattern at
+the edges.
+
+Alongside the four enc bits, each register carries a D bit ("written by
+a divergent instruction"; values stored uncompressed, BVR holds the
+writer's active mask — Section 4.2) and, when half-register compression
+is enabled, a second enc/base pair plus the FS ("full scalar") flag of
+Figure 7(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompressionError
+
+#: Legal enc[3:0] hardware patterns, indexed by prefix length.
+_ENC_PATTERNS = (0b0000, 0b1000, 0b1100, 0b1110, 0b1111)
+
+#: Prefix length meaning "register holds a single scalar value".
+SCALAR_PREFIX = 4
+
+
+def enc_to_bits(prefix_len: int) -> int:
+    """Prefix length (0..4) -> the enc[3:0] pattern the hardware stores."""
+    if not 0 <= prefix_len <= 4:
+        raise CompressionError(f"prefix length must be 0..4, got {prefix_len}")
+    return _ENC_PATTERNS[prefix_len]
+
+
+def bits_to_enc(pattern: int) -> int:
+    """enc[3:0] pattern -> prefix length; rejects non-prefix patterns."""
+    try:
+        return _ENC_PATTERNS.index(pattern)
+    except ValueError:
+        raise CompressionError(
+            f"{pattern:#06b} is not a legal enc pattern (must be a prefix code)"
+        ) from None
+
+
+def is_scalar_encoding(prefix_len: int) -> bool:
+    """True when enc says every active lane holds the same 32-bit value."""
+    return prefix_len == SCALAR_PREFIX
+
+
+@dataclass(frozen=True)
+class RegisterEncoding:
+    """Sidecar state of one vector register: what BVR/EBR/D/FS hold.
+
+    For a non-divergent write (``divergent=False``): ``enc`` is the
+    common-prefix length over all lanes and ``base`` is the first lane's
+    value (op[0], per Section 3.1).  For a divergent write
+    (``divergent=True``): ``enc`` is computed over the *active* lanes
+    only, values are stored uncompressed, and ``base`` holds the
+    writer's **active mask** (Section 4.2).
+
+    ``enc_lo`` / ``enc_hi`` / ``base_lo`` / ``base_hi`` are the
+    half-register pairs (Section 4.3), valid only for non-divergent
+    writes; ``full_scalar`` is the FS flag: both halves scalar *and*
+    equal.
+    """
+
+    enc: int
+    base: int
+    divergent: bool = False
+    enc_lo: int = 0
+    enc_hi: int = 0
+    base_lo: int = 0
+    base_hi: int = 0
+    full_scalar: bool = False
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("enc", self.enc),
+            ("enc_lo", self.enc_lo),
+            ("enc_hi", self.enc_hi),
+        ):
+            if not 0 <= value <= 4:
+                raise CompressionError(f"{name} must be 0..4, got {value}")
+        if not 0 <= self.base < 2**64:
+            raise CompressionError(f"base/mask out of range: {self.base:#x}")
+
+    @property
+    def is_scalar(self) -> bool:
+        """Full-register scalar (meaningful for non-divergent writes)."""
+        return is_scalar_encoding(self.enc)
+
+    @property
+    def stored_data_bytes_per_lane(self) -> int:
+        """Low bytes of each lane that actually reach the SRAM arrays."""
+        if self.divergent:
+            return 4  # divergent writes are stored uncompressed
+        return 4 - self.enc
+
+    @staticmethod
+    def uncompressed() -> "RegisterEncoding":
+        """State of a register before any tracked write."""
+        return RegisterEncoding(enc=0, base=0)

@@ -1,0 +1,125 @@
+"""The paper's byte-wise MSB-prefix register-value compressor (§3.1).
+
+Instead of BDI's subtract-from-base, every byte position is compared
+across lanes; the encoding is the number of most-significant byte
+positions that are identical across all (active) lanes.  The base value
+is always taken from the first active lane (op[0] in the paper).
+
+For divergent instructions the comparison logic broadcasts a value from
+an active lane into inactive lanes before comparing (Figure 7(a)); here
+that is modeled by simply restricting the comparison to active lanes,
+which the paper proves equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.compression.encoding import SCALAR_PREFIX
+
+
+def common_prefix_bytes(values: np.ndarray, mask: np.ndarray | None = None) -> int:
+    """Number of identical most-significant bytes across active lanes.
+
+    Returns 0..4; 4 means every active lane holds the same 32-bit value
+    (a scalar register).  With zero or one active lane the register is
+    trivially scalar and 4 is returned.
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    if mask is not None:
+        words = words[np.asarray(mask, dtype=bool)]
+    if words.size <= 1:
+        return SCALAR_PREFIX
+    difference = np.bitwise_or.reduce(words ^ words[0])
+    diff = int(difference)
+    if diff == 0:
+        return 4
+    if diff & 0xFF000000:
+        return 0
+    if diff & 0x00FF0000:
+        return 1
+    if diff & 0x0000FF00:
+        return 2
+    return 3
+
+
+@dataclass(frozen=True)
+class CompressedRegister:
+    """Storage format of one compressed vector register.
+
+    ``base`` is the first active lane's full 32-bit value (only its top
+    ``enc`` bytes are meaningful as the shared prefix, but the hardware
+    BVR is 32 bits wide so we keep all of it, matching §3.1's "we always
+    use bytes from op[0]").  ``low_bytes`` holds the ``4 - enc``
+    least-significant bytes of each lane, lane-major.
+    """
+
+    enc: int
+    base: int
+    warp_size: int
+    low_bytes: np.ndarray  # shape (warp_size, 4 - enc), dtype uint8
+
+    @property
+    def stored_bits(self) -> int:
+        """Bits in the SRAM data arrays (excludes the BVR/EBR sidecar)."""
+        return self.warp_size * (4 - self.enc) * 8
+
+    @property
+    def total_bits(self) -> int:
+        """Data bits plus the 32-bit BVR and 4-bit EBR."""
+        return self.stored_bits + 32 + 4
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed bits over total compressed bits."""
+        return (self.warp_size * 32) / self.total_bits
+
+
+def compress(values: np.ndarray, mask: np.ndarray | None = None) -> CompressedRegister:
+    """Compress a warp-wide register (optionally only its active lanes).
+
+    The returned object always carries all ``warp_size`` lanes of low
+    bytes (inactive lanes included) because the hardware writes whole
+    byte-rotated arrays; the *encoding* is what the mask affects.
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    if words.ndim != 1:
+        raise CompressionError(f"expected a 1-D lane array, got shape {words.shape}")
+    warp_size = words.shape[0]
+    enc = common_prefix_bytes(words, mask)
+    if mask is not None:
+        active = np.flatnonzero(np.asarray(mask, dtype=bool))
+        base = int(words[active[0]]) if active.size else 0
+    else:
+        base = int(words[0])
+    keep = 4 - enc
+    lanes_bytes = np.empty((warp_size, keep), dtype=np.uint8)
+    for byte_index in range(keep):
+        lanes_bytes[:, byte_index] = (words >> (8 * byte_index)) & 0xFF
+    return CompressedRegister(enc=enc, base=base, warp_size=warp_size, low_bytes=lanes_bytes)
+
+
+def decompress(compressed: CompressedRegister) -> np.ndarray:
+    """Reconstruct the full warp-wide uint32 lane values.
+
+    This is the Figure 5 decompression: bytes below the prefix come from
+    the data arrays, prefix bytes are broadcast from the base value
+    register.
+    """
+    enc = compressed.enc
+    base = np.uint32(compressed.base)
+    prefix_mask = np.uint32(0) if enc == 0 else np.uint32((0xFFFFFFFF << (8 * (4 - enc))) & 0xFFFFFFFF)
+    values = np.full(compressed.warp_size, base & prefix_mask, dtype=np.uint32)
+    for byte_index in range(4 - enc):
+        values |= compressed.low_bytes[:, byte_index].astype(np.uint32) << np.uint32(8 * byte_index)
+    return values
+
+
+def compressed_bits(enc: int, warp_size: int) -> int:
+    """Total storage bits for a register at a given prefix length."""
+    if not 0 <= enc <= 4:
+        raise CompressionError(f"enc must be 0..4, got {enc}")
+    return warp_size * (4 - enc) * 8 + 32 + 4

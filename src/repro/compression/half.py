@@ -1,0 +1,116 @@
+"""Half-register compression (§3.1 end, §4.3).
+
+The memory compiler's bank is built from 8 independently-activated
+128-bit arrays, so byte ``i`` of a 32-lane register occupies *two*
+arrays — one per 16-lane half.  Compressing each half separately costs
+one extra BVR/EBR pair per register and enables half-warp scalar
+execution: a half whose lanes all hold one value can run on one lane.
+
+The FS ("full scalar") flag of Figure 7(c) records whether both halves
+are scalar *and* hold the same value, in which case a single lane can
+serve the whole warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.compression.encoding import SCALAR_PREFIX
+from repro.compression.gscalar import common_prefix_bytes
+
+
+@dataclass(frozen=True)
+class HalfRegisterEncoding:
+    """Per-half encodings of one register plus the FS flag."""
+
+    enc_lo: int
+    enc_hi: int
+    base_lo: int
+    base_hi: int
+    full_scalar: bool
+
+    @property
+    def lo_is_scalar(self) -> bool:
+        return self.enc_lo == SCALAR_PREFIX
+
+    @property
+    def hi_is_scalar(self) -> bool:
+        return self.enc_hi == SCALAR_PREFIX
+
+    @property
+    def both_halves_scalar(self) -> bool:
+        """Each half scalar, possibly with two distinct values."""
+        return self.lo_is_scalar and self.hi_is_scalar
+
+    def stored_data_bytes(self, warp_size: int) -> int:
+        """Data-array bytes with each half compressed independently."""
+        half = warp_size // 2
+        return half * (4 - self.enc_lo) + half * (4 - self.enc_hi)
+
+
+def compress_halves(
+    values: np.ndarray, granularity: int | None = None
+) -> HalfRegisterEncoding:
+    """Compute per-half encodings of a warp-wide register.
+
+    ``granularity`` is the half size in lanes (defaults to warp_size/2;
+    the paper keeps it at 16 even for 64-thread warps, making the
+    mechanism "quarter-scalar" there — Figure 10).  When granularity is
+    smaller than half the warp, each half reported here aggregates the
+    sub-chunks: a "half" is scalar only if each of its chunks is scalar
+    and all chunks agree.
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    warp_size = words.shape[0]
+    if warp_size % 2 != 0:
+        raise CompressionError(f"warp size must be even, got {warp_size}")
+    half = warp_size // 2
+    if granularity is None:
+        granularity = half
+    if granularity < 1 or half % granularity != 0:
+        raise CompressionError(
+            f"granularity {granularity} must divide the half size {half}"
+        )
+    enc_lo, base_lo = _encode_half(words[:half], granularity)
+    enc_hi, base_hi = _encode_half(words[half:], granularity)
+    full_scalar = (
+        enc_lo == SCALAR_PREFIX and enc_hi == SCALAR_PREFIX and base_lo == base_hi
+    )
+    return HalfRegisterEncoding(
+        enc_lo=enc_lo,
+        enc_hi=enc_hi,
+        base_lo=base_lo,
+        base_hi=base_hi,
+        full_scalar=full_scalar,
+    )
+
+
+def _encode_half(half_words: np.ndarray, granularity: int) -> tuple[int, int]:
+    """Encoding of one half built from ``granularity``-lane chunks."""
+    chunks = half_words.reshape(-1, granularity)
+    enc = min(common_prefix_bytes(chunk) for chunk in chunks)
+    if enc == SCALAR_PREFIX and chunks.shape[0] > 1:
+        # Every chunk is internally scalar; the half is scalar only if
+        # the chunks also agree with each other.
+        firsts = chunks[:, 0]
+        if not bool(np.all(firsts == firsts[0])):
+            enc = common_prefix_bytes(half_words)
+    return enc, int(half_words[0])
+
+
+def scalar_chunks(values: np.ndarray, granularity: int) -> list[bool]:
+    """Which ``granularity``-lane chunks of the register are scalar.
+
+    Used by the Figure 10 sweep, where a 64-thread warp is checked at
+    16-thread granularity ("quarter-scalar").
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    if words.shape[0] % granularity != 0:
+        raise CompressionError(
+            f"granularity {granularity} must divide warp size {words.shape[0]}"
+        )
+    chunks = words.reshape(-1, granularity)
+    return [common_prefix_bytes(chunk) == SCALAR_PREFIX for chunk in chunks]

@@ -1,0 +1,79 @@
+"""Compression-ratio accounting across a dynamic trace.
+
+Feeds the §5.3 comparison ("the average compression ratio of our
+compression technique is 2.17, whereas that of BDI is 2.13") and the
+per-benchmark breakdowns used by Figure 8 and Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.bdi import BdiMode, bdi_compress
+from repro.compression.gscalar import common_prefix_bytes, compressed_bits
+
+
+@dataclass
+class CompressionComparison:
+    """Aggregated ours-vs-BDI statistics over register writes."""
+
+    warp_size: int
+    registers_seen: int = 0
+    ours_total_bits: int = 0
+    bdi_total_bits: int = 0
+    uncompressed_total_bits: int = 0
+    enc_histogram: dict[int, int] = field(default_factory=lambda: {n: 0 for n in range(5)})
+    bdi_histogram: dict[BdiMode, int] = field(
+        default_factory=lambda: {m: 0 for m in BdiMode}
+    )
+
+    def observe(self, values: np.ndarray) -> None:
+        """Account one full (non-divergent) register value."""
+        enc = common_prefix_bytes(values)
+        bdi = bdi_compress(values)
+        self.registers_seen += 1
+        self.enc_histogram[enc] += 1
+        self.bdi_histogram[bdi.mode] += 1
+        self.ours_total_bits += compressed_bits(enc, self.warp_size)
+        self.bdi_total_bits += bdi.total_bits
+        self.uncompressed_total_bits += self.warp_size * 32
+
+    @property
+    def ours_ratio(self) -> float:
+        """Average compression ratio of the byte-wise technique."""
+        if self.ours_total_bits == 0:
+            return 1.0
+        return self.uncompressed_total_bits / self.ours_total_bits
+
+    @property
+    def bdi_ratio(self) -> float:
+        """Average compression ratio of BDI."""
+        if self.bdi_total_bits == 0:
+            return 1.0
+        return self.uncompressed_total_bits / self.bdi_total_bits
+
+    def enc_fractions(self) -> dict[int, float]:
+        """Fraction of observed registers at each prefix length."""
+        total = max(1, self.registers_seen)
+        return {n: count / total for n, count in self.enc_histogram.items()}
+
+
+def compare_trace(trace, warp_size: int | None = None) -> CompressionComparison:
+    """Run the ours-vs-BDI comparison over every register write in a trace.
+
+    Divergent writes are skipped — neither scheme compresses them
+    (Section 3.3 for ours; Warped-Compression similarly disables
+    compression under partial masks).
+    """
+    size = warp_size if warp_size is not None else trace.warp_size
+    comparison = CompressionComparison(warp_size=size)
+    full_mask = (1 << size) - 1
+    for event in trace.all_events():
+        if event.dst_values is None:
+            continue
+        if event.active_mask != full_mask:
+            continue
+        comparison.observe(event.dst_values)
+    return comparison

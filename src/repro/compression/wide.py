@@ -1,0 +1,101 @@
+"""Wide-value (64-bit) compression — the §5.3 forward-looking study.
+
+The paper notes that GPUs addressing more than 4 GB must compute
+64-bit addresses, and that byte-wise compression then captures *more*
+savings: intra-warp addresses typically differ only in their lowest
+bytes, so widening the register doubles the shareable prefix.
+
+:func:`common_prefix_bytes_wide` generalizes the Figure 2 comparison to
+8-byte lanes; :func:`address_width_study` replays a trace's memory
+events and reports the fraction of register-file bytes that still need
+storing under 32-bit vs 64-bit addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.isa.opcodes import OpCategory
+from repro.simt.trace import KernelTrace
+
+
+def common_prefix_bytes_wide(values: np.ndarray, width_bytes: int = 8) -> int:
+    """Identical most-significant bytes across lanes of wide values.
+
+    ``values`` is a 1-D uint64 array; returns 0..``width_bytes``.
+    """
+    if width_bytes < 1 or width_bytes > 8:
+        raise CompressionError(f"width_bytes must be 1..8, got {width_bytes}")
+    words = np.ascontiguousarray(values, dtype=np.uint64)
+    if words.ndim != 1:
+        raise CompressionError(f"expected a 1-D lane array, got shape {words.shape}")
+    if words.size <= 1:
+        return width_bytes
+    difference = int(np.bitwise_or.reduce(words ^ words[0]))
+    for prefix in range(width_bytes):
+        top_byte_shift = 8 * (width_bytes - 1 - prefix)
+        if (difference >> top_byte_shift) & 0xFF:
+            return prefix
+    return width_bytes
+
+
+@dataclass(frozen=True)
+class AddressWidthStudy:
+    """Stored-byte fractions for address registers at both widths."""
+
+    accesses: int
+    stored_fraction_32bit: float
+    stored_fraction_64bit: float
+
+    @property
+    def savings_32bit(self) -> float:
+        return 1.0 - self.stored_fraction_32bit
+
+    @property
+    def savings_64bit(self) -> float:
+        return 1.0 - self.stored_fraction_64bit
+
+
+def address_width_study(
+    trace: KernelTrace, heap_base: int = 0x7F40_0000_0000
+) -> AddressWidthStudy:
+    """Compare address-register compressibility at 32 vs 64 bits.
+
+    Every memory event's per-lane addresses are evaluated twice: as the
+    32-bit words the trace recorded, and zero-extended onto a 64-bit
+    heap base (the virtual-address layout a >4 GB GPU would use).  The
+    returned fractions are stored-bytes / register-bytes; lower is
+    better, and the 64-bit fraction is expected to be lower — the §5.3
+    claim that wide addresses make byte-wise compression *more*
+    effective.
+    """
+    from repro.compression.gscalar import common_prefix_bytes
+
+    accesses = 0
+    stored_32 = 0
+    total_32 = 0
+    stored_64 = 0
+    total_64 = 0
+    for event in trace.all_events():
+        if event.category is not OpCategory.MEM or event.addresses is None:
+            continue
+        accesses += 1
+        lanes = event.addresses.shape[0]
+        narrow = event.addresses
+        enc32 = common_prefix_bytes(narrow)
+        stored_32 += (4 - enc32) * lanes
+        total_32 += 4 * lanes
+        wide = narrow.astype(np.uint64) + np.uint64(heap_base)
+        enc64 = common_prefix_bytes_wide(wide)
+        stored_64 += (8 - enc64) * lanes
+        total_64 += 8 * lanes
+    if accesses == 0:
+        return AddressWidthStudy(0, 1.0, 1.0)
+    return AddressWidthStudy(
+        accesses=accesses,
+        stored_fraction_32bit=stored_32 / total_32,
+        stored_fraction_64bit=stored_64 / total_64,
+    )

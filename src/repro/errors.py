@@ -1,0 +1,51 @@
+"""Exception hierarchy for the G-Scalar reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class KernelValidationError(ReproError):
+    """A kernel's control-flow graph or instruction stream is malformed."""
+
+
+class BuilderError(ReproError):
+    """Misuse of the :class:`repro.isa.builder.KernelBuilder` DSL."""
+
+
+class ExecutionError(ReproError):
+    """The functional SIMT executor hit an illegal runtime condition."""
+
+
+class MemoryError_(ReproError):
+    """An access touched unmapped functional memory.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`, which means something entirely different.
+    """
+
+
+class ConfigError(ReproError):
+    """An architecture or simulator configuration is inconsistent."""
+
+
+class TraceError(ReproError):
+    """A dynamic trace is malformed or used inconsistently."""
+
+
+class TimingError(ReproError):
+    """The cycle-level timing model reached an inconsistent state."""
+
+
+class CompressionError(ReproError):
+    """Invalid input to a register-value compressor."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was requested with invalid parameters."""

@@ -1,0 +1,44 @@
+"""Regenerators for every figure and table in the paper's evaluation."""
+
+from repro.experiments import (  # noqa: F401
+    extras,
+    fig1,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    scorecard,
+    suite,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import BenchmarkRun, ExperimentRunner
+from repro.experiments.sensitivity import (
+    SweepPoint,
+    headline_is_robust,
+    sweep_energy_parameter,
+)
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "BenchmarkRun",
+    "ExperimentRunner",
+    "SweepPoint",
+    "extras",
+    "fig1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "headline_is_robust",
+    "render_table",
+    "scorecard",
+    "suite",
+    "sweep_energy_parameter",
+    "table1",
+    "table2",
+    "table3",
+]

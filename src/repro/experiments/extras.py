@@ -1,0 +1,161 @@
+"""Evaluation-text numbers not in a figure or table.
+
+Regenerates the loose quantitative claims of §3.3/§5.1/§5.3:
+
+* average compression ratio: ours 2.17 vs BDI 2.13,
+* our codec's synthesized cost is 19-30% of the BDI codec's,
+* the decompress-move overhead stays near the ~2% prior work reports,
+  and compiler-assisted liveness "may further reduce the overhead to
+  less than 2%" (§3.3),
+* compile-time scalarization captures notably fewer scalar
+  instructions than G-Scalar's dynamic detection (§6: 24% fewer),
+* the BVR/EBR sidecar adds ~3% to the register file's area, and
+* a sidecar access costs 5.2% of a full vector-register access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.stats import compare_trace
+from repro.compression.wide import address_width_study
+from repro.config import ArchitectureConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import render_table
+from repro.power.circuit import compressor_estimate, decompressor_estimate
+from repro.power.rf_techniques import _BDI_CODEC_FACTOR
+from repro.regfile.layout import SIDECAR_ENERGY_FRACTION
+from repro.scalar.architectures import process_classified, processed_statistics
+from repro.scalar.compiler import MoveElisionAnalysis, StaticScalarization
+from repro.scalar.tracker import trace_statistics
+
+#: Sidecar storage per vector register with half-register support:
+#: 2 x (32-bit BVR + 4-bit EBR) + D + FS bits over 1024 data bits.
+SIDECAR_AREA_FRACTION = (2 * (32 + 4) + 2) / 1024.0
+
+
+@dataclass
+class ExtrasData:
+    ours_ratio: float
+    bdi_ratio: float
+    decompress_move_overhead: float
+    decompress_move_overhead_compiler: float
+    static_scalar_fraction: float
+    dynamic_scalar_fraction: float
+    address_savings_32bit: float
+    address_savings_64bit: float
+    codec_cost_ratio: float
+    sidecar_area_fraction: float
+    sidecar_energy_fraction: float
+
+    @property
+    def compiler_shortfall(self) -> float:
+        """How much less the compiler captures vs dynamic detection."""
+        if self.dynamic_scalar_fraction == 0:
+            return 0.0
+        return 1.0 - self.static_scalar_fraction / self.dynamic_scalar_fraction
+
+
+def compute(runner: ExperimentRunner) -> ExtrasData:
+    """Aggregate the §5 text numbers over all benchmarks."""
+    ratio_ours_sum = 0.0
+    ratio_bdi_sum = 0.0
+    move_overhead_sum = 0.0
+    move_overhead_compiler_sum = 0.0
+    static_scalar_sum = 0.0
+    dynamic_scalar_sum = 0.0
+    addr32_sum = 0.0
+    addr64_sum = 0.0
+    gscalar = ArchitectureConfig.gscalar()
+    names = runner.benchmark_names()
+    for abbr in names:
+        run = runner.run(abbr)
+        comparison = compare_trace(run.trace)
+        ratio_ours_sum += comparison.ours_ratio
+        ratio_bdi_sum += comparison.bdi_ratio
+        stats = trace_statistics(run.classified)
+        if stats.total_instructions:
+            move_overhead_sum += stats.decompress_moves / stats.total_instructions
+            elision = MoveElisionAnalysis(run.built.kernel)
+            with_compiler = processed_statistics(
+                process_classified(
+                    run.classified, gscalar, run.trace.warp_size, move_elision=elision
+                )
+            )
+            move_overhead_compiler_sum += (
+                with_compiler.extra_instructions / stats.total_instructions
+            )
+        dynamic_scalar_sum += stats.eligible_fraction
+        static_scalar_sum += StaticScalarization(
+            run.built.kernel
+        ).dynamic_static_scalar_fraction(run.trace)
+        width_study = address_width_study(run.trace)
+        addr32_sum += width_study.savings_32bit
+        addr64_sum += width_study.savings_64bit
+    count = max(1, len(names))
+    compressor = compressor_estimate()
+    decompressor = decompressor_estimate()
+    our_codec_mw = compressor.power_mw + decompressor.power_mw
+    bdi_codec_mw = our_codec_mw * _BDI_CODEC_FACTOR
+    return ExtrasData(
+        ours_ratio=ratio_ours_sum / count,
+        bdi_ratio=ratio_bdi_sum / count,
+        decompress_move_overhead=move_overhead_sum / count,
+        decompress_move_overhead_compiler=move_overhead_compiler_sum / count,
+        static_scalar_fraction=static_scalar_sum / count,
+        dynamic_scalar_fraction=dynamic_scalar_sum / count,
+        address_savings_32bit=addr32_sum / count,
+        address_savings_64bit=addr64_sum / count,
+        codec_cost_ratio=our_codec_mw / bdi_codec_mw,
+        sidecar_area_fraction=SIDECAR_AREA_FRACTION,
+        sidecar_energy_fraction=SIDECAR_ENERGY_FRACTION,
+    )
+
+
+def render(data: ExtrasData) -> str:
+    """The §5 extras as a text table."""
+    rows = [
+        ("avg compression ratio (ours)", f"{data.ours_ratio:.2f}", "2.17"),
+        ("avg compression ratio (BDI)", f"{data.bdi_ratio:.2f}", "2.13"),
+        (
+            "decompress-move overhead",
+            f"{100 * data.decompress_move_overhead:.1f}%",
+            "~2%",
+        ),
+        (
+            "... with compiler-assisted elision",
+            f"{100 * data.decompress_move_overhead_compiler:.1f}%",
+            "<2%",
+        ),
+        (
+            "compile-time scalarization vs G-Scalar",
+            f"-{100 * data.compiler_shortfall:.0f}%",
+            "-24% (AAA game traces)",
+        ),
+        (
+            "address-register byte savings, 32b -> 64b",
+            f"{100 * data.address_savings_32bit:.0f}% -> "
+            f"{100 * data.address_savings_64bit:.0f}%",
+            "more with 64-bit (direction)",
+        ),
+        (
+            "our codec cost vs BDI codec",
+            f"{100 * data.codec_cost_ratio:.0f}%",
+            "19-30%",
+        ),
+        (
+            "RF area added by BVR/EBR/D/FS",
+            f"{100 * data.sidecar_area_fraction:.1f}%",
+            "~3% (7% with half pairs)",
+        ),
+        (
+            "sidecar access energy vs full access",
+            f"{100 * data.sidecar_energy_fraction:.1f}%",
+            "5.2%",
+        ),
+    ]
+    return render_table(
+        ["quantity", "measured", "paper"],
+        rows,
+        title="Evaluation-text extras (§3.3 / §5.1 / §5.3)",
+    )

@@ -1,0 +1,161 @@
+"""End-to-end experiment pipeline with caching.
+
+One :class:`ExperimentRunner` owns a scale and a GPU/energy
+configuration and lazily computes, per benchmark:
+
+* the functional trace (executed once, shared by every architecture),
+* the classified event stream (tracker output, architecture-independent),
+* per-architecture processed events, timing results and power reports.
+
+Every figure regenerator takes a runner, so a full ``python -m repro all``
+executes each benchmark exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import ArchitectureConfig, GpuConfig
+from repro.power.accounting import PowerAccountant
+from repro.power.energy import DEFAULT_ENERGY, EnergyParams
+from repro.power.report import PowerReport
+from repro.scalar.architectures import ProcessedEvent, process_classified
+from repro.scalar.tracker import ClassifiedEvent, classify_trace
+from repro.simt.executor import run_kernel
+from repro.simt.trace import KernelTrace
+from repro.timing.gpu import simulate_architecture
+from repro.timing.sm import TimingResult
+from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workload_by_name
+
+
+@dataclass
+class BenchmarkRun:
+    """Cached functional-level artifacts of one benchmark."""
+
+    abbr: str
+    built: BuiltWorkload
+    trace: KernelTrace
+    classified: list[list[ClassifiedEvent]] = field(repr=False, default_factory=list)
+
+
+class ExperimentRunner:
+    """Caches traces and per-architecture results across experiments."""
+
+    def __init__(
+        self,
+        scale: str = "default",
+        config: GpuConfig | None = None,
+        params: EnergyParams | None = None,
+        verbose: bool = False,
+        cache_dir: str | Path | None = None,
+    ):
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
+        self.scale = SCALES[scale]
+        self.config = config or GpuConfig()
+        self.params = params or DEFAULT_ENERGY
+        self.verbose = verbose
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._runs: dict[str, BenchmarkRun] = {}
+        self._traces_64: dict[str, KernelTrace] = {}
+        self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
+        self._timing: dict[tuple[str, str], TimingResult] = {}
+        self._power: dict[tuple[str, str], PowerReport] = {}
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[runner] {message}", flush=True)
+
+    # ------------------------------------------------------------------
+    def benchmark_names(self) -> list[str]:
+        """All benchmark abbreviations in Table 2 order."""
+        return [spec.abbr for spec in all_workloads()]
+
+    def run(self, abbr: str) -> BenchmarkRun:
+        """Execute (or fetch) one benchmark's functional trace.
+
+        With ``cache_dir`` set, traces persist across processes as
+        ``.npz`` files keyed by benchmark and scale.
+        """
+        key = abbr.upper()
+        if key not in self._runs:
+            spec = workload_by_name(key)
+            built = spec.builder(self.scale)
+            trace = None
+            cache_path = None
+            if self.cache_dir is not None:
+                cache_path = self.cache_dir / f"{key}_{self.scale.name}.npz"
+                if cache_path.exists():
+                    from repro.simt.serialize import load_trace
+
+                    self._log(f"loading cached trace for {key}")
+                    trace = load_trace(cache_path)
+            if trace is None:
+                self._log(f"executing {key} at scale {self.scale.name!r}")
+                trace = run_kernel(built.kernel, built.launch, built.memory)
+                if cache_path is not None:
+                    from repro.simt.serialize import save_trace
+
+                    save_trace(trace, cache_path)
+            classified = classify_trace(trace, built.kernel.num_registers)
+            self._runs[key] = BenchmarkRun(
+                abbr=key, built=built, trace=trace, classified=classified
+            )
+        return self._runs[key]
+
+    def trace_with_warp_size(self, abbr: str, warp_size: int) -> KernelTrace:
+        """Re-execute a benchmark with a different warp size (Figure 10)."""
+        key = (abbr.upper(), warp_size)
+        cache = self._traces_64
+        if warp_size == 32:
+            return self.run(abbr).trace
+        token = f"{key[0]}@{warp_size}"
+        if token not in cache:
+            spec = workload_by_name(abbr)
+            built = spec.builder(self.scale)
+            self._log(f"executing {key[0]} at warp size {warp_size}")
+            cache[token] = run_kernel(
+                built.kernel, built.launch, built.memory, warp_size=warp_size
+            )
+        return cache[token]
+
+    # ------------------------------------------------------------------
+    def processed(
+        self, abbr: str, arch: ArchitectureConfig
+    ) -> list[list[ProcessedEvent]]:
+        """Per-architecture processed events for one benchmark."""
+        key = (abbr.upper(), arch.name)
+        if key not in self._processed:
+            run = self.run(abbr)
+            self._processed[key] = process_classified(
+                run.classified, arch, run.trace.warp_size
+            )
+        return self._processed[key]
+
+    def timing(self, abbr: str, arch: ArchitectureConfig) -> TimingResult:
+        """Cycle-level result for one (benchmark, architecture) pair."""
+        key = (abbr.upper(), arch.name)
+        if key not in self._timing:
+            self._log(f"timing {key[0]} on {arch.name}")
+            run = self.run(abbr)
+            warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
+            self._timing[key] = simulate_architecture(
+                self.processed(abbr, arch),
+                arch,
+                self.config,
+                warps_per_cta=warps_per_cta,
+            )
+        return self._timing[key]
+
+    def power(self, abbr: str, arch: ArchitectureConfig) -> PowerReport:
+        """Power report for one (benchmark, architecture) pair."""
+        key = (abbr.upper(), arch.name)
+        if key not in self._power:
+            accountant = PowerAccountant(arch, self.params, self.config)
+            self._power[key] = accountant.account(
+                self.processed(abbr, arch), self.timing(abbr, arch)
+            )
+        return self._power[key]

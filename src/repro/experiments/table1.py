@@ -1,0 +1,36 @@
+"""Table 1 — simulator configuration."""
+
+from __future__ import annotations
+
+from repro.config import GpuConfig
+from repro.experiments.tables import render_table
+
+
+def compute(config: GpuConfig | None = None) -> list[tuple[str, str]]:
+    """Table 1 rows from the active configuration."""
+    config = config or GpuConfig()
+    return [
+        ("# of SMs", str(config.num_sms)),
+        ("Registers per SM", f"{config.registers_per_sm_bytes // 1024}KB"),
+        ("SM Frequency", f"{config.sm_frequency_ghz}GHz"),
+        ("Register File Banks", str(config.register_file_banks)),
+        ("NoC Frequency", f"{config.noc_frequency_ghz}GHz"),
+        ("OC per SM", str(config.operand_collectors_per_sm)),
+        ("Warp Size", str(config.warp_size)),
+        ("Schedulers per SM", str(config.schedulers_per_sm)),
+        ("SIMT EXE Width", str(config.simt_width)),
+        ("L1$ per SM", f"{config.l1_cache_bytes // 1024}KB"),
+        ("Threads per SM", str(config.threads_per_sm)),
+        ("Memory Channels", str(config.memory_channels)),
+        ("CTAs per SM", str(config.ctas_per_sm)),
+        ("L2$ Size", f"{config.l2_cache_bytes // 1024}KB"),
+    ]
+
+
+def render(config: GpuConfig | None = None) -> str:
+    """Table 1 as text."""
+    return render_table(
+        ["parameter", "value"],
+        compute(config),
+        title="Table 1: simulator configuration",
+    )

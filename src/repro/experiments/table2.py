@@ -1,0 +1,20 @@
+"""Table 2 — the benchmark list."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_table
+from repro.workloads.registry import all_workloads
+
+
+def compute() -> list[tuple[str, str, str]]:
+    """(suite, benchmark, abbreviation) rows."""
+    return [(spec.suite, spec.name, spec.abbr) for spec in all_workloads()]
+
+
+def render() -> str:
+    """Table 2 as text."""
+    return render_table(
+        ["suite", "benchmark", "abbr"],
+        compute(),
+        title="Table 2: benchmarks",
+    )

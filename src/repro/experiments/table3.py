@@ -1,0 +1,76 @@
+"""Table 3 — encoder/decoder area, delay and power at 1.4 GHz.
+
+Regenerated from the analytic 40 nm gate-count model in
+:mod:`repro.power.circuit` and compared against the paper's synthesis
+results, together with the §5.1 per-SM overhead (paper: 0.32 W / 1.6%
+power and 0.16 mm^2 / 0.7% area per SM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.tables import render_table
+from repro.power.circuit import (
+    PAPER_TABLE3,
+    CircuitEstimate,
+    compressor_estimate,
+    decompressor_estimate,
+    per_sm_overhead,
+)
+
+
+@dataclass
+class Table3Data:
+    decompressor: CircuitEstimate
+    compressor: CircuitEstimate
+    per_sm_power_w: float
+    per_sm_area_mm2: float
+
+
+def compute() -> Table3Data:
+    """Build the model estimates."""
+    power_w, area_mm2 = per_sm_overhead()
+    return Table3Data(
+        decompressor=decompressor_estimate(),
+        compressor=compressor_estimate(),
+        per_sm_power_w=power_w,
+        per_sm_area_mm2=area_mm2,
+    )
+
+
+def render(data: Table3Data | None = None) -> str:
+    """Table 3 as text, model vs paper."""
+    data = data or compute()
+    rows = []
+    for estimate in (data.decompressor, data.compressor):
+        paper = PAPER_TABLE3[estimate.name]
+        rows.append(
+            (
+                estimate.name,
+                f"{estimate.area_um2:.0f}",
+                f"{paper['area_um2']:.0f}",
+                f"{estimate.delay_ns:.2f}",
+                f"{paper['delay_ns']:.2f}",
+                f"{estimate.power_mw:.2f}",
+                f"{paper['power_mw']:.2f}",
+            )
+        )
+    body = render_table(
+        [
+            "block",
+            "area um2",
+            "(paper)",
+            "delay ns",
+            "(paper)",
+            "power mW",
+            "(paper)",
+        ],
+        rows,
+        title="Table 3: compressor/decompressor cost, model vs paper",
+    )
+    footer = (
+        f"\nper-SM overhead: {data.per_sm_power_w:.2f} W, "
+        f"{data.per_sm_area_mm2:.3f} mm2 (paper: 0.32 W, 0.16 mm2)"
+    )
+    return body + footer

@@ -1,0 +1,411 @@
+"""A structured-control-flow DSL for writing kernels.
+
+:class:`KernelBuilder` lets workloads be written like straight-line CUDA
+with ``if``/``else`` and loops, and lowers them to a basic-block CFG that
+the SIMT executor reconverges with post-dominator analysis::
+
+    b = KernelBuilder("saxpy")
+    tid = b.tid()
+    addr_x = b.iadd(b.imul(tid, 4), 0x1000)
+    x = b.ld_global(addr_x)
+    y = b.fmul(x, b.fimm(2.0))
+    b.st_global(b.iadd(b.imul(tid, 4), 0x2000), y)
+    kernel = b.finish()
+
+Conditionals and loops are context managers::
+
+    with b.if_(cond) as branch:
+        ...                      # taken path
+        with branch.else_():
+            ...                  # not-taken path
+
+    with b.while_(lambda: b.setlt(i, n)):
+        ...                      # loop body, re-evaluates the condition
+
+Every value-producing method allocates and returns a fresh register
+unless ``dst=`` is given, so expressions compose naturally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Callable, Iterator
+
+from repro.errors import BuilderError
+from repro.isa.instructions import Imm, Instruction, Operand, Reg, SpecialReg
+from repro.isa.kernel import BasicBlock, Branch, Exit, Jump, Kernel
+from repro.isa.opcodes import Opcode, has_destination
+
+
+def _as_operand(value: object) -> Operand:
+    """Coerce Python ints/floats to immediates; pass operands through."""
+    if isinstance(value, (Reg, Imm, SpecialReg)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, float):
+        return Imm.from_float(value)
+    raise BuilderError(f"cannot use {value!r} as an instruction operand")
+
+
+class _IfContext:
+    """Handle returned by :meth:`KernelBuilder.if_`; provides ``else_``."""
+
+    def __init__(self, builder: "KernelBuilder", merge_block: int, else_block: int):
+        self._builder = builder
+        self._merge_block = merge_block
+        self._else_block = else_block
+        self._else_used = False
+
+    @contextlib.contextmanager
+    def else_(self) -> Iterator[None]:
+        """Open the not-taken path of the enclosing ``if_``."""
+        if self._else_used:
+            raise BuilderError("else_() used twice for the same if_")
+        self._else_used = True
+        builder = self._builder
+        builder._terminate(Jump(self._merge_block))
+        builder._switch_to(self._else_block)
+        yield
+        builder._terminate(Jump(self._merge_block))
+        builder._switch_to(self._merge_block)
+        # Mark that the merge switch already happened so the outer
+        # context manager does not redo it.
+        builder._pending_merge.discard(id(self))
+
+
+class KernelBuilder:
+    """Builds a :class:`repro.isa.kernel.Kernel` from structured code."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._blocks: list[BasicBlock] = [BasicBlock(0)]
+        self._current = 0
+        self._next_register = 0
+        self._finished = False
+        self._terminated: set[int] = set()
+        self._pending_merge: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Register and block plumbing.
+    # ------------------------------------------------------------------
+    def reg(self) -> Reg:
+        """Allocate a fresh vector register."""
+        register = Reg(self._next_register)
+        self._next_register += 1
+        return register
+
+    def imm(self, value: int) -> Imm:
+        """An integer immediate."""
+        return Imm(value)
+
+    def fimm(self, value: float) -> Imm:
+        """A float immediate (IEEE-754 binary32 bit pattern)."""
+        return Imm.from_float(value)
+
+    def _new_block(self) -> int:
+        block_id = len(self._blocks)
+        self._blocks.append(BasicBlock(block_id))
+        return block_id
+
+    def _switch_to(self, block_id: int) -> None:
+        self._current = block_id
+
+    def _terminate(self, terminator: Branch | Jump | Exit) -> None:
+        if self._current in self._terminated:
+            raise BuilderError(f"block {self._current} already terminated")
+        self._blocks[self._current].terminator = terminator
+        self._terminated.add(self._current)
+
+    def emit(self, opcode: Opcode, *srcs: object, dst: Reg | None = None) -> Reg | None:
+        """Append one instruction to the current block.
+
+        Returns the destination register (freshly allocated when the
+        opcode produces a value and ``dst`` is not given).
+        """
+        if self._finished:
+            raise BuilderError("builder already finished")
+        if self._current in self._terminated:
+            raise BuilderError(
+                "cannot emit after a terminator; builder state is corrupt"
+            )
+        if has_destination(opcode) and dst is None:
+            dst = self.reg()
+        operands = tuple(_as_operand(s) for s in srcs)
+        self._blocks[self._current].instructions.append(
+            Instruction(opcode=opcode, dst=dst, srcs=operands)
+        )
+        return dst
+
+    # ------------------------------------------------------------------
+    # Special registers.
+    # ------------------------------------------------------------------
+    def tid(self, dst: Reg | None = None) -> Reg:
+        """Global thread id, materialized into a register."""
+        result = self.emit(Opcode.MOV, SpecialReg.TID, dst=dst)
+        assert result is not None
+        return result
+
+    def lane(self, dst: Reg | None = None) -> Reg:
+        """Lane index within the warp."""
+        result = self.emit(Opcode.MOV, SpecialReg.LANE, dst=dst)
+        assert result is not None
+        return result
+
+    def ctaid(self, dst: Reg | None = None) -> Reg:
+        """CTA index."""
+        result = self.emit(Opcode.MOV, SpecialReg.CTAID, dst=dst)
+        assert result is not None
+        return result
+
+    def warp_in_cta(self, dst: Reg | None = None) -> Reg:
+        """Warp index within the CTA."""
+        result = self.emit(Opcode.MOV, SpecialReg.WARP_IN_CTA, dst=dst)
+        assert result is not None
+        return result
+
+    def ntid(self, dst: Reg | None = None) -> Reg:
+        """CTA size in threads."""
+        result = self.emit(Opcode.MOV, SpecialReg.NTID, dst=dst)
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------
+    # Value-producing operations (each returns its destination register).
+    # ------------------------------------------------------------------
+    def _binary(self, opcode: Opcode, a: object, b: object, dst: Reg | None) -> Reg:
+        result = self.emit(opcode, a, b, dst=dst)
+        assert result is not None
+        return result
+
+    def _unary(self, opcode: Opcode, a: object, dst: Reg | None) -> Reg:
+        result = self.emit(opcode, a, dst=dst)
+        assert result is not None
+        return result
+
+    def mov(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.MOV, a, dst)
+
+    def iadd(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.IADD, a, b, dst)
+
+    def isub(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.ISUB, a, b, dst)
+
+    def imul(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.IMUL, a, b, dst)
+
+    def imad(self, a: object, b: object, c: object, dst: Reg | None = None) -> Reg:
+        result = self.emit(Opcode.IMAD, a, b, c, dst=dst)
+        assert result is not None
+        return result
+
+    def idiv(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.IDIV, a, b, dst)
+
+    def irem(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.IREM, a, b, dst)
+
+    def imin(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.IMIN, a, b, dst)
+
+    def imax(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.IMAX, a, b, dst)
+
+    def and_(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.AND, a, b, dst)
+
+    def or_(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.OR, a, b, dst)
+
+    def xor(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.XOR, a, b, dst)
+
+    def not_(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.NOT, a, dst)
+
+    def shl(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SHL, a, b, dst)
+
+    def shr(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SHR, a, b, dst)
+
+    def seteq(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SETEQ, a, b, dst)
+
+    def setne(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SETNE, a, b, dst)
+
+    def setlt(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SETLT, a, b, dst)
+
+    def setle(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SETLE, a, b, dst)
+
+    def setgt(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SETGT, a, b, dst)
+
+    def setge(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.SETGE, a, b, dst)
+
+    def selp(self, a: object, b: object, cond: object, dst: Reg | None = None) -> Reg:
+        result = self.emit(Opcode.SELP, a, b, cond, dst=dst)
+        assert result is not None
+        return result
+
+    def fadd(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FADD, a, b, dst)
+
+    def fsub(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FSUB, a, b, dst)
+
+    def fmul(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FMUL, a, b, dst)
+
+    def ffma(self, a: object, b: object, c: object, dst: Reg | None = None) -> Reg:
+        result = self.emit(Opcode.FFMA, a, b, c, dst=dst)
+        assert result is not None
+        return result
+
+    def fmin(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FMIN, a, b, dst)
+
+    def fmax(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FMAX, a, b, dst)
+
+    def fsetlt(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FSETLT, a, b, dst)
+
+    def fsetgt(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FSETGT, a, b, dst)
+
+    def fsetle(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FSETLE, a, b, dst)
+
+    def fsetge(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FSETGE, a, b, dst)
+
+    def fabs(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.FABS, a, dst)
+
+    def fneg(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.FNEG, a, dst)
+
+    def i2f(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.I2F, a, dst)
+
+    def f2i(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.F2I, a, dst)
+
+    def sin(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.SIN, a, dst)
+
+    def cos(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.COS, a, dst)
+
+    def ex2(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.EX2, a, dst)
+
+    def lg2(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.LG2, a, dst)
+
+    def rsqrt(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.RSQRT, a, dst)
+
+    def rcp(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.RCP, a, dst)
+
+    def sqrt(self, a: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.SQRT, a, dst)
+
+    def fdiv(self, a: object, b: object, dst: Reg | None = None) -> Reg:
+        return self._binary(Opcode.FDIV, a, b, dst)
+
+    def ld_global(self, addr: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.LD_GLOBAL, addr, dst)
+
+    def ld_shared(self, addr: object, dst: Reg | None = None) -> Reg:
+        return self._unary(Opcode.LD_SHARED, addr, dst)
+
+    def st_global(self, addr: object, value: object) -> None:
+        self.emit(Opcode.ST_GLOBAL, addr, value)
+
+    def st_shared(self, addr: object, value: object) -> None:
+        self.emit(Opcode.ST_SHARED, addr, value)
+
+    def barrier(self) -> None:
+        """CTA-wide barrier (``__syncthreads``).
+
+        Every warp of the CTA must reach the same dynamic barrier; the
+        executor enforces that it executes under a full warp mask (a
+        barrier inside divergent control flow is undefined behaviour on
+        real hardware and an error here).
+        """
+        self.emit(Opcode.BAR)
+
+    # ------------------------------------------------------------------
+    # Structured control flow.
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def if_(self, cond: Reg) -> Iterator[_IfContext]:
+        """Open a conditional region; ``with b.if_(c) as branch: ...``."""
+        then_block = self._new_block()
+        else_block = self._new_block()
+        merge_block = self._new_block()
+        self._terminate(Branch(cond=cond, taken=then_block, not_taken=else_block))
+        self._switch_to(then_block)
+        context = _IfContext(self, merge_block, else_block)
+        self._pending_merge.add(id(context))
+        yield context
+        if id(context) in self._pending_merge:
+            # No else_() was opened: close the then path and make the
+            # empty else block fall through to the merge.
+            self._pending_merge.discard(id(context))
+            self._terminate(Jump(merge_block))
+            self._switch_to(else_block)
+            self._terminate(Jump(merge_block))
+            self._switch_to(merge_block)
+
+    @contextlib.contextmanager
+    def while_(self, cond_fn: Callable[[], Reg]) -> Iterator[None]:
+        """Loop while ``cond_fn`` (re-emitted in the header) is nonzero."""
+        header = self._new_block()
+        self._terminate(Jump(header))
+        self._switch_to(header)
+        cond = cond_fn()
+        body = self._new_block()
+        exit_block = self._new_block()
+        self._terminate(Branch(cond=cond, taken=body, not_taken=exit_block))
+        self._switch_to(body)
+        yield
+        self._terminate(Jump(header))
+        self._switch_to(exit_block)
+
+    @contextlib.contextmanager
+    def for_range(
+        self, start: object, stop: object, step: int = 1
+    ) -> Iterator[Reg]:
+        """Counted loop; yields the (signed) induction register."""
+        if step == 0:
+            raise BuilderError("for_range step must be nonzero")
+        counter = self.mov(start)
+        stop_operand = _as_operand(stop)
+
+        def condition() -> Reg:
+            if step > 0:
+                return self.setlt(counter, stop_operand)
+            return self.setgt(counter, stop_operand)
+
+        with self.while_(condition):
+            yield counter
+            self.iadd(counter, step & 0xFFFFFFFF, dst=counter)
+
+    def finish(self) -> Kernel:
+        """Terminate the current block with ``exit`` and validate."""
+        if self._finished:
+            raise BuilderError("finish() called twice")
+        self._terminate(Exit())
+        self._finished = True
+        return Kernel(name=self.name, blocks=self._blocks)

@@ -1,0 +1,70 @@
+"""Kernel disassembler: render a CFG as readable PTX-like text.
+
+Useful when debugging workload proxies or builder lowering::
+
+    print(disassemble(kernel))
+
+    // kernel backprop: 7 blocks, 34 instructions, 19 registers
+    B0:
+        mov   r0, %tid
+        imad  r1, r0, #0x4, #0x100000
+        ...
+        bra   r5 ? B1 : B2
+    B1:
+        ...
+        jmp   B3
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Imm, Instruction, Reg, SpecialReg
+from repro.isa.kernel import Branch, Exit, Jump, Kernel
+
+
+def _operand(operand) -> str:
+    if isinstance(operand, Reg):
+        return f"r{operand.index}"
+    if isinstance(operand, Imm):
+        return f"#{operand.value:#x}"
+    if isinstance(operand, SpecialReg):
+        return f"%{operand.value}"
+    return repr(operand)
+
+
+def _instruction(inst: Instruction) -> str:
+    operands = []
+    if inst.dst is not None:
+        operands.append(f"r{inst.dst.index}")
+    operands.extend(_operand(s) for s in inst.srcs)
+    mnemonic = inst.opcode.value
+    if operands:
+        return f"{mnemonic:<10s} " + ", ".join(operands)
+    return mnemonic
+
+
+def _terminator(terminator) -> str:
+    if isinstance(terminator, Branch):
+        return (
+            f"bra        r{terminator.cond.index} ? "
+            f"B{terminator.taken} : B{terminator.not_taken}"
+        )
+    if isinstance(terminator, Jump):
+        return f"jmp        B{terminator.target}"
+    if isinstance(terminator, Exit):
+        return "exit"
+    return repr(terminator)
+
+
+def disassemble(kernel: Kernel) -> str:
+    """Render the whole kernel as text."""
+    lines = [
+        f"// kernel {kernel.name}: {len(kernel.blocks)} blocks, "
+        f"{kernel.static_instruction_count()} instructions, "
+        f"{kernel.num_registers} registers"
+    ]
+    for block in kernel.blocks:
+        lines.append(f"B{block.block_id}:")
+        for inst in block.instructions:
+            lines.append(f"    {_instruction(inst)}")
+        lines.append(f"    {_terminator(block.terminator)}")
+    return "\n".join(lines)

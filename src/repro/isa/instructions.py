@@ -1,0 +1,126 @@
+"""Instruction and operand representations.
+
+Registers are warp-wide vector registers holding one 32-bit value per
+lane.  Special registers expose per-thread identity (lane id, global
+thread id, CTA id) the way PTX's ``%tid``/``%ctaid`` do.  Immediates are
+32-bit constants shared by all lanes; an immediate source is always a
+"scalar" operand for eligibility purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import KernelValidationError
+from repro.isa.opcodes import Opcode, has_destination, source_arity
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A numbered warp-wide vector register (``r0``, ``r1``, ...)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise KernelValidationError(f"register index must be >= 0, got {self.index}")
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+class SpecialReg(enum.Enum):
+    """Read-only special registers exposing thread identity.
+
+    ``TID`` is the global thread index (``ctaid * ntid + tid_in_cta``),
+    ``LANE`` the lane within the warp, ``CTAID`` the CTA index,
+    ``WARP_IN_CTA`` the warp index within its CTA and ``NTID`` the CTA
+    size in threads.
+    """
+
+    TID = "tid"
+    LANE = "lane"
+    CTAID = "ctaid"
+    WARP_IN_CTA = "warp_in_cta"
+    NTID = "ntid"
+
+    def __repr__(self) -> str:
+        return f"%{self.value}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A 32-bit immediate constant, stored as its unsigned bit pattern."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not -(2**31) <= self.value < 2**32:
+            raise KernelValidationError(f"immediate out of 32-bit range: {self.value}")
+        object.__setattr__(self, "value", self.value & 0xFFFFFFFF)
+
+    @staticmethod
+    def from_float(x: float) -> "Imm":
+        """Encode a Python float as its IEEE-754 binary32 bit pattern."""
+        import struct
+
+        return Imm(struct.unpack("<I", struct.pack("<f", x))[0])
+
+    def as_float(self) -> float:
+        """Decode the bit pattern back to a float."""
+        import struct
+
+        return struct.unpack("<f", struct.pack("<I", self.value))[0]
+
+    def __repr__(self) -> str:
+        return f"#{self.value:#x}"
+
+
+Operand = Reg | Imm | SpecialReg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``dst`` is ``None`` for stores.  ``srcs`` has exactly
+    :func:`repro.isa.opcodes.source_arity` entries.  Control opcodes
+    never appear here — they live in block terminators
+    (:mod:`repro.isa.kernel`).
+    """
+
+    opcode: Opcode
+    dst: Reg | None
+    srcs: tuple[Operand, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        from repro.isa.opcodes import Opcode, is_control
+
+        if is_control(self.opcode) and self.opcode is not Opcode.BAR:
+            raise KernelValidationError(
+                f"{self.opcode.value} is a terminator, not a body instruction"
+            )
+        expected = source_arity(self.opcode)
+        if len(self.srcs) != expected:
+            raise KernelValidationError(
+                f"{self.opcode.value} takes {expected} sources, got {len(self.srcs)}"
+            )
+        if has_destination(self.opcode):
+            if self.dst is None:
+                raise KernelValidationError(f"{self.opcode.value} requires a destination")
+        elif self.dst is not None:
+            raise KernelValidationError(f"{self.opcode.value} takes no destination")
+
+    @property
+    def source_registers(self) -> tuple[Reg, ...]:
+        """The vector-register sources (immediates/specials excluded)."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def __repr__(self) -> str:
+        parts = [self.opcode.value]
+        operands = []
+        if self.dst is not None:
+            operands.append(repr(self.dst))
+        operands.extend(repr(s) for s in self.srcs)
+        return f"{parts[0]} " + ", ".join(operands) if operands else parts[0]

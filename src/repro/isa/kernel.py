@@ -1,0 +1,226 @@
+"""Kernel control-flow graphs and dominance analysis.
+
+A :class:`Kernel` is a list of :class:`BasicBlock`; each block ends in
+exactly one terminator (:class:`Branch`, :class:`Jump` or :class:`Exit`).
+The SIMT executor reconverges divergent branches at the branch block's
+*immediate post-dominator*, which :func:`immediate_postdominators`
+computes with the classic Cooper–Harvey–Kennedy iterative algorithm run
+on the reverse CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelValidationError
+from repro.isa.instructions import Instruction, Reg
+
+#: Virtual node id used as the sink of the reverse CFG (the point "after"
+#: the exit block).  Kept negative so it can never collide with a block id.
+EXIT_NODE = -1
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Conditional terminator: go to ``taken`` where ``cond`` is nonzero,
+    else to ``not_taken``."""
+
+    cond: Reg
+    taken: int
+    not_taken: int
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional terminator."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Kernel exit terminator."""
+
+
+Terminator = Branch | Jump | Exit
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions plus one terminator."""
+
+    block_id: int
+    instructions: list[Instruction] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Exit)
+
+    def successors(self) -> tuple[int, ...]:
+        """Successor block ids (``EXIT_NODE`` for the virtual exit)."""
+        term = self.terminator
+        if isinstance(term, Branch):
+            if term.taken == term.not_taken:
+                return (term.taken,)
+            return (term.taken, term.not_taken)
+        if isinstance(term, Jump):
+            return (term.target,)
+        return (EXIT_NODE,)
+
+
+@dataclass
+class Kernel:
+    """A validated kernel: entry block 0, a single reachable CFG.
+
+    ``name`` identifies the kernel in traces; ``num_registers`` is the
+    highest register index used plus one (computed by ``validate``).
+    """
+
+    name: str
+    blocks: list[BasicBlock]
+    num_registers: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check CFG integrity and recompute ``num_registers``."""
+        if not self.blocks:
+            raise KernelValidationError(f"kernel {self.name!r} has no blocks")
+        for position, block in enumerate(self.blocks):
+            if block.block_id != position:
+                raise KernelValidationError(
+                    f"kernel {self.name!r}: block at position {position} "
+                    f"has id {block.block_id}"
+                )
+            for succ in block.successors():
+                if succ != EXIT_NODE and not 0 <= succ < len(self.blocks):
+                    raise KernelValidationError(
+                        f"kernel {self.name!r}: block {block.block_id} "
+                        f"targets nonexistent block {succ}"
+                    )
+        reachable = self._reachable_from_entry()
+        unreachable = set(range(len(self.blocks))) - reachable
+        if unreachable:
+            raise KernelValidationError(
+                f"kernel {self.name!r}: unreachable blocks {sorted(unreachable)}"
+            )
+        if not any(isinstance(b.terminator, Exit) for b in self.blocks):
+            raise KernelValidationError(f"kernel {self.name!r} has no exit block")
+        highest = -1
+        for block in self.blocks:
+            for inst in block.instructions:
+                if inst.dst is not None:
+                    highest = max(highest, inst.dst.index)
+                for src in inst.source_registers:
+                    highest = max(highest, src.index)
+            if isinstance(block.terminator, Branch):
+                highest = max(highest, block.terminator.cond.index)
+        self.num_registers = highest + 1
+
+    def _reachable_from_entry(self) -> set[int]:
+        seen = {0}
+        worklist = [0]
+        while worklist:
+            node = worklist.pop()
+            for succ in self.blocks[node].successors():
+                if succ != EXIT_NODE and succ not in seen:
+                    seen.add(succ)
+                    worklist.append(succ)
+        return seen
+
+    def predecessors(self) -> dict[int, list[int]]:
+        """Map each block id (and ``EXIT_NODE``) to its predecessor ids."""
+        preds: dict[int, list[int]] = {b.block_id: [] for b in self.blocks}
+        preds[EXIT_NODE] = []
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block.block_id)
+        return preds
+
+    def static_instruction_count(self) -> int:
+        """Total body instructions across all blocks."""
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel({self.name!r}, blocks={len(self.blocks)}, "
+            f"instructions={self.static_instruction_count()})"
+        )
+
+
+def immediate_postdominators(kernel: Kernel) -> dict[int, int]:
+    """Immediate post-dominator of every block.
+
+    Runs the Cooper–Harvey–Kennedy dominator algorithm on the reverse
+    CFG rooted at the virtual :data:`EXIT_NODE`.  The returned map sends
+    each real block id to its immediate post-dominator (possibly
+    ``EXIT_NODE``); the executor reconverges a divergent branch at
+    ``ipdom[branch_block]``.
+    """
+    # Reverse post-order of the *reverse* CFG, i.e. an order in which a
+    # node appears after everything it post-dominates was processed.
+    preds = kernel.predecessors()  # predecessors in forward CFG = successors in reverse
+    order: list[int] = []
+    seen: set[int] = set()
+
+    def dfs(node: int) -> None:
+        # Iterative DFS over the reverse CFG (edges: node -> its forward preds).
+        stack: list[tuple[int, int]] = [(node, 0)]
+        seen.add(node)
+        while stack:
+            current, child_index = stack[-1]
+            children = preds[current]
+            if child_index < len(children):
+                stack[-1] = (current, child_index + 1)
+                child = children[child_index]
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, 0))
+            else:
+                order.append(current)
+                stack.pop()
+
+    dfs(EXIT_NODE)
+    reverse_postorder = list(reversed(order))
+    position = {node: i for i, node in enumerate(reverse_postorder)}
+
+    # In the reverse CFG, a node's "predecessors" are its forward successors.
+    def reverse_preds(node: int) -> list[int]:
+        if node == EXIT_NODE:
+            return []
+        return [s for s in kernel.blocks[node].successors() if s in position]
+
+    ipdom: dict[int, int | None] = {node: None for node in reverse_postorder}
+    ipdom[EXIT_NODE] = EXIT_NODE
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = ipdom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = ipdom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in reverse_postorder:
+            if node == EXIT_NODE:
+                continue
+            candidates = [p for p in reverse_preds(node) if ipdom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if ipdom[node] != new_idom:
+                ipdom[node] = new_idom
+                changed = True
+
+    result: dict[int, int] = {}
+    for block in kernel.blocks:
+        value = ipdom.get(block.block_id)
+        if value is None:
+            raise KernelValidationError(
+                f"kernel {kernel.name!r}: block {block.block_id} cannot reach exit"
+            )
+        result[block.block_id] = value
+    return result

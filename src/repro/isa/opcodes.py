@@ -1,0 +1,203 @@
+"""Opcode definitions for the PTX-like SIMT instruction set.
+
+The instruction set is deliberately small but covers everything the
+paper's mechanisms distinguish between:
+
+* arithmetic/logic instructions (integer and float) — the only class
+  prior scalar architectures could scalarize,
+* special-function instructions (sin, cos, exp2, ...) — 3-24x the energy
+  of an ALU op and newly scalarizable under G-Scalar,
+* memory instructions (global/shared loads and stores) — scalarizable
+  address computation, and
+* control instructions (branches) — the source of divergence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpCategory(enum.Enum):
+    """Execution-pipeline class of an opcode."""
+
+    ALU = "alu"
+    SFU = "sfu"
+    MEM = "mem"
+    CTRL = "ctrl"
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the functional executor."""
+
+    # Integer arithmetic/logic.
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IMAD = "imad"
+    IDIV = "idiv"
+    IREM = "irem"
+    IMIN = "imin"
+    IMAX = "imax"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Integer comparisons (produce 0 / 1).
+    SETEQ = "seteq"
+    SETNE = "setne"
+    SETLT = "setlt"
+    SETLE = "setle"
+    SETGT = "setgt"
+    SETGE = "setge"
+    # Select and move.
+    SELP = "selp"
+    MOV = "mov"
+    # Float arithmetic (operates on IEEE-754 bit patterns in registers).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FFMA = "ffma"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FSETLT = "fsetlt"
+    FSETGT = "fsetgt"
+    FSETLE = "fsetle"
+    FSETGE = "fsetge"
+    FABS = "fabs"
+    FNEG = "fneg"
+    # Conversions.
+    I2F = "i2f"
+    F2I = "f2i"
+    # Special-function unit.
+    SIN = "sin"
+    COS = "cos"
+    EX2 = "ex2"
+    LG2 = "lg2"
+    RSQRT = "rsqrt"
+    RCP = "rcp"
+    SQRT = "sqrt"
+    FDIV = "fdiv"
+    # Memory.
+    LD_GLOBAL = "ld.global"
+    ST_GLOBAL = "st.global"
+    LD_SHARED = "ld.shared"
+    ST_SHARED = "st.shared"
+    # Control (appears only as block terminators).
+    BRA = "bra"
+    JMP = "jmp"
+    EXIT = "exit"
+    # CTA-wide barrier (a body instruction, unlike the terminators).
+    BAR = "bar.sync"
+    # Special register-to-register decompress move inserted by the
+    # hardware-assisted technique of Section 3.3.
+    DECOMPRESS_MOV = "decompress.mov"
+
+
+_SFU_OPCODES = frozenset(
+    {
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.EX2,
+        Opcode.LG2,
+        Opcode.RSQRT,
+        Opcode.RCP,
+        Opcode.SQRT,
+        Opcode.FDIV,
+    }
+)
+
+_MEM_OPCODES = frozenset(
+    {Opcode.LD_GLOBAL, Opcode.ST_GLOBAL, Opcode.LD_SHARED, Opcode.ST_SHARED}
+)
+
+_CTRL_OPCODES = frozenset({Opcode.BRA, Opcode.JMP, Opcode.EXIT, Opcode.BAR})
+
+_LOAD_OPCODES = frozenset({Opcode.LD_GLOBAL, Opcode.LD_SHARED})
+_STORE_OPCODES = frozenset({Opcode.ST_GLOBAL, Opcode.ST_SHARED})
+
+#: Relative per-lane energy of each SFU opcode versus a plain ALU op.
+#: The paper cites a 3-24x range for special-function instructions
+#: [GPUWattch, ISCA 2013]; the per-opcode factors below span that range.
+SFU_ENERGY_FACTOR: dict[Opcode, float] = {
+    Opcode.SIN: 24.0,
+    Opcode.COS: 24.0,
+    Opcode.EX2: 16.0,
+    Opcode.LG2: 16.0,
+    Opcode.RSQRT: 10.0,
+    Opcode.RCP: 8.0,
+    Opcode.SQRT: 12.0,
+    Opcode.FDIV: 14.0,
+}
+
+#: Long-latency integer ops (the paper singles out integer DIV in LC).
+LONG_LATENCY_ALU = frozenset({Opcode.IDIV, Opcode.IREM})
+
+
+def category_of(opcode: Opcode) -> OpCategory:
+    """Return the pipeline category an opcode executes on."""
+    if opcode in _SFU_OPCODES:
+        return OpCategory.SFU
+    if opcode in _MEM_OPCODES:
+        return OpCategory.MEM
+    if opcode in _CTRL_OPCODES:
+        return OpCategory.CTRL
+    return OpCategory.ALU
+
+
+def is_load(opcode: Opcode) -> bool:
+    """True for memory reads."""
+    return opcode in _LOAD_OPCODES
+
+
+def is_store(opcode: Opcode) -> bool:
+    """True for memory writes."""
+    return opcode in _STORE_OPCODES
+
+
+def is_sfu(opcode: Opcode) -> bool:
+    """True for special-function instructions."""
+    return opcode in _SFU_OPCODES
+
+
+def is_control(opcode: Opcode) -> bool:
+    """True for block terminators."""
+    return opcode in _CTRL_OPCODES
+
+
+def source_arity(opcode: Opcode) -> int:
+    """Number of data source operands the opcode consumes."""
+    if opcode in (Opcode.IMAD, Opcode.FFMA, Opcode.SELP):
+        return 3
+    if opcode in (
+        Opcode.NOT,
+        Opcode.MOV,
+        Opcode.FABS,
+        Opcode.FNEG,
+        Opcode.I2F,
+        Opcode.F2I,
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.EX2,
+        Opcode.LG2,
+        Opcode.RSQRT,
+        Opcode.RCP,
+        Opcode.SQRT,
+        Opcode.DECOMPRESS_MOV,
+        Opcode.LD_GLOBAL,
+        Opcode.LD_SHARED,
+    ):
+        return 1
+    if opcode in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
+        return 2  # address, value
+    if opcode is Opcode.BRA:
+        return 1  # condition
+    if opcode in (Opcode.JMP, Opcode.EXIT, Opcode.BAR):
+        return 0
+    return 2
+
+
+def has_destination(opcode: Opcode) -> bool:
+    """True if the opcode writes a destination register."""
+    return not (opcode in _STORE_OPCODES or opcode in _CTRL_OPCODES)

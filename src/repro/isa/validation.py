@@ -1,0 +1,70 @@
+"""Extra structural validation passes over kernels.
+
+:class:`repro.isa.kernel.Kernel` already checks CFG integrity on
+construction.  The passes here catch programming mistakes in workload
+kernels that would otherwise surface as confusing runtime behaviour:
+reads of registers no block ever writes, branch conditions that are
+never defined, and unusually high register pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelValidationError
+from repro.isa.kernel import Branch, Kernel
+
+
+@dataclass
+class KernelReport:
+    """Summary statistics produced by :func:`validate_kernel`."""
+
+    name: str
+    num_blocks: int
+    num_instructions: int
+    num_registers: int
+    written_registers: set[int] = field(default_factory=set)
+    read_registers: set[int] = field(default_factory=set)
+
+    @property
+    def never_written(self) -> set[int]:
+        """Registers read somewhere but written nowhere."""
+        return self.read_registers - self.written_registers
+
+
+def validate_kernel(kernel: Kernel, max_registers: int = 64) -> KernelReport:
+    """Run all extra validation passes; raise on definite errors.
+
+    ``max_registers`` mirrors the per-thread register budget a compiler
+    would enforce (64 on Fermi-class hardware).
+    """
+    written: set[int] = set()
+    read: set[int] = set()
+    for block in kernel.blocks:
+        for inst in block.instructions:
+            if inst.dst is not None:
+                written.add(inst.dst.index)
+            for src in inst.source_registers:
+                read.add(src.index)
+        if isinstance(block.terminator, Branch):
+            read.add(block.terminator.cond.index)
+
+    undefined = read - written
+    if undefined:
+        raise KernelValidationError(
+            f"kernel {kernel.name!r}: registers {sorted(undefined)} are read "
+            "but never written by any block"
+        )
+    if kernel.num_registers > max_registers:
+        raise KernelValidationError(
+            f"kernel {kernel.name!r} uses {kernel.num_registers} registers, "
+            f"exceeding the per-thread budget of {max_registers}"
+        )
+    return KernelReport(
+        name=kernel.name,
+        num_blocks=len(kernel.blocks),
+        num_instructions=kernel.static_instruction_count(),
+        num_registers=kernel.num_registers,
+        written_registers=written,
+        read_registers=read,
+    )

@@ -1,0 +1,36 @@
+"""GPUWattch-calibrated event-energy power model."""
+
+from repro.power.accounting import PowerAccountant
+from repro.power.circuit import (
+    PAPER_TABLE3,
+    CircuitEstimate,
+    compressor_estimate,
+    decompressor_estimate,
+    per_sm_overhead,
+)
+from repro.power.energy import DEFAULT_ENERGY, EnergyParams
+from repro.power.report import EnergyBreakdown, PowerReport
+from repro.power.rf_energy import AccessEnergy, RegisterFileEnergyModel
+from repro.power.rf_techniques import (
+    RF_TECHNIQUES,
+    RfEnergyResult,
+    rf_energy_for_technique,
+)
+
+__all__ = [
+    "DEFAULT_ENERGY",
+    "PAPER_TABLE3",
+    "RF_TECHNIQUES",
+    "AccessEnergy",
+    "CircuitEstimate",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "PowerAccountant",
+    "PowerReport",
+    "RegisterFileEnergyModel",
+    "RfEnergyResult",
+    "compressor_estimate",
+    "decompressor_estimate",
+    "per_sm_overhead",
+    "rf_energy_for_technique",
+]

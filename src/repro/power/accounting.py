@@ -1,0 +1,104 @@
+"""Walk a processed trace + timing result and produce a power report.
+
+One :class:`PowerAccountant` pairs an architecture with energy
+parameters; :meth:`account` consumes the per-event execution decisions
+(lanes active, register-file access shapes, compressor activity) and
+the timing result (cycles, memory traffic) and emits a
+:class:`~repro.power.report.PowerReport`.
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchitectureConfig, GpuConfig
+from repro.isa.opcodes import OpCategory
+from repro.power.energy import DEFAULT_ENERGY, EnergyParams
+from repro.power.report import EnergyBreakdown, PowerReport
+from repro.power.rf_energy import RegisterFileEnergyModel
+from repro.regfile.layout import BankGeometry
+from repro.scalar.architectures import ProcessedEvent
+from repro.timing.sm import TimingResult
+
+
+class PowerAccountant:
+    """Energy accounting for one architecture."""
+
+    def __init__(
+        self,
+        arch: ArchitectureConfig,
+        params: EnergyParams | None = None,
+        config: GpuConfig | None = None,
+        geometry: BankGeometry | None = None,
+    ):
+        self.arch = arch
+        self.params = params or DEFAULT_ENERGY
+        self.config = config or GpuConfig()
+        if geometry is None and self.config.warp_size != 32:
+            # Wider warps widen the bank: one 128-bit array per byte
+            # position per 16 lanes, as in §3.2's memory-compiler result.
+            geometry = BankGeometry(
+                warp_size=self.config.warp_size,
+                arrays_per_bank=self.config.warp_size // 4,
+                array_bits=128,
+            )
+        self._rf_model = RegisterFileEnergyModel(arch, self.params, geometry)
+
+    # ------------------------------------------------------------------
+    def account(
+        self,
+        processed: list[list[ProcessedEvent]],
+        timing: TimingResult,
+    ) -> PowerReport:
+        """Produce the power report for one benchmark run."""
+        params = self.params
+        breakdown = EnergyBreakdown()
+
+        for warp_events in processed:
+            for item in warp_events:
+                event = item.classified.event
+                category = event.category
+
+                lane_pj = params.exec_lane_pj(event.opcode)
+                exec_pj = item.exec_lanes * lane_pj
+                if category is OpCategory.SFU:
+                    breakdown.exec_sfu_pj += exec_pj
+                elif category is OpCategory.MEM:
+                    breakdown.exec_mem_pj += exec_pj
+                else:
+                    breakdown.exec_alu_pj += exec_pj
+
+                rf_energy = self._rf_model.total_energy(item.rf_accesses)
+                breakdown.rf_pj += rf_energy.rf_pj
+                breakdown.crossbar_pj += rf_energy.crossbar_pj
+
+                breakdown.compression_pj += (
+                    item.compressor_ops * params.compressor_op_pj
+                    + item.decompressor_ops * params.decompressor_op_pj
+                )
+
+                # Front-end energy for the instruction plus any inserted
+                # decompress-move/spill instructions.
+                breakdown.fds_pj += (1 + item.extra_instructions) * (
+                    params.fds_per_instruction_pj
+                )
+                # Inserted moves also execute (full-width register move).
+                breakdown.exec_alu_pj += (
+                    item.extra_instructions
+                    * event.active_lane_count()
+                    * params.alu_lane_pj
+                )
+
+        counts = timing.memory_counts
+        breakdown.memory_pj += counts.l1_accesses * params.l1_access_pj
+        breakdown.memory_pj += counts.l2_accesses * params.l2_access_pj
+        breakdown.memory_pj += counts.dram_accesses * params.dram_access_pj
+        breakdown.memory_pj += counts.shared_accesses * params.shared_access_pj
+
+        static_w = params.sm_static_w + params.uncore_share_static_w
+        return PowerReport(
+            arch_name=self.arch.name,
+            cycles=timing.cycles,
+            instructions=timing.useful_instructions,
+            frequency_ghz=self.config.sm_frequency_ghz,
+            static_w=static_w,
+            breakdown=breakdown,
+        )

@@ -1,0 +1,109 @@
+"""Power reports: per-component energy, average power, IPC/W."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class EnergyBreakdown:
+    """Dynamic energy per component over one run, in picojoules."""
+
+    exec_alu_pj: float = 0.0
+    exec_sfu_pj: float = 0.0
+    exec_mem_pj: float = 0.0
+    rf_pj: float = 0.0
+    crossbar_pj: float = 0.0
+    compression_pj: float = 0.0
+    fds_pj: float = 0.0
+    memory_pj: float = 0.0
+
+    @property
+    def exec_pj(self) -> float:
+        return self.exec_alu_pj + self.exec_sfu_pj + self.exec_mem_pj
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.exec_pj
+            + self.rf_pj
+            + self.crossbar_pj
+            + self.compression_pj
+            + self.fds_pj
+            + self.memory_pj
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Each component's share of dynamic energy."""
+        total = self.total_pj
+        if total == 0:
+            return {}
+        return {
+            "exec": self.exec_pj / total,
+            "rf": self.rf_pj / total,
+            "crossbar": self.crossbar_pj / total,
+            "compression": self.compression_pj / total,
+            "fds": self.fds_pj / total,
+            "memory": self.memory_pj / total,
+        }
+
+
+@dataclass
+class PowerReport:
+    """Full power/performance outcome of one (benchmark, architecture) run.
+
+    All quantities are per-SM; the chip scales symmetrically by the SM
+    count, so every normalized figure is identical at chip scope.
+    """
+
+    arch_name: str
+    cycles: int
+    instructions: int
+    frequency_ghz: float
+    static_w: float
+    breakdown: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.instructions < 0:
+            raise ConfigError("cycles and instructions must be >= 0")
+        if self.frequency_ghz <= 0:
+            raise ConfigError("frequency must be positive")
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def runtime_s(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def dynamic_power_w(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.breakdown.total_pj * 1e-12 / self.runtime_s
+
+    @property
+    def total_power_w(self) -> float:
+        return self.dynamic_power_w + self.static_w
+
+    @property
+    def ipc_per_watt(self) -> float:
+        power = self.total_power_w
+        return self.ipc / power if power else 0.0
+
+    @property
+    def sfu_power_w(self) -> float:
+        """Average SFU power (used in the §5.3 BP discussion)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.breakdown.exec_sfu_pj * 1e-12 / self.runtime_s
+
+    @property
+    def rf_dynamic_power_w(self) -> float:
+        """Average register-file dynamic power (Figure 12's metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.breakdown.rf_pj * 1e-12 / self.runtime_s

@@ -1,0 +1,56 @@
+"""Register-file access records.
+
+The scalar tracker emits one :class:`RegisterAccess` per operand read
+and per destination write of every dynamic instruction; the power model
+turns them into energy using the layout math.  ``kind`` distinguishes
+the physically different access shapes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessKind(enum.Enum):
+    """Physical shape of one register-file access."""
+
+    FULL_READ = "full_read"  # all data arrays (uncompressed register)
+    FULL_WRITE = "full_write"
+    COMPRESSED_READ = "compressed_read"  # subset of arrays + sidecar
+    COMPRESSED_WRITE = "compressed_write"
+    SCALAR_READ = "scalar_read"  # BVR/EBR sidecar only
+    SCALAR_WRITE = "scalar_write"
+    PARTIAL_WRITE = "partial_write"  # divergent write, mask-dependent arrays
+    SCALAR_RF_READ = "scalar_rf_read"  # prior-work dedicated scalar RF
+    SCALAR_RF_WRITE = "scalar_rf_write"
+
+
+@dataclass(frozen=True)
+class RegisterAccess:
+    """One access: its shape plus everything energy depends on.
+
+    ``enc`` is the register's prefix length at access time (0 when not
+    applicable), ``active_mask`` the instruction's mask (used for
+    baseline partial writes), ``sidecar`` whether the BVR/EBR array was
+    also touched.
+    """
+
+    kind: AccessKind
+    register: int
+    enc: int = 0
+    enc_lo: int = 0
+    enc_hi: int = 0
+    half_compressed: bool = False
+    active_mask: int = 0
+    sidecar: bool = False
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (
+            AccessKind.FULL_WRITE,
+            AccessKind.COMPRESSED_WRITE,
+            AccessKind.SCALAR_WRITE,
+            AccessKind.PARTIAL_WRITE,
+            AccessKind.SCALAR_RF_WRITE,
+        )

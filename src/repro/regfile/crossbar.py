@@ -1,0 +1,56 @@
+"""Crossbar traffic model.
+
+The 16x16 crossbar between banks and operand collectors is adapted
+(Figure 4) so bytes travel in rotated order at no extra switch cost;
+the win is that prefix bytes of a compressed register are simply never
+sent (§3.2), shrinking crossbar switching energy proportionally to the
+bytes moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CrossbarTraffic:
+    """Bytes moved over the crossbar for one register access."""
+
+    data_bytes: int
+    base_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.base_bytes
+
+
+def traffic_for_access(
+    enc: int,
+    warp_size: int,
+    divergent_register: bool = False,
+    compression_enabled: bool = True,
+) -> CrossbarTraffic:
+    """Crossbar bytes for reading/writing one vector register.
+
+    ``enc`` is the register's prefix length; divergent-written registers
+    travel uncompressed.  The base value travels from the BVR straight
+    to the decompressor at the operand collector, bypassing the wide
+    data crossbar, so only non-prefix data bytes plus the (at most
+    4-byte) base count.
+    """
+    if not 0 <= enc <= 4:
+        raise ConfigError(f"enc must be 0..4, got {enc}")
+    if warp_size < 1:
+        raise ConfigError(f"warp_size must be >= 1, got {warp_size}")
+    if not compression_enabled or divergent_register:
+        return CrossbarTraffic(data_bytes=warp_size * 4, base_bytes=0)
+    return CrossbarTraffic(data_bytes=(4 - enc) * warp_size, base_bytes=enc)
+
+
+def scalar_read_traffic(warp_size: int) -> CrossbarTraffic:
+    """A scalar operand moves only its 4-byte base value."""
+    if warp_size < 1:
+        raise ConfigError(f"warp_size must be >= 1, got {warp_size}")
+    return CrossbarTraffic(data_bytes=0, base_bytes=4)

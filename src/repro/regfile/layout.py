@@ -1,0 +1,124 @@
+"""Register-file bank layouts and arrays-activated arithmetic.
+
+A bank holds 64 vector registers in eight 64x128-bit single-port SRAM
+arrays (the memory-compiler result quoted in §3.2/§5.1).  Two layouts
+matter:
+
+* **Baseline (word-interleaved)**: array ``i`` holds the 4-byte words of
+  lanes ``4i .. 4i+3``.  Any full-register access activates all eight
+  arrays; a divergent partial *write* activates only the arrays covering
+  active lanes.
+
+* **Byte-rotated** (Figure 3): array ``(i, h)`` holds byte ``i`` of the
+  16 lanes in half ``h``.  Reading an ``n``-byte-compressed register
+  activates only the ``2*(4-n)`` arrays holding non-prefix bytes, plus
+  the small BVR/EBR sidecar array whose access costs 5.2% of a full
+  1024-bit access (§5.1).  A divergent partial write must touch all
+  eight arrays because every lane's bytes are scattered across all byte
+  positions (§3.3, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Energy of one BVR/EBR/D/FS sidecar access relative to a full
+#: 1024-bit vector-register access (synthesized 64x38-bit array, §5.1).
+SIDECAR_ENERGY_FRACTION = 0.052
+
+
+@dataclass(frozen=True)
+class BankGeometry:
+    """Physical shape of one register-file bank."""
+
+    warp_size: int = 32
+    arrays_per_bank: int = 8
+    array_bits: int = 128
+
+    def __post_init__(self) -> None:
+        if self.warp_size * 32 != self.arrays_per_bank * self.array_bits:
+            raise ConfigError(
+                f"bank geometry inconsistent: {self.warp_size} lanes x 32 bits "
+                f"!= {self.arrays_per_bank} arrays x {self.array_bits} bits"
+            )
+
+    @property
+    def lanes_per_array(self) -> int:
+        """Lanes whose byte[i] one array holds under byte rotation."""
+        return self.array_bits // 8
+
+    @property
+    def arrays_per_byte_position(self) -> int:
+        """Independently-activated arrays per byte position (2 for Fermi)."""
+        return self.warp_size // self.lanes_per_array
+
+    @property
+    def lanes_per_word_array(self) -> int:
+        """Lanes whose whole words one array holds under the baseline layout."""
+        return self.array_bits // 32
+
+
+class ByteRotatedLayout:
+    """Arrays-activated math for the compressed register file."""
+
+    def __init__(self, geometry: BankGeometry | None = None):
+        self.geometry = geometry or BankGeometry()
+
+    def arrays_for_full_access(self) -> int:
+        """Uncompressed read or write touches every data array."""
+        return self.geometry.arrays_per_bank
+
+    def arrays_for_compressed_access(self, enc: int) -> int:
+        """Data arrays for a register with an ``enc``-byte common prefix."""
+        if not 0 <= enc <= 4:
+            raise ConfigError(f"enc must be 0..4, got {enc}")
+        return (4 - enc) * self.geometry.arrays_per_byte_position
+
+    def arrays_for_half_compressed_access(self, enc_lo: int, enc_hi: int) -> int:
+        """Data arrays with each half compressed independently."""
+        for name, enc in (("enc_lo", enc_lo), ("enc_hi", enc_hi)):
+            if not 0 <= enc <= 4:
+                raise ConfigError(f"{name} must be 0..4, got {enc}")
+        per_half = self.geometry.arrays_per_byte_position // 2
+        if per_half < 1:
+            raise ConfigError(
+                "half-register compression needs >= 2 arrays per byte position"
+            )
+        return (4 - enc_lo) * per_half + (4 - enc_hi) * per_half
+
+    def arrays_for_divergent_write(self) -> int:
+        """Partial write under byte rotation touches all data arrays."""
+        return self.geometry.arrays_per_bank
+
+    def data_bytes_moved(self, enc: int) -> int:
+        """Bytes crossing the array I/O for one compressed access."""
+        return (4 - enc) * self.geometry.warp_size
+
+
+class BaselineLayout:
+    """Arrays-activated math for the unmodified word-interleaved bank."""
+
+    def __init__(self, geometry: BankGeometry | None = None):
+        self.geometry = geometry or BankGeometry()
+
+    def arrays_for_full_access(self) -> int:
+        return self.geometry.arrays_per_bank
+
+    def arrays_for_partial_write(self, active_mask: int) -> int:
+        """Arrays containing at least one active lane's word."""
+        lanes_per_array = self.geometry.lanes_per_word_array
+        activated = 0
+        for array_index in range(self.geometry.arrays_per_bank):
+            low = array_index * lanes_per_array
+            group_mask = ((1 << lanes_per_array) - 1) << low
+            if active_mask & group_mask:
+                activated += 1
+        return activated
+
+    def data_bytes_moved(self, active_mask: int | None = None) -> int:
+        """Bytes moved: all lanes for reads, active lanes for writes."""
+        if active_mask is None:
+            return self.geometry.warp_size * 4
+        return bin(active_mask).count("1") * 4

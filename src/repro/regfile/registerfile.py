@@ -1,0 +1,125 @@
+"""The full SM register file: 16 byte-rotated banks plus allocation.
+
+Wraps :class:`~repro.regfile.bank.RegisterBank` into the structure
+Table 1 describes — 1024 vector registers across 16 banks — with the
+standard interleaved mapping (architectural register *r* of warp *w*
+lives in bank ``(r + w) % banks``, spreading each warp's working set so
+concurrent warps rarely collide on one bank).  The structural model is
+exercised by tests and available to users studying bank layouts; the
+trace-driven pipeline uses the cheaper arrays-activated arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.regfile.bank import AccessRecord, RegisterBank
+from repro.regfile.layout import BankGeometry
+
+
+@dataclass(frozen=True)
+class RegisterLocation:
+    """Physical placement of one architectural register."""
+
+    bank: int
+    row: int
+
+
+class RegisterFile:
+    """A banked register file with per-warp register allocation."""
+
+    def __init__(
+        self,
+        num_banks: int = 16,
+        registers_per_bank: int = 64,
+        registers_per_warp: int = 16,
+        geometry: BankGeometry | None = None,
+    ):
+        if num_banks < 1 or registers_per_bank < 1:
+            raise ConfigError("bank counts must be positive")
+        if registers_per_warp < 1:
+            raise ConfigError("registers_per_warp must be positive")
+        self.num_banks = num_banks
+        self.registers_per_bank = registers_per_bank
+        self.registers_per_warp = registers_per_warp
+        self.geometry = geometry or BankGeometry()
+        self._banks = [
+            RegisterBank(registers_per_bank, self.geometry) for _ in range(num_banks)
+        ]
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_registers(self) -> int:
+        """Total vector registers (1024 for the Table 1 machine)."""
+        return self.num_banks * self.registers_per_bank
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Warps whose register segments fit simultaneously."""
+        return self.capacity_registers // self.registers_per_warp
+
+    def locate(self, warp: int, register: int) -> RegisterLocation:
+        """Physical placement of warp-local architectural register."""
+        if register >= self.registers_per_warp:
+            raise ConfigError(
+                f"register r{register} exceeds the per-warp allocation of "
+                f"{self.registers_per_warp}"
+            )
+        if warp >= self.max_resident_warps:
+            raise ConfigError(
+                f"warp {warp} exceeds residency ({self.max_resident_warps} warps)"
+            )
+        linear = warp * self.registers_per_warp + register
+        # Interleave by (register + warp) so consecutive registers of a
+        # warp land in different banks and co-resident warps are offset.
+        bank = (register + warp) % self.num_banks
+        row = linear // self.num_banks
+        if row >= self.registers_per_bank:
+            raise ConfigError("register file capacity exceeded")
+        return RegisterLocation(bank=bank, row=row)
+
+    # ------------------------------------------------------------------
+    def write(self, warp: int, register: int, values: np.ndarray) -> AccessRecord:
+        """Full (compressing) write of one warp register."""
+        location = self.locate(warp, register)
+        self.writes += 1
+        return self._banks[location.bank].write_compressed(location.row, values)
+
+    def write_divergent(
+        self, warp: int, register: int, values: np.ndarray, mask: np.ndarray
+    ) -> AccessRecord:
+        """Divergent partial write (destination must be uncompressed)."""
+        location = self.locate(warp, register)
+        self.writes += 1
+        return self._banks[location.bank].write_divergent(location.row, values, mask)
+
+    def decompress_in_place(self, warp: int, register: int) -> AccessRecord:
+        """The §3.3 special move, at file scope."""
+        location = self.locate(warp, register)
+        return self._banks[location.bank].decompress_in_place(location.row)
+
+    def read(self, warp: int, register: int) -> tuple[np.ndarray, AccessRecord]:
+        """Read one warp register (decompressing as needed)."""
+        location = self.locate(warp, register)
+        self.reads += 1
+        return self._banks[location.bank].read(location.row)
+
+    def is_scalar(self, warp: int, register: int) -> bool:
+        location = self.locate(warp, register)
+        return self._banks[location.bank].is_scalar(location.row)
+
+    def bank_conflicts(self, accesses: list[tuple[int, int]]) -> int:
+        """Conflicts among concurrent (warp, register) accesses.
+
+        Returns the number of accesses beyond the first to each bank —
+        the extra cycles a single-ported bank needs.
+        """
+        per_bank: dict[int, int] = {}
+        for warp, register in accesses:
+            bank = self.locate(warp, register).bank
+            per_bank[bank] = per_bank.get(bank, 0) + 1
+        return sum(count - 1 for count in per_bank.values() if count > 1)

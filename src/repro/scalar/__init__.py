@@ -1,0 +1,53 @@
+"""Scalar-eligibility classification, sidecar tracking, architecture views."""
+
+from repro.scalar.architectures import (
+    ArchitectureView,
+    ProcessedEvent,
+    ProcessedStatistics,
+    process_classified,
+    process_trace,
+    processed_statistics,
+)
+from repro.scalar.compiler import (
+    MoveElisionAnalysis,
+    StaticScalarization,
+    ValueKind,
+)
+from repro.scalar.eligibility import (
+    ScalarClass,
+    SourceRead,
+    classify_instruction,
+    classify_source_read,
+)
+from repro.scalar.tracker import (
+    HALF_GRANULARITY,
+    ClassifiedEvent,
+    RegisterStateTracker,
+    TrackerStatistics,
+    classify_trace,
+    classify_warp,
+    trace_statistics,
+)
+
+__all__ = [
+    "HALF_GRANULARITY",
+    "ArchitectureView",
+    "ClassifiedEvent",
+    "MoveElisionAnalysis",
+    "ProcessedEvent",
+    "ProcessedStatistics",
+    "RegisterStateTracker",
+    "ScalarClass",
+    "StaticScalarization",
+    "SourceRead",
+    "TrackerStatistics",
+    "ValueKind",
+    "classify_instruction",
+    "classify_source_read",
+    "classify_trace",
+    "classify_warp",
+    "process_classified",
+    "process_trace",
+    "processed_statistics",
+    "trace_statistics",
+]

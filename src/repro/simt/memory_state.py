@@ -1,0 +1,110 @@
+"""Functional memory for the trace-driven executor.
+
+:class:`MemoryImage` models a flat, word-addressed (4-byte) address
+space backed by lazily-allocated pages of uint32.  Workloads bind numpy
+arrays at base addresses before launch and read results back after;
+loads and stores take per-lane byte addresses and a lane mask.
+
+Unwritten memory reads as zero by default (``strict=False``) or raises
+(``strict=True``) — strict mode is useful in tests to catch address
+bugs in workload kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+_PAGE_WORDS = 1 << 14  # 64 KB pages
+
+
+class MemoryImage:
+    """A sparse 32-bit word-addressable functional memory."""
+
+    def __init__(self, strict: bool = False):
+        self._pages: dict[int, np.ndarray] = {}
+        self._strict = strict
+
+    def _page_for(self, page_index: int, create: bool) -> np.ndarray | None:
+        page = self._pages.get(page_index)
+        if page is None and create:
+            page = np.zeros(_PAGE_WORDS, dtype=np.uint32)
+            self._pages[page_index] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Array binding (workload setup / teardown).
+    # ------------------------------------------------------------------
+    def bind_array(self, base_addr: int, values: np.ndarray) -> None:
+        """Copy a 1-D array of 32-bit values to ``base_addr`` (bytes).
+
+        Float arrays are stored as their IEEE-754 bit patterns.
+        """
+        if base_addr % 4 != 0:
+            raise MemoryError_(f"base address {base_addr:#x} is not word-aligned")
+        flat = np.ascontiguousarray(values).reshape(-1)
+        if flat.dtype == np.float32:
+            words = flat.view(np.uint32)
+        elif flat.dtype in (np.uint32, np.int32):
+            words = flat.astype(np.uint32, copy=False).view(np.uint32)
+        else:
+            raise MemoryError_(f"cannot bind array of dtype {flat.dtype}")
+        word_addr = base_addr // 4
+        for offset, value in enumerate(words):
+            self._store_word(word_addr + offset, int(value))
+
+    def read_array(self, base_addr: int, count: int, dtype: type = np.uint32) -> np.ndarray:
+        """Read ``count`` consecutive words starting at ``base_addr``."""
+        if base_addr % 4 != 0:
+            raise MemoryError_(f"base address {base_addr:#x} is not word-aligned")
+        word_addr = base_addr // 4
+        out = np.empty(count, dtype=np.uint32)
+        for offset in range(count):
+            out[offset] = self._load_word(word_addr + offset)
+        if dtype == np.float32:
+            return out.view(np.float32)
+        return out.astype(dtype)
+
+    # ------------------------------------------------------------------
+    # Word-level access used by the executor.
+    # ------------------------------------------------------------------
+    def _store_word(self, word_addr: int, value: int) -> None:
+        page = self._page_for(word_addr // _PAGE_WORDS, create=True)
+        assert page is not None
+        page[word_addr % _PAGE_WORDS] = value
+
+    def _load_word(self, word_addr: int) -> int:
+        page = self._page_for(word_addr // _PAGE_WORDS, create=False)
+        if page is None:
+            if self._strict:
+                raise MemoryError_(f"read of unmapped word address {word_addr * 4:#x}")
+            return 0
+        return int(page[word_addr % _PAGE_WORDS])
+
+    # ------------------------------------------------------------------
+    # Warp-wide vector access.
+    # ------------------------------------------------------------------
+    def load(self, byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather one word per active lane; inactive lanes return zero."""
+        values = np.zeros(byte_addrs.shape[0], dtype=np.uint32)
+        word_addrs = byte_addrs >> 2
+        for lane in np.flatnonzero(mask):
+            values[lane] = self._load_word(int(word_addrs[lane]))
+        return values
+
+    def store(self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+        """Scatter one word per active lane.
+
+        Lanes are written in ascending lane order, so intra-warp address
+        collisions resolve to the highest-numbered lane, matching the
+        "one of the colliding writes wins" guarantee of real hardware.
+        """
+        word_addrs = byte_addrs >> 2
+        for lane in np.flatnonzero(mask):
+            self._store_word(int(word_addrs[lane]), int(values[lane]))
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes of backing store currently allocated."""
+        return len(self._pages) * _PAGE_WORDS * 4

@@ -1,0 +1,83 @@
+"""Functional semantics of the special-function unit (SFU).
+
+These implement the PTX ``.approx`` transcendentals on IEEE-754
+binary32 values.  All functions map a uint32 bit-pattern array to a
+uint32 bit-pattern array, computing in float32 throughout so results
+match what a 32-bit SFU would produce bit-for-bit up to rounding mode.
+Division by zero and domain errors follow IEEE rules (inf/nan) rather
+than raising, like the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.opcodes import Opcode
+
+
+def _as_f32(bits: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(bits, dtype=np.uint32).view(np.float32)
+
+
+def _as_u32(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+
+
+def sfu_sin(bits: np.ndarray) -> np.ndarray:
+    """``sin.approx.f32``"""
+    with np.errstate(all="ignore"):
+        return _as_u32(np.sin(_as_f32(bits), dtype=np.float32))
+
+
+def sfu_cos(bits: np.ndarray) -> np.ndarray:
+    """``cos.approx.f32``"""
+    with np.errstate(all="ignore"):
+        return _as_u32(np.cos(_as_f32(bits), dtype=np.float32))
+
+
+def sfu_ex2(bits: np.ndarray) -> np.ndarray:
+    """``ex2.approx.f32`` — 2**x."""
+    with np.errstate(all="ignore"):
+        return _as_u32(np.exp2(_as_f32(bits), dtype=np.float32))
+
+
+def sfu_lg2(bits: np.ndarray) -> np.ndarray:
+    """``lg2.approx.f32`` — log2(x); -inf at 0, nan below."""
+    with np.errstate(all="ignore"):
+        return _as_u32(np.log2(_as_f32(bits), dtype=np.float32))
+
+
+def sfu_rsqrt(bits: np.ndarray) -> np.ndarray:
+    """``rsqrt.approx.f32`` — 1/sqrt(x)."""
+    with np.errstate(all="ignore"):
+        values = _as_f32(bits)
+        return _as_u32(np.float32(1.0) / np.sqrt(values, dtype=np.float32))
+
+
+def sfu_rcp(bits: np.ndarray) -> np.ndarray:
+    """``rcp.approx.f32`` — 1/x; inf at 0."""
+    with np.errstate(all="ignore"):
+        return _as_u32(np.float32(1.0) / _as_f32(bits))
+
+
+def sfu_sqrt(bits: np.ndarray) -> np.ndarray:
+    """``sqrt.approx.f32``."""
+    with np.errstate(all="ignore"):
+        return _as_u32(np.sqrt(_as_f32(bits), dtype=np.float32))
+
+
+def sfu_fdiv(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+    """``div.approx.f32`` — a/b; executes on the SFU pipeline."""
+    with np.errstate(all="ignore"):
+        return _as_u32(_as_f32(a_bits) / _as_f32(b_bits))
+
+
+UNARY_SFU = {
+    Opcode.SIN: sfu_sin,
+    Opcode.COS: sfu_cos,
+    Opcode.EX2: sfu_ex2,
+    Opcode.LG2: sfu_lg2,
+    Opcode.RSQRT: sfu_rsqrt,
+    Opcode.RCP: sfu_rcp,
+    Opcode.SQRT: sfu_sqrt,
+}

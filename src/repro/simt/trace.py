@@ -1,0 +1,109 @@
+"""Dynamic-trace containers produced by the functional executor.
+
+A :class:`TraceEvent` is one dynamic instruction executed by one warp:
+opcode, register numbers, the active mask it ran under, and — for
+instructions that write a register — a snapshot of the destination
+register's full contents *after* the write.  That snapshot is what the
+compression / scalar-eligibility machinery consumes, so a trace is
+self-contained: no re-execution is ever needed downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa.opcodes import OpCategory, Opcode, category_of
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One dynamic instruction from one warp.
+
+    ``dst_values`` is the destination register's full warp-wide contents
+    after the write (``None`` for stores and branches).  ``active_mask``
+    is an integer bitmask, lane 0 in bit 0.  ``varying_special_src`` is
+    True when a non-register source varies per lane (``%tid``/``%lane``),
+    which disqualifies the operand from being scalar.
+    """
+
+    opcode: Opcode
+    dst: int | None
+    src_regs: tuple[int, ...]
+    active_mask: int
+    block_id: int
+    dst_values: np.ndarray | None = None
+    addresses: np.ndarray | None = None
+    varying_special_src: bool = False
+    scalar_nonreg_srcs: int = 0
+
+    @property
+    def category(self) -> OpCategory:
+        return category_of(self.opcode)
+
+    def is_divergent(self, warp_size: int) -> bool:
+        """True when the event ran under a non-full active mask."""
+        return self.active_mask != (1 << warp_size) - 1
+
+    def active_lane_count(self) -> int:
+        return bin(self.active_mask).count("1")
+
+
+@dataclass
+class WarpTrace:
+    """All events of one warp, in program order."""
+
+    warp_id: int
+    warp_size: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def append(self, event: TraceEvent) -> None:
+        if event.active_mask >> self.warp_size:
+            raise TraceError(
+                f"event mask {event.active_mask:#x} wider than warp size "
+                f"{self.warp_size}"
+            )
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+@dataclass
+class KernelTrace:
+    """The full dynamic trace of one kernel launch."""
+
+    kernel_name: str
+    warp_size: int
+    warps: list[WarpTrace] = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(w) for w in self.warps)
+
+    def all_events(self):
+        """Iterate events warp-major (warp 0's stream, then warp 1's...)."""
+        for warp in self.warps:
+            yield from warp.events
+
+    def category_histogram(self) -> dict[OpCategory, int]:
+        """Dynamic instruction count per pipeline category."""
+        histogram: dict[OpCategory, int] = {c: 0 for c in OpCategory}
+        for event in self.all_events():
+            histogram[event.category] += 1
+        return histogram
+
+    def divergent_fraction(self) -> float:
+        """Fraction of dynamic instructions with a non-full active mask."""
+        total = self.total_instructions
+        if total == 0:
+            return 0.0
+        divergent = sum(
+            1 for e in self.all_events() if e.is_divergent(self.warp_size)
+        )
+        return divergent / total

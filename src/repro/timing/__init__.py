@@ -1,0 +1,45 @@
+"""Cycle-level SM timing model."""
+
+from repro.timing.gpu import lower_to_timing_ops, simulate_architecture
+from repro.timing.multisim import GpuTimingResult, simulate_gpu
+from repro.timing.memory import (
+    MemoryAccessCounts,
+    MemoryModel,
+    SetAssociativeCache,
+)
+from repro.timing.ops import SCALAR_RF_BANK, TimingOp, build_timing_ops, coalesce_addresses
+from repro.timing.scheduler import WarpScheduler, partition_warps
+from repro.timing.scoreboard import Scoreboard
+from repro.timing.sm import (
+    ALU_LATENCY,
+    CTRL_LATENCY,
+    LONG_ALU_LATENCY,
+    SFU_LATENCY,
+    SmSimulator,
+    StallBreakdown,
+    TimingResult,
+)
+
+__all__ = [
+    "ALU_LATENCY",
+    "CTRL_LATENCY",
+    "LONG_ALU_LATENCY",
+    "SCALAR_RF_BANK",
+    "SFU_LATENCY",
+    "GpuTimingResult",
+    "MemoryAccessCounts",
+    "MemoryModel",
+    "Scoreboard",
+    "SetAssociativeCache",
+    "SmSimulator",
+    "StallBreakdown",
+    "TimingOp",
+    "TimingResult",
+    "WarpScheduler",
+    "build_timing_ops",
+    "coalesce_addresses",
+    "lower_to_timing_ops",
+    "partition_warps",
+    "simulate_architecture",
+    "simulate_gpu",
+]

@@ -1,0 +1,51 @@
+"""End-to-end timing convenience layer.
+
+The evaluation simulates one SM's worth of warps (the paper's per-SM
+statistics scale symmetrically to 15 SMs since the proxies are
+homogeneous across CTAs).  :func:`simulate_architecture` lowers a
+processed trace to timing ops and runs the SM model with the
+architecture's extra pipeline latency.
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchitectureConfig, GpuConfig
+from repro.scalar.architectures import ProcessedEvent
+from repro.timing.ops import TimingOp, build_timing_ops
+from repro.timing.sm import SmSimulator, TimingResult
+
+
+def lower_to_timing_ops(
+    processed: list[list[ProcessedEvent]],
+    arch: ArchitectureConfig,
+    config: GpuConfig,
+    warp_size: int,
+) -> list[list[TimingOp]]:
+    """Lower every warp's processed events to timing ops."""
+    return [
+        build_timing_ops(warp_events, arch, config, warp_size)
+        for warp_events in processed
+    ]
+
+
+def simulate_architecture(
+    processed: list[list[ProcessedEvent]],
+    arch: ArchitectureConfig,
+    config: GpuConfig | None = None,
+    warp_size: int = 32,
+    warps_per_cta: int | None = None,
+) -> TimingResult:
+    """Run the SM timing model for one architecture's processed trace.
+
+    ``warps_per_cta`` enables CTA-barrier coordination for kernels that
+    use ``bar.sync``; without it each warp is treated as its own CTA.
+    """
+    config = config or GpuConfig()
+    warp_ops = lower_to_timing_ops(processed, arch, config, warp_size)
+    simulator = SmSimulator(
+        warp_ops,
+        config,
+        extra_latency=arch.extra_pipeline_cycles,
+        warps_per_cta=warps_per_cta,
+    )
+    return simulator.run()

@@ -1,0 +1,124 @@
+"""Memory hierarchy latency model: L1 per SM, shared L2, DRAM.
+
+A deliberately first-order model: set-associative LRU caches accessed
+at 128-byte segment granularity after coalescing, fixed hit/miss
+latencies, and access counters the power model consumes.  Absolute
+latencies approximate Fermi measurements; the figures only depend on
+their relative magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 128-byte segments."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 128, ways: int = 4):
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ConfigError("cache parameters must be positive")
+        num_lines = size_bytes // line_bytes
+        if num_lines < ways:
+            raise ConfigError(
+                f"cache of {size_bytes} B with {line_bytes} B lines cannot "
+                f"support {ways} ways"
+            )
+        self.num_sets = max(1, num_lines // ways)
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, segment: int) -> bool:
+        """Access one segment (already line-granular); True on hit."""
+        index = segment % self.num_sets
+        ways = self._sets[index]
+        if segment in ways:
+            ways.remove(segment)
+            ways.append(segment)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(segment)
+        if len(ways) > self.ways:
+            ways.pop(0)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class MemoryAccessCounts:
+    """Access counters handed to the power model."""
+
+    l1_accesses: int = 0
+    l2_accesses: int = 0
+    dram_accesses: int = 0
+    shared_accesses: int = 0
+
+
+@dataclass
+class MemoryModel:
+    """Latency + counters for one SM's view of the memory system."""
+
+    l1_size_bytes: int = 16 * 1024
+    l2_share_bytes: int = 768 * 1024 // 15
+    l1_hit_latency: int = 28
+    l2_hit_latency: int = 190
+    dram_latency: int = 420
+    shared_latency: int = 24
+    counts: MemoryAccessCounts = field(default_factory=MemoryAccessCounts)
+
+    def __post_init__(self) -> None:
+        self._l1 = SetAssociativeCache(self.l1_size_bytes, ways=4)
+        self._l2 = SetAssociativeCache(self.l2_share_bytes, ways=8)
+
+    def access_shared(self) -> int:
+        """Shared-memory access: fixed low latency."""
+        self.counts.shared_accesses += 1
+        return self.shared_latency
+
+    def access_global(self, segments: tuple[int, ...], is_store: bool) -> int:
+        """Access coalesced global segments; returns completion latency.
+
+        The warp's load completes when its slowest segment returns.
+        Stores are write-through/no-allocate here: they retire at L1
+        latency but still produce downstream traffic for power.
+        """
+        if not segments:
+            return self.l1_hit_latency
+        worst = 0
+        for segment in segments:
+            self.counts.l1_accesses += 1
+            if is_store:
+                self.counts.l2_accesses += 1
+                latency = self.l1_hit_latency
+                self._l1.access(segment)
+            elif self._l1.access(segment):
+                latency = self.l1_hit_latency
+            else:
+                self.counts.l2_accesses += 1
+                if self._l2.access(segment):
+                    latency = self.l2_hit_latency
+                else:
+                    self.counts.dram_accesses += 1
+                    latency = self.dram_latency
+            worst = max(worst, latency)
+        return worst
+
+    @property
+    def l1(self) -> SetAssociativeCache:
+        return self._l1
+
+    @property
+    def l2(self) -> SetAssociativeCache:
+        return self._l2

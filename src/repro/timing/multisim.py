@@ -1,0 +1,105 @@
+"""Multi-SM GPU timing: distribute CTAs across SMs and aggregate.
+
+The figures simulate one SM (the proxies are homogeneous, so per-SM
+statistics scale symmetrically — see DESIGN.md).  :func:`simulate_gpu`
+models the full chip anyway for launches bigger than one SM's
+residency: CTAs are assigned round-robin to ``num_sms`` SM instances,
+each with its own L1 and its share of the L2, and the kernel finishes
+when the slowest SM drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import ArchitectureConfig, GpuConfig
+from repro.errors import TimingError
+from repro.scalar.architectures import ProcessedEvent
+from repro.timing.gpu import lower_to_timing_ops
+from repro.timing.memory import MemoryAccessCounts
+from repro.timing.sm import SmSimulator, TimingResult
+
+
+@dataclass
+class GpuTimingResult:
+    """Aggregated outcome of a multi-SM simulation."""
+
+    per_sm: list[TimingResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        """Kernel runtime: the slowest SM's cycle count."""
+        return max((r.cycles for r in self.per_sm), default=0)
+
+    @property
+    def instructions(self) -> int:
+        return sum(r.instructions for r in self.per_sm)
+
+    @property
+    def useful_instructions(self) -> int:
+        return sum(r.useful_instructions for r in self.per_sm)
+
+    @property
+    def ipc(self) -> float:
+        """Chip-level IPC over useful instructions."""
+        cycles = self.cycles
+        return self.useful_instructions / cycles if cycles else 0.0
+
+    @property
+    def memory_counts(self) -> MemoryAccessCounts:
+        total = MemoryAccessCounts()
+        for result in self.per_sm:
+            counts = result.memory_counts
+            total.l1_accesses += counts.l1_accesses
+            total.l2_accesses += counts.l2_accesses
+            total.dram_accesses += counts.dram_accesses
+            total.shared_accesses += counts.shared_accesses
+        return total
+
+    def load_imbalance(self) -> float:
+        """Slowest-to-mean cycle ratio (1.0 = perfectly balanced)."""
+        busy = [r.cycles for r in self.per_sm if r.cycles]
+        if not busy:
+            return 1.0
+        return max(busy) / (sum(busy) / len(busy))
+
+
+def simulate_gpu(
+    processed: list[list[ProcessedEvent]],
+    arch: ArchitectureConfig,
+    config: GpuConfig | None = None,
+    warp_size: int = 32,
+    warps_per_cta: int = 1,
+    num_sms: int | None = None,
+) -> GpuTimingResult:
+    """Simulate a launch across the whole chip.
+
+    Warps are grouped into CTAs of ``warps_per_cta`` and CTAs assigned
+    round-robin to SMs, matching the GigaThread engine's first-order
+    behaviour for homogeneous CTAs.
+    """
+    config = config or GpuConfig()
+    sms = num_sms if num_sms is not None else config.num_sms
+    if sms < 1:
+        raise TimingError(f"num_sms must be >= 1, got {sms}")
+    if warps_per_cta < 1:
+        raise TimingError(f"warps_per_cta must be >= 1, got {warps_per_cta}")
+    warp_ops = lower_to_timing_ops(processed, arch, config, warp_size)
+    num_ctas = (len(warp_ops) + warps_per_cta - 1) // warps_per_cta
+
+    per_sm_ops: list[list[list]] = [[] for _ in range(sms)]
+    for cta in range(num_ctas):
+        sm_index = cta % sms
+        start = cta * warps_per_cta
+        per_sm_ops[sm_index].extend(warp_ops[start : start + warps_per_cta])
+
+    results = []
+    for ops in per_sm_ops:
+        simulator = SmSimulator(
+            ops,
+            config,
+            extra_latency=arch.extra_pipeline_cycles,
+            warps_per_cta=warps_per_cta,
+        )
+        results.append(simulator.run())
+    return GpuTimingResult(per_sm=results)

@@ -1,0 +1,180 @@
+"""Timing-level operations derived from processed trace events.
+
+The cycle-level SM model does not care about operand *values* — only
+about categories, register numbers (for banks and the scoreboard),
+dispatch occupancy and memory coalescing.  :func:`build_timing_ops`
+lowers one warp's :class:`~repro.scalar.architectures.ProcessedEvent`
+stream into :class:`TimingOp` records, inserting the extra
+decompress-move / scalar-RF-spill instructions the architecture view
+requested and applying the scalar-execution dispatch savings
+(a scalar SFU instruction dispatches in 1 cycle instead of 8 — §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ArchitectureConfig, GpuConfig
+from repro.isa.opcodes import LONG_LATENCY_ALU, OpCategory, Opcode, is_store
+from repro.scalar.architectures import ProcessedEvent
+from repro.simt.grid import int_to_mask
+
+#: Pseudo bank id for the prior-work single-bank scalar register file.
+SCALAR_RF_BANK = -1
+
+
+@dataclass(frozen=True)
+class TimingOp:
+    """One instruction as the timing model sees it.
+
+    ``src_regs`` feeds the scoreboard; ``src_banks`` (same order, plus
+    possibly :data:`SCALAR_RF_BANK`) feeds operand-collector bank
+    arbitration.
+    """
+
+    category: OpCategory
+    dst: int | None
+    src_regs: tuple[int, ...]
+    src_banks: tuple[int, ...]
+    dispatch_cycles: int
+    long_latency: bool
+    is_store: bool
+    mem_segments: tuple[int, ...] = field(default_factory=tuple)
+    is_shared_mem: bool = False
+    #: True for decompress-moves / scalar-RF spills the architecture
+    #: inserted; they consume cycles and energy but are not counted as
+    #: useful work when computing IPC.
+    inserted: bool = False
+    #: True for ``bar.sync``: the warp stalls at issue until every
+    #: unfinished warp of its CTA arrives.
+    is_barrier: bool = False
+
+
+def _bank_of(register: int, config: GpuConfig) -> int:
+    return register % config.register_file_banks
+
+
+def coalesce_addresses(
+    addresses: np.ndarray, active_mask: int, warp_size: int, segment_bytes: int = 128
+) -> tuple[int, ...]:
+    """Unique memory segments touched by the active lanes of one access."""
+    mask = int_to_mask(active_mask, warp_size)
+    active = addresses[mask]
+    if active.size == 0:
+        return ()
+    segments = np.unique(active // segment_bytes)
+    return tuple(int(s) for s in segments)
+
+
+def _dispatch_cycles(
+    item: ProcessedEvent, arch: ArchitectureConfig, config: GpuConfig
+) -> int:
+    """Cycles an instruction occupies its pipeline's dispatch port.
+
+    With ``arch.scalar_fast_dispatch`` a scalar-executed instruction
+    needs a single dispatch cycle (§6's "as low as only one cycle");
+    the paper's evaluated configurations keep the normal occupancy and
+    take only the energy benefit of clock-gated lanes.
+    """
+    category = item.classified.category
+    if category is OpCategory.CTRL:
+        return 1
+    if arch.scalar_fast_dispatch:
+        if item.scalar_executed:
+            return 1
+        if item.lo_half_scalar and item.hi_half_scalar:
+            return 1  # two scalar halves co-issue on one SIMT pass
+    if category is OpCategory.SFU:
+        return config.sfu_dispatch_cycles
+    return config.alu_dispatch_cycles
+
+
+def build_timing_ops(
+    warp_events: list[ProcessedEvent],
+    arch: ArchitectureConfig,
+    config: GpuConfig,
+    warp_size: int,
+) -> list[TimingOp]:
+    """Lower one warp's processed events to timing ops, in order."""
+    ops: list[TimingOp] = []
+    for item in warp_events:
+        event = item.classified.event
+        category = event.category
+
+        # Extra inserted instructions (decompress moves / scalar-RF
+        # spills) execute as full-width ALU-pipe moves *before* the
+        # triggering instruction.
+        for _ in range(item.extra_instructions):
+            move_regs = (event.dst,) if event.dst is not None else ()
+            ops.append(
+                TimingOp(
+                    category=OpCategory.ALU,
+                    dst=event.dst,
+                    src_regs=move_regs,
+                    src_banks=tuple(_bank_of(r, config) for r in move_regs),
+                    dispatch_cycles=config.alu_dispatch_cycles,
+                    long_latency=False,
+                    is_store=False,
+                    inserted=True,
+                )
+            )
+
+        if event.opcode is Opcode.BAR:
+            ops.append(
+                TimingOp(
+                    category=OpCategory.CTRL,
+                    dst=None,
+                    src_regs=(),
+                    src_banks=(),
+                    dispatch_cycles=1,
+                    long_latency=False,
+                    is_store=False,
+                    is_barrier=True,
+                )
+            )
+            continue
+
+        src_regs = []
+        src_banks = []
+        for access in item.rf_accesses:
+            if access.is_write:
+                continue
+            src_regs.append(access.register)
+            if access.kind.value == "scalar_rf_read":
+                src_banks.append(SCALAR_RF_BANK)
+            else:
+                src_banks.append(_bank_of(access.register, config))
+
+        segments: tuple[int, ...] = ()
+        shared = False
+        if category is OpCategory.MEM and event.addresses is not None:
+            shared = event.opcode.value.endswith(".shared")
+            if item.scalar_executed:
+                # All lanes hit one address; a single segment suffices.
+                first = int(event.addresses[0]) // 128
+                segments = (first,)
+            else:
+                segments = coalesce_addresses(
+                    event.addresses, event.active_mask, warp_size
+                )
+
+        dispatch = _dispatch_cycles(item, arch, config)
+        if category is OpCategory.MEM and not shared:
+            dispatch = max(dispatch, len(segments))
+
+        ops.append(
+            TimingOp(
+                category=category,
+                dst=event.dst,
+                src_regs=tuple(src_regs),
+                src_banks=tuple(src_banks),
+                dispatch_cycles=dispatch,
+                long_latency=event.opcode in LONG_LATENCY_ALU,
+                is_store=is_store(event.opcode),
+                mem_segments=segments,
+                is_shared_mem=shared,
+            )
+        )
+    return ops

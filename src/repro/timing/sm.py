@@ -1,0 +1,367 @@
+"""Cycle-level model of one streaming multiprocessor.
+
+Models the issue path the paper's mechanisms interact with: two warp
+schedulers, a shared pool of operand collectors, 16 register banks with
+single-ported arbitration (plus the prior-work single scalar-RF bank,
+whose serialization is the §4.1 bottleneck), dual 16-lane ALU pipelines,
+one memory pipeline and one 4-lane SFU pipeline with multi-cycle warp
+dispatch, a no-bypass scoreboard, and branch-resolution stalls.
+
+The model is trace-driven: each warp executes a fixed list of
+:class:`~repro.timing.ops.TimingOp`.  G-Scalar's +3-cycle pipeline
+stretch enters through ``extra_latency``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.config import GpuConfig
+from repro.errors import TimingError
+from repro.isa.opcodes import OpCategory
+from repro.timing.memory import MemoryAccessCounts, MemoryModel
+from repro.timing.ops import SCALAR_RF_BANK, TimingOp
+from repro.timing.scheduler import partition_warps
+from repro.timing.scoreboard import Scoreboard
+
+# Base write-back latencies (cycles after dispatch completes).
+ALU_LATENCY = 18
+LONG_ALU_LATENCY = 120
+SFU_LATENCY = 22
+CTRL_LATENCY = 10
+
+#: Sentinel for "blocked until the branch writes back".
+_BLOCKED_ON_BRANCH = 1 << 60
+#: Sentinel for "blocked at a CTA barrier".
+_BLOCKED_ON_BARRIER = (1 << 60) + 1
+
+
+@dataclass
+class StallBreakdown:
+    """Why scheduler slots went unused, summed over all cycles.
+
+    ``no_ready_warp`` counts scheduler-cycles where every warp in the
+    partition was blocked by the scoreboard, a branch shadow, a barrier
+    or stream exhaustion; ``collectors_full`` counts cycles issue was
+    suppressed because the operand-collector pool was full.
+    """
+
+    no_ready_warp: int = 0
+    collectors_full: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.no_ready_warp + self.collectors_full
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one SM simulation."""
+
+    cycles: int
+    instructions: int
+    memory_counts: MemoryAccessCounts
+    useful_instructions: int = 0
+    issued_per_scheduler: list[int] = field(default_factory=list)
+    scalar_bank_conflicts: int = 0
+    bank_conflict_cycles: int = 0
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+
+    @property
+    def ipc(self) -> float:
+        """IPC over *useful* instructions — inserted decompress-moves
+        and spills consume cycles but do not count as work, so
+        architectures are compared on equal footing."""
+        if self.cycles == 0:
+            return 0.0
+        return self.useful_instructions / self.cycles
+
+    @property
+    def raw_ipc(self) -> float:
+        """IPC counting every dispatched op, inserted ones included."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class _Collector:
+    """One operand-collector entry."""
+
+    warp: int
+    op: TimingOp
+    pending_banks: list[int]
+
+
+class SmSimulator:
+    """Simulate one SM running a fixed set of warps to completion."""
+
+    def __init__(
+        self,
+        warp_ops: list[list[TimingOp]],
+        config: GpuConfig,
+        extra_latency: int = 0,
+        memory: MemoryModel | None = None,
+        warps_per_cta: int | None = None,
+    ):
+        if extra_latency < 0:
+            raise TimingError(f"extra_latency must be >= 0, got {extra_latency}")
+        if warps_per_cta is not None and warps_per_cta < 1:
+            raise TimingError(f"warps_per_cta must be >= 1, got {warps_per_cta}")
+        self.warp_ops = warp_ops
+        self.config = config
+        self.extra_latency = extra_latency
+        # Without CTA information each warp is its own CTA: barriers
+        # become no-ops, matching barrier-free workloads.
+        self.warps_per_cta = warps_per_cta or 1
+        self.memory = memory or MemoryModel(
+            l1_size_bytes=config.l1_cache_bytes,
+            l2_share_bytes=max(8 * 1024, config.l2_cache_bytes // config.num_sms),
+        )
+        self.num_warps = len(warp_ops)
+        self.max_resident = min(config.max_warps_per_sm, self.num_warps)
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> TimingResult:
+        config = self.config
+        if self.num_warps == 0:
+            return TimingResult(cycles=0, instructions=0, memory_counts=self.memory.counts)
+
+        pcs = [0] * self.num_warps
+        scoreboards = [Scoreboard() for _ in range(self.num_warps)]
+        blocked_until = [0] * self.num_warps
+        in_flight = [0] * self.num_warps  # ops issued but not written back
+        remaining = self.num_warps
+        next_warp_to_activate = self.max_resident
+        slot_to_warp: dict[int, int | None] = {
+            slot: slot for slot in range(self.max_resident)
+        }
+
+        schedulers = partition_warps(
+            self.max_resident, config.schedulers_per_sm, config.scheduler_policy
+        )
+
+        collectors: list[_Collector] = []
+        max_collectors = config.operand_collectors_per_sm
+        alu_ports = [0] * config.alu_pipelines
+        mem_ports = [0] * config.mem_pipelines
+        sfu_ports = [0] * config.sfu_pipelines
+
+        writebacks: list[tuple[int, int, int, int | None, bool]] = []
+        sequence = itertools.count()
+        barrier_arrived: dict[int, set[int]] = {}
+        issued_counts = [0] * config.schedulers_per_sm
+        scalar_conflicts = 0
+        bank_conflict_cycles = 0
+        instructions = 0
+        useful_instructions = 0
+        stalls = StallBreakdown()
+
+        cycle = 0
+        while remaining > 0:
+            if cycle > max_cycles:
+                raise TimingError(
+                    f"SM simulation exceeded {max_cycles} cycles; "
+                    "likely a deadlock in the timing model"
+                )
+            progressed = False
+
+            # 1. Write-backs scheduled for this cycle.
+            while writebacks and writebacks[0][0] <= cycle:
+                _, _, warp, dst, is_ctrl = heapq.heappop(writebacks)
+                scoreboards[warp].release(dst)
+                in_flight[warp] -= 1
+                if is_ctrl and blocked_until[warp] == _BLOCKED_ON_BRANCH:
+                    blocked_until[warp] = cycle
+                progressed = True
+
+            # 2. Operand collection: each bank serves one request/cycle.
+            if collectors:
+                served_banks: set[int] = set()
+                had_conflict = False
+                for collector in collectors:
+                    still_pending = []
+                    for bank in collector.pending_banks:
+                        if bank not in served_banks:
+                            served_banks.add(bank)
+                            progressed = True
+                        else:
+                            still_pending.append(bank)
+                            had_conflict = True
+                            if bank == SCALAR_RF_BANK:
+                                scalar_conflicts += 1
+                    collector.pending_banks = still_pending
+                if had_conflict:
+                    bank_conflict_cycles += 1
+
+            # 3. Dispatch ready collectors to free pipeline ports.
+            for collector in [c for c in collectors if not c.pending_banks]:
+                op = collector.op
+                if op.category in (OpCategory.ALU, OpCategory.CTRL):
+                    ports = alu_ports
+                elif op.category is OpCategory.MEM:
+                    ports = mem_ports
+                else:
+                    ports = sfu_ports
+                port_index = next(
+                    (i for i, busy in enumerate(ports) if busy <= cycle), None
+                )
+                if port_index is None:
+                    continue
+                ports[port_index] = cycle + op.dispatch_cycles
+                complete = (
+                    cycle + op.dispatch_cycles + self._latency_of(op) + self.extra_latency
+                )
+                heapq.heappush(
+                    writebacks,
+                    (
+                        complete,
+                        next(sequence),
+                        collector.warp,
+                        op.dst,
+                        op.category is OpCategory.CTRL,
+                    ),
+                )
+                collectors.remove(collector)
+                instructions += 1
+                if not op.inserted:
+                    useful_instructions += 1
+                progressed = True
+
+            # 4. Issue: each scheduler picks at most one ready warp.
+            if len(collectors) >= max_collectors and remaining > 0:
+                stalls.collectors_full += config.schedulers_per_sm
+            if len(collectors) < max_collectors:
+                ready_slots: set[int] = set()
+                for slot, warp in slot_to_warp.items():
+                    if warp is None or pcs[warp] >= len(self.warp_ops[warp]):
+                        continue
+                    if blocked_until[warp] > cycle:
+                        continue
+                    op = self.warp_ops[warp][pcs[warp]]
+                    if scoreboards[warp].can_issue(op.src_regs, op.dst):
+                        ready_slots.add(slot)
+                for scheduler_index, scheduler in enumerate(schedulers):
+                    if len(collectors) >= max_collectors:
+                        stalls.collectors_full += 1
+                        continue
+                    slot = scheduler.pick(ready_slots)
+                    if slot is None:
+                        stalls.no_ready_warp += 1
+                        continue
+                    ready_slots.discard(slot)
+                    warp = slot_to_warp[slot]
+                    assert warp is not None
+                    op = self.warp_ops[warp][pcs[warp]]
+                    pcs[warp] += 1
+                    if op.is_barrier:
+                        instructions += 1
+                        useful_instructions += 1
+                        issued_counts[scheduler_index] += 1
+                        progressed = True
+                        self._arrive_at_barrier(
+                            warp, barrier_arrived, blocked_until, pcs, cycle
+                        )
+                        continue
+                    scoreboards[warp].reserve(op.dst)
+                    in_flight[warp] += 1
+                    if op.category is OpCategory.CTRL:
+                        blocked_until[warp] = _BLOCKED_ON_BRANCH
+                    collectors.append(
+                        _Collector(warp=warp, op=op, pending_banks=list(op.src_banks))
+                    )
+                    issued_counts[scheduler_index] += 1
+                    progressed = True
+
+            # 5. Retire finished warps; activate pending ones.
+            for slot, warp in list(slot_to_warp.items()):
+                if warp is None:
+                    continue
+                if pcs[warp] >= len(self.warp_ops[warp]) and in_flight[warp] == 0:
+                    remaining -= 1
+                    if next_warp_to_activate < self.num_warps:
+                        slot_to_warp[slot] = next_warp_to_activate
+                        next_warp_to_activate += 1
+                    else:
+                        slot_to_warp[slot] = None
+                    progressed = True
+
+            if remaining <= 0:
+                cycle += 1
+                break
+
+            # 6. Skip ahead over dead cycles.
+            if progressed:
+                cycle += 1
+            else:
+                next_events = []
+                if writebacks:
+                    next_events.append(writebacks[0][0])
+                if any(not c.pending_banks for c in collectors):
+                    busy_ports = [
+                        t for t in alu_ports + mem_ports + sfu_ports if t > cycle
+                    ]
+                    if busy_ports:
+                        next_events.append(min(busy_ports))
+                if not next_events:
+                    raise TimingError(
+                        f"timing deadlock: no progress at cycle {cycle} "
+                        f"({remaining} warps remaining)"
+                    )
+                cycle = max(cycle + 1, min(next_events))
+
+        return TimingResult(
+            cycles=cycle,
+            instructions=instructions,
+            memory_counts=self.memory.counts,
+            useful_instructions=useful_instructions,
+            issued_per_scheduler=issued_counts,
+            scalar_bank_conflicts=scalar_conflicts,
+            bank_conflict_cycles=bank_conflict_cycles,
+            stalls=stalls,
+        )
+
+    # ------------------------------------------------------------------
+    def _arrive_at_barrier(
+        self,
+        warp: int,
+        barrier_arrived: dict[int, set[int]],
+        blocked_until: list[int],
+        pcs: list[int],
+        cycle: int,
+    ) -> None:
+        """Record a barrier arrival; release the CTA when complete.
+
+        A warp that already retired all its ops counts as arrived (it
+        can never reach another barrier), matching CUDA's requirement
+        that barriers are CTA-uniform.
+        """
+        cta = warp // self.warps_per_cta
+        arrived = barrier_arrived.setdefault(cta, set())
+        arrived.add(warp)
+        blocked_until[warp] = _BLOCKED_ON_BARRIER
+        cta_warps = [
+            w
+            for w in range(cta * self.warps_per_cta, (cta + 1) * self.warps_per_cta)
+            if w < self.num_warps
+        ]
+        waiting_needed = [
+            w for w in cta_warps if pcs[w] < len(self.warp_ops[w]) or w in arrived
+        ]
+        if all(w in arrived for w in waiting_needed):
+            for w in arrived:
+                blocked_until[w] = cycle + 1
+            arrived.clear()
+
+    def _latency_of(self, op: TimingOp) -> int:
+        if op.category is OpCategory.MEM:
+            if op.is_shared_mem:
+                return self.memory.access_shared()
+            return self.memory.access_global(op.mem_segments, op.is_store)
+        if op.category is OpCategory.SFU:
+            return SFU_LATENCY
+        if op.category is OpCategory.CTRL:
+            return CTRL_LATENCY
+        if op.long_latency:
+            return LONG_ALU_LATENCY
+        return ALU_LATENCY

@@ -1,0 +1,21 @@
+"""17 Rodinia/Parboil proxy workloads (Table 2)."""
+
+from repro.workloads.registry import (
+    SCALES,
+    BuiltWorkload,
+    ScaleConfig,
+    WorkloadSpec,
+    all_workloads,
+    build_workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "SCALES",
+    "BuiltWorkload",
+    "ScaleConfig",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_workload",
+    "workload_by_name",
+]

@@ -1,0 +1,159 @@
+"""Synthetic input generators with controlled value-similarity.
+
+The paper's mechanisms react to *byte-level similarity* of the values
+flowing through vector registers (Figure 8) and to *divergence shape*
+(Figure 1).  Real Rodinia/Parboil inputs produce those patterns from
+physics; the proxies reproduce them with explicit generators:
+
+* :func:`scalar_words` — one value everywhere (broadcast parameters,
+  kernel constants loaded from memory),
+* :func:`shared_prefix_words` — values sharing their top *n* bytes
+  (neighbouring addresses, narrow-range integers),
+* :func:`affine_words` — ``base + i*stride`` (addresses, indices),
+* :func:`narrow_floats` — floats in a tight range, sharing sign +
+  exponent and often mantissa-high bytes (physical fields like
+  temperatures or lattice densities), and
+* :func:`mixed_words` — a seeded blend of the above matching a target
+  similarity histogram.
+
+Every generator takes an explicit seed; runs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def scalar_words(count: int, value: int, seed: int = 0) -> np.ndarray:
+    """``count`` copies of one 32-bit value."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    return np.full(count, value & 0xFFFFFFFF, dtype=np.uint32)
+
+
+def shared_prefix_words(
+    count: int, prefix_bytes: int, seed: int, base: int | None = None
+) -> np.ndarray:
+    """Values whose top ``prefix_bytes`` bytes are identical.
+
+    The low bytes are uniform random, so the *exact* prefix length is
+    ``prefix_bytes`` with overwhelming probability for count >= 8.
+    """
+    if not 0 <= prefix_bytes <= 4:
+        raise WorkloadError(f"prefix_bytes must be 0..4, got {prefix_bytes}")
+    rng = _rng(seed)
+    if base is None:
+        base = int(rng.integers(0, 2**32, dtype=np.uint64))
+    if prefix_bytes == 4:
+        return scalar_words(count, base)
+    low_bits = 8 * (4 - prefix_bytes)
+    prefix_mask = (0xFFFFFFFF << low_bits) & 0xFFFFFFFF
+    low = rng.integers(0, 1 << low_bits, size=count, dtype=np.uint64)
+    return ((base & prefix_mask) | low).astype(np.uint32)
+
+
+def affine_words(count: int, base: int, stride: int) -> np.ndarray:
+    """``base + i*stride`` (mod 2^32) — the shape of addresses."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    indices = np.arange(count, dtype=np.uint64)
+    return ((base + indices * (stride & 0xFFFFFFFF)) & 0xFFFFFFFF).astype(np.uint32)
+
+
+def narrow_floats(
+    count: int, center: float, spread: float, seed: int
+) -> np.ndarray:
+    """float32 values in ``center +/- spread`` as uint32 bit patterns.
+
+    A tight relative spread keeps sign+exponent (byte 3) and often the
+    mantissa-high byte identical across the array.
+    """
+    if spread < 0:
+        raise WorkloadError(f"spread must be >= 0, got {spread}")
+    rng = _rng(seed)
+    values = (center + rng.uniform(-spread, spread, size=count)).astype(np.float32)
+    return values.view(np.uint32)
+
+
+def small_ints(count: int, upper: int, seed: int) -> np.ndarray:
+    """Uniform integers in [0, upper) — bytes 3..1 are zero for small
+    upper bounds (pixel data, counters)."""
+    if upper < 1:
+        raise WorkloadError(f"upper must be >= 1, got {upper}")
+    rng = _rng(seed)
+    return rng.integers(0, upper, size=count, dtype=np.uint64).astype(np.uint32)
+
+
+def random_words(count: int, seed: int) -> np.ndarray:
+    """Uniform 32-bit values — no exploitable similarity."""
+    rng = _rng(seed)
+    return rng.integers(0, 2**32, size=count, dtype=np.uint64).astype(np.uint32)
+
+
+def mixed_words(
+    count: int,
+    fractions: dict[int, float],
+    seed: int,
+    chunk: int = 32,
+) -> np.ndarray:
+    """Blend of similarity classes at warp-sized granularity.
+
+    ``fractions`` maps prefix length (0..4) to the fraction of
+    ``chunk``-sized blocks drawn from that class; fractions must sum to
+    ~1.  Each chunk is internally homogeneous, mimicking how a warp's
+    lanes see one data region at a time.
+    """
+    total = sum(fractions.values())
+    if not 0.99 <= total <= 1.01:
+        raise WorkloadError(f"fractions must sum to 1, got {total}")
+    rng = _rng(seed)
+    chunks = (count + chunk - 1) // chunk
+    classes = list(fractions.keys())
+    probabilities = np.array([fractions[c] for c in classes], dtype=float)
+    probabilities /= probabilities.sum()
+    output = np.empty(chunks * chunk, dtype=np.uint32)
+    for index in range(chunks):
+        prefix = int(rng.choice(classes, p=probabilities))
+        block_seed = int(rng.integers(0, 2**31))
+        output[index * chunk : (index + 1) * chunk] = shared_prefix_words(
+            chunk, prefix, block_seed
+        )
+    return output[:count]
+
+
+def boundary_mask_pattern(
+    count: int, divergent_fraction: float, seed: int, warp_size: int = 32
+) -> np.ndarray:
+    """Per-thread 0/1 flags such that a fraction of warps see a mixed
+    (divergence-inducing) pattern and the rest are uniform.
+
+    Used as branch inputs: a warp whose flags are all-0 or all-1 stays
+    convergent; a mixed warp diverges.
+    """
+    if not 0.0 <= divergent_fraction <= 1.0:
+        raise WorkloadError(
+            f"divergent_fraction must be in [0, 1], got {divergent_fraction}"
+        )
+    rng = _rng(seed)
+    warps = (count + warp_size - 1) // warp_size
+    # Deterministic allocation: exactly round(warps * fraction) warps are
+    # mixed, so small launches still hit the target divergence.
+    mixed_count = int(round(warps * divergent_fraction))
+    mixed_warps = set(rng.choice(warps, size=mixed_count, replace=False).tolist())
+    flags = np.zeros(warps * warp_size, dtype=np.uint32)
+    for warp in range(warps):
+        start = warp * warp_size
+        if warp in mixed_warps:
+            # Mixed warp: majority takes one side, a random minority the other.
+            minority = rng.integers(1, warp_size // 2 + 1)
+            lanes = rng.choice(warp_size, size=int(minority), replace=False)
+            flags[start + lanes] = 1
+        elif rng.uniform() < 0.5:
+            flags[start : start + warp_size] = 1
+    return flags[:count]

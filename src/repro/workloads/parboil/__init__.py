@@ -1,0 +1,1 @@
+"""Parboil proxy workloads."""

@@ -1,0 +1,81 @@
+"""``tpacf`` (ACF) proxy.
+
+Signature reproduced: the angular correlation function — per-thread dot
+products between galaxy coordinates (vector float math with ``sqrt``
+and ``lg2``), followed by a bin search against shared bin-edge
+constants loaded through broadcast addresses; the bin-edge comparison
+diverges and its bin-advance chain is scalar with respect to the mask
+(divergent scalar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1717
+
+_BIN_EDGES = 0x70_0000
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the ACF proxy at the given scale."""
+    pairs = 2 * scale.inner_iterations
+    b = KernelBuilder("tpacf")
+    tid = b.tid()
+    bin_scale = load_broadcast(b, PARAMS_BASE)
+    x = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    histogram = b.mov(0)
+
+    with b.for_range(0, pairs) as pair:
+        other_addr = b.imad(pair, 4, INPUT_B)  # scalar address
+        other = b.ld_global(other_addr)  # MEM scalar
+        dot = b.fmul(x, other)  # vector
+        dot = b.fmin(dot, b.fimm(0.9999), dst=dot)
+        angle_sq = b.fsub(b.fimm(1.0), b.fmul(dot, dot))
+        angle = b.sqrt(angle_sq)  # vector SFU
+        log_angle = b.lg2(b.fadd(angle, b.fimm(1.0e-6)))  # vector SFU
+        edge = b.ld_global(b.imad(pair, 4, _BIN_EDGES))  # MEM scalar
+        above = b.fsetgt(log_angle, edge)
+        with b.if_(above) as branch:
+            # Bin advance over shared constants (divergent scalar).
+            step = b.fmul(bin_scale, b.fimm(2.0))
+            shifted = b.fadd(step, edge)
+            bin_bump = b.f2i(shifted)
+            histogram = b.iadd(histogram, bin_bump, dst=histogram)
+            with branch.else_():
+                histogram = b.iadd(histogram, 1, dst=histogram)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), histogram)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads, 0.5, 0.45, _SEED)
+    )
+    memory.bind_array(
+        INPUT_B, datagen.narrow_floats(pairs + 1, 0.5, 0.45, _SEED + 1)
+    )
+    memory.bind_array(
+        _BIN_EDGES, datagen.narrow_floats(pairs + 1, -0.1, 0.07, _SEED + 2)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([1.5], dtype=np.float32))
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="angular correlation binning with edge-compare divergence",
+    )

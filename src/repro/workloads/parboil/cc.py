@@ -1,0 +1,73 @@
+"""``cutcp`` (CC) proxy.
+
+Signature reproduced: the cutoff-potential kernel — per-thread distance
+computation against a sweep of atoms (vector float math plus ``rsqrt``),
+a cutoff-radius branch that diverges warps whose lanes straddle the
+sphere, and inside the in-range path a chain over the shared atom
+charge and cutoff constants (divergent scalar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1313
+
+_ATOMS = INPUT_B
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the CC proxy at the given scale."""
+    atoms = 2 * scale.inner_iterations
+    b = KernelBuilder("cutcp")
+    tid = b.tid()
+    cutoff_sq = load_broadcast(b, PARAMS_BASE)
+    charge_scale = load_broadcast(b, PARAMS_BASE + 4)
+    grid_x = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    potential = b.mov(b.fimm(0.0))
+
+    with b.for_range(0, atoms) as atom:
+        atom_addr = b.imad(atom, 8, _ATOMS)  # scalar address math
+        atom_x = b.ld_global(atom_addr)  # MEM scalar
+        atom_q = b.ld_global(b.iadd(atom_addr, 4))  # MEM scalar
+        dx = b.fsub(grid_x, atom_x)  # vector
+        dist_sq = b.fmul(dx, dx)  # vector
+        in_range = b.fsetlt(dist_sq, cutoff_sq)
+        with b.if_(in_range):
+            # In-range: scalar charge chain, then the per-thread kernel.
+            scaled_q = b.fmul(atom_q, charge_scale)  # divergent scalar
+            softened = b.fadd(scaled_q, b.fimm(0.05))  # divergent scalar
+            inv_r = b.rsqrt(dist_sq)  # divergent vector SFU
+            potential = b.ffma(softened, inv_r, potential, dst=potential)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), potential)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads, 0.0, 1.0, _SEED)
+    )
+    memory.bind_array(
+        _ATOMS, datagen.narrow_floats(2 * atoms + 2, 0.0, 1.2, _SEED + 1)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([1.0, 0.7], dtype=np.float32))
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="cutoff potential sweep with in-sphere divergence",
+    )

@@ -1,0 +1,105 @@
+"""``lbm`` (LBM) proxy.
+
+Signature reproduced: the paper's flagship divergent-scalar benchmark —
+~50% of executed instructions divergent (§4.2) and ~30% of *total*
+instructions divergent-scalar (§5.2: "supporting divergent scalar
+instructions can double the number of instructions eligible for scalar
+execution" for LBM).  The collision operator runs inside a cell-type
+branch that almost every warp diverges on, and its long chain operates
+on the shared relaxation constants (omega and the lattice weights), so
+mixed warps turn the whole chain into divergent-scalar instructions.
+Also memory-intensive: it streams several distribution arrays per cell,
+so the efficiency gain stays below 20% despite the scalar population
+(§5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    INPUT_C,
+    INPUT_D,
+    OUTPUT_A,
+    OUTPUT_B,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 909
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the LBM proxy at the given scale."""
+    b = KernelBuilder("lbm")
+    tid = b.tid()
+    omega = load_broadcast(b, PARAMS_BASE)
+    weight_center = load_broadcast(b, PARAMS_BASE + 4)
+    weight_axis = load_broadcast(b, PARAMS_BASE + 8)
+    flag = load_thread_flag(b, tid)
+    is_fluid = b.setne(flag, 0)
+
+    with b.for_range(0, scale.inner_iterations) as _step:
+        # Stream phase: heavy memory traffic on distribution arrays.
+        f0 = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+        f1 = b.ld_global(thread_element_addr(b, tid, INPUT_B))
+        f2 = b.ld_global(thread_element_addr(b, tid, INPUT_C))
+        f3 = b.ld_global(thread_element_addr(b, tid, INPUT_D))
+        density = b.fadd(b.fadd(f0, f1), b.fadd(f2, f3))
+        with b.if_(is_fluid) as branch:
+            # Collision: a long chain over the shared lattice constants.
+            # In a mixed warp every one of these is divergent-scalar.
+            tau = b.rcp(omega)  # SFU, divergent scalar
+            eq_center = b.fmul(weight_center, tau)
+            eq_axis = b.fmul(weight_axis, tau)
+            relax = b.fsub(b.fimm(1.0), omega)
+            gain = b.fmul(relax, eq_center)
+            bias = b.fadd(gain, eq_axis)
+            half_bias = b.fmul(bias, b.fimm(0.5))
+            spread = b.fsub(bias, half_bias)
+            norm = b.fmax(spread, eq_axis)
+            drift = b.fmul(norm, relax)
+            settle = b.fadd(drift, eq_center)
+            # Apply to the per-thread distributions (divergent vector).
+            f0 = b.ffma(f0, relax, norm, dst=f0)
+            f1 = b.ffma(f1, relax, spread, dst=f1)
+            f2 = b.ffma(f2, relax, settle, dst=f2)
+            f3 = b.ffma(f3, relax, gain, dst=f3)
+            with branch.else_():
+                # Bounce-back boundary: swap-and-scale, shared constant.
+                reflect = b.fmul(weight_axis, b.fimm(2.0))
+                f2 = b.fmul(f2, reflect, dst=f2)
+        b.st_global(thread_element_addr(b, tid, OUTPUT_A), f0)
+        b.st_global(thread_element_addr(b, tid, OUTPUT_B), f1)
+        b.st_global(b.iadd(thread_element_addr(b, tid, OUTPUT_B), 0x40000), density)
+
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    for base, seed_offset in ((INPUT_A, 0), (INPUT_B, 1), (INPUT_C, 2), (INPUT_D, 3)):
+        memory.bind_array(
+            base, datagen.narrow_floats(total_threads, 0.1, 0.004, _SEED + seed_offset)
+        )
+    memory.bind_array(
+        PARAMS_BASE, np.array([1.85, 0.4444, 0.1111], dtype=np.float32)
+    )
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.95, _SEED + 4),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="lattice-Boltzmann stream/collide with divergent scalar collision",
+    )

@@ -1,0 +1,87 @@
+"""``mri-grid`` (MG) proxy.
+
+Signature reproduced: low full-scalar population but many 3-byte and
+2-byte register values (§5.3: with MV, the benchmark where byte-wise
+compression beats the scalar-only RF by >40%).  Gridding: each thread
+loads sample coordinates that share their top bytes (samples cluster in
+k-space), computes bin indices (affine), and scatters weighted
+contributions — memory-intensive, light on broadcast constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    INPUT_C,
+    OUTPUT_A,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1414
+
+_GRID = 0x60_0000
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the MG proxy at the given scale."""
+    b = KernelBuilder("mri_grid")
+    tid = b.tid()
+    flag = load_thread_flag(b, tid)
+    on_edge = b.setne(flag, 0)
+
+    with b.for_range(0, scale.inner_iterations) as pass_index:
+        sample_base = b.imad(pass_index, 4, 0)
+        coord = b.ld_global(
+            b.imad(b.iadd(tid, sample_base), 4, INPUT_A)
+        )  # 2-byte-similar coordinates
+        weight = b.ld_global(
+            b.imad(b.iadd(tid, sample_base), 4, INPUT_B)
+        )  # 3-byte-similar weights
+        density = b.ld_global(
+            b.imad(b.iadd(tid, sample_base), 4, INPUT_C)
+        )
+        # Bin computation: per-thread shifts keep top bytes similar.
+        bin_index = b.shr(coord, 20)
+        bin_offset = b.and_(coord, 0xFFF)
+        contribution = b.imul(weight, density)
+        spread = b.iadd(contribution, bin_offset)
+        with b.if_(on_edge):
+            # Edge samples fold back (small divergent population).
+            spread = b.shr(spread, 1, dst=spread)
+        grid_addr = b.imad(bin_index, 4, _GRID)
+        b.st_global(grid_addr, spread)  # scatter
+        b.st_global(thread_element_addr(b, tid, OUTPUT_A), contribution)
+
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    count = total_threads + scale.inner_iterations + 1
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.shared_prefix_words(count, 2, _SEED, base=0x3F400000)
+    )
+    memory.bind_array(
+        INPUT_B, datagen.shared_prefix_words(count, 3, _SEED + 1, base=0x00014000)
+    )
+    memory.bind_array(
+        INPUT_C, datagen.shared_prefix_words(count, 3, _SEED + 2, base=0x00028000)
+    )
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.25, _SEED + 3),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="k-space gridding scatter with partial-byte similarity",
+    )

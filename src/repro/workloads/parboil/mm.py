@@ -1,0 +1,56 @@
+"""``sgemm`` (MM) proxy.
+
+Signature reproduced: another of the paper's non-divergent benchmarks.
+The tiled inner product: every iteration the warp loads one element of
+the shared A tile through a broadcast address (MEM-scalar — all threads
+of the warp read the same A element), advances scalar tile indices
+(ALU-scalar), and FFMAs against its private B column (vector).
+"""
+
+from __future__ import annotations
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1111
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the MM proxy at the given scale."""
+    k_dim = 4 * scale.inner_iterations
+    b = KernelBuilder("sgemm")
+    tid = b.tid()
+    b_value = b.ld_global(thread_element_addr(b, tid, INPUT_B))
+    acc = b.mov(b.fimm(0.0))
+    a_addr = b.mov(INPUT_A)  # scalar pointer into the A tile
+
+    with b.for_range(0, k_dim) as _k:
+        a_element = b.ld_global(a_addr)  # MEM scalar (broadcast tile read)
+        a_addr = b.iadd(a_addr, 4, dst=a_addr)  # ALU scalar
+        row_scale = b.fmul(a_element, b.fimm(1.0))  # ALU scalar
+        acc = b.ffma(b_value, row_scale, acc, dst=acc)  # vector
+        b_value = b.fmul(b_value, b.fimm(1.0009765625), dst=b_value)  # vector
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), acc)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(INPUT_A, datagen.narrow_floats(k_dim + 1, 1.0, 0.4, _SEED))
+    memory.bind_array(
+        INPUT_B, datagen.narrow_floats(total_threads, 0.9, 0.05, _SEED + 1)
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="tiled inner product with broadcast A-tile reads",
+    )

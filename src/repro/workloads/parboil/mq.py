@@ -1,0 +1,71 @@
+"""``mri-q`` (MQ) proxy.
+
+Signature reproduced: one of the non-divergent benchmarks the paper
+calls out (§5.1).  The Q computation sweeps k-space samples; each
+iteration loads the sample's kx/ky/w through broadcast addresses
+(MEM-scalar), folds them into a scalar magnitude (ALU-scalar +
+SFU-scalar), and evaluates the per-thread phase with vector sin/cos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    OUTPUT_B,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1010
+
+#: k-space sample table (kx, ky, w triples, struct-of-arrays).
+_KSPACE = INPUT_B
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the MQ proxy at the given scale."""
+    samples = 2 * scale.inner_iterations
+    b = KernelBuilder("mri_q")
+    tid = b.tid()
+    x = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    q_real = b.mov(b.fimm(0.0))
+    q_imag = b.mov(b.fimm(0.0))
+
+    with b.for_range(0, samples) as sample:
+        k_addr = b.imad(sample, 12, _KSPACE)  # scalar address math
+        kx = b.ld_global(k_addr)  # MEM scalar
+        ky = b.ld_global(b.iadd(k_addr, 4))  # MEM scalar
+        w = b.ld_global(b.iadd(k_addr, 8))  # MEM scalar
+        k_mag = b.fadd(b.fmul(kx, kx), b.fmul(ky, ky))  # ALU scalar
+        w_mag = b.fmul(w, b.sqrt(k_mag))  # SFU scalar + ALU scalar
+        phase = b.fmul(kx, x)  # vector
+        c = b.cos(phase)  # vector SFU
+        s = b.sin(phase)  # vector SFU
+        q_real = b.ffma(w_mag, c, q_real, dst=q_real)  # vector
+        q_imag = b.ffma(w_mag, s, q_imag, dst=q_imag)  # vector
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), q_real)
+    b.st_global(thread_element_addr(b, tid, OUTPUT_B), q_imag)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads, 0.3, 0.2, _SEED)
+    )
+    memory.bind_array(
+        _KSPACE, datagen.narrow_floats(3 * samples + 3, 0.8, 0.3, _SEED + 1)
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="k-space Q sweep: broadcast sample loads + vector sin/cos",
+    )

@@ -1,0 +1,81 @@
+"""``sad`` (SAD) proxy.
+
+Signature reproduced: ~19% of total instructions divergent-scalar
+(§5.2).  The sum-of-absolute-differences search clamps its motion
+vectors at the frame border; warps near the border diverge on the clamp
+and the clamp path operates on the shared search-window constants.
+Pixel data are 8-bit values in 32-bit registers, so most registers are
+3-byte-similar (zero top bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1515
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the SAD proxy at the given scale."""
+    candidates = 2 * scale.inner_iterations
+    b = KernelBuilder("sad")
+    tid = b.tid()
+    window = load_broadcast(b, PARAMS_BASE)  # scalar search constants
+    penalty = load_broadcast(b, PARAMS_BASE + 4)
+    current = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    flag = load_thread_flag(b, tid)
+    near_border = b.setne(flag, 0)
+    best = b.mov(0xFFFF)
+
+    with b.for_range(0, candidates) as candidate:
+        ref_addr = b.imad(
+            b.iadd(tid, candidate), 4, INPUT_B
+        )
+        reference = b.ld_global(ref_addr)
+        diff = b.isub(current, reference)
+        abs_diff = b.imax(diff, b.isub(reference, current))
+        with b.if_(near_border) as branch:
+            # Border clamp: shared window chain (divergent scalar).
+            clamped = b.imin(window, b.mov(64))
+            biased = b.iadd(clamped, penalty)
+            cost_bias = b.shl(biased, 1)
+            folded = b.imax(cost_bias, penalty)
+            best = b.imin(best, folded, dst=best)
+            with branch.else_():
+                best = b.imin(best, abs_diff, dst=best)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), best)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(INPUT_A, datagen.small_ints(total_threads, 256, _SEED))
+    memory.bind_array(
+        INPUT_B, datagen.small_ints(total_threads + candidates + 1, 256, _SEED + 1)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([48, 5], dtype=np.uint32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.95, _SEED + 2),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="motion-search SAD with border-clamp divergence",
+    )

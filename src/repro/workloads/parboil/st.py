@@ -1,0 +1,71 @@
+"""``stencil`` (ST) proxy.
+
+Signature reproduced: a mostly convergent 7-point stencil — per-thread
+neighbour loads of narrow-range floats (3-byte similar), the stencil
+coefficients held in scalar registers, and only a sliver of boundary
+divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 1616
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the ST proxy at the given scale."""
+    b = KernelBuilder("stencil")
+    tid = b.tid()
+    c0 = load_broadcast(b, PARAMS_BASE)  # scalar coefficients
+    c1 = load_broadcast(b, PARAMS_BASE + 4)
+    flag = load_thread_flag(b, tid)
+    at_face = b.setne(flag, 0)
+    center = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+
+    with b.for_range(0, scale.inner_iterations) as _sweep:
+        west = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 4))
+        east = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 8))
+        north = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 12))
+        south = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 16))
+        ring = b.fadd(b.fadd(west, east), b.fadd(north, south))
+        scaled_c1 = b.fmul(c1, b.fimm(0.25))  # ALU scalar
+        combined = b.fmul(ring, scaled_c1)  # vector
+        weighted_center = b.fmul(center, c0)  # vector
+        center = b.fadd(combined, weighted_center, dst=center)
+        with b.if_(at_face):
+            center = b.fmul(center, b.fimm(0.5), dst=center)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), center)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads + 4, 1.2, 0.03, _SEED)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([0.6, 0.4], dtype=np.float32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.12, _SEED + 1),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="7-point stencil over narrow-range floats",
+    )

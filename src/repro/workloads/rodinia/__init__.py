@@ -1,0 +1,1 @@
+"""Rodinia proxy workloads."""

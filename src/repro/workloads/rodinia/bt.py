@@ -1,0 +1,81 @@
+"""``b+tree`` (BT) proxy.
+
+Signature reproduced: tree traversal where every thread of a warp walks
+the *same* node at each level (node keys are loaded through broadcast
+addresses — MEM-scalar instructions), then compares its private query
+key against the shared pivot.  Queries straddle the pivot, so the
+comparison branch diverges; the taken/not-taken paths advance child
+offsets via shared stride constants, producing divergent-scalar work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 404
+
+#: Tree node storage: one pivot key per level.
+_NODE_BASE = INPUT_B
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the BT proxy at the given scale."""
+    levels = 2 * scale.inner_iterations
+    b = KernelBuilder("btree")
+    tid = b.tid()
+    query = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    stride = load_broadcast(b, PARAMS_BASE)  # child stride (scalar)
+    node_addr = b.mov(_NODE_BASE)  # scalar register
+    position = b.mov(0)
+
+    with b.for_range(0, levels) as _level:
+        pivot = b.ld_global(node_addr)  # MEM scalar: whole warp reads one key
+        go_right = b.setge(query, pivot)
+        with b.if_(go_right) as branch:
+            # Right child: advance by the shared stride — divergent
+            # scalar chain (stride, node_addr, pivot are all scalar
+            # w.r.t. this mask).
+            step = b.imul(stride, 2)
+            right_bias = b.iadd(step, 4)
+            position = b.iadd(position, right_bias, dst=position)
+            with branch.else_():
+                step_left = b.imul(stride, 1)
+                position = b.iadd(position, step_left, dst=position)
+        # Reconverged: next node address (scalar arithmetic).
+        node_addr = b.iadd(node_addr, 8, dst=node_addr)
+        # Per-thread bookkeeping keeps a vector component in the mix.
+        query = b.iadd(query, 1, dst=query)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), position)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    # Queries clustered around the pivots so warps split on comparisons.
+    memory.bind_array(
+        INPUT_A, datagen.shared_prefix_words(total_threads, 3, _SEED, base=0x00001000)
+    )
+    memory.bind_array(
+        _NODE_BASE,
+        datagen.shared_prefix_words(2 * levels + 2, 3, _SEED + 1, base=0x00001000),
+    )
+    memory.bind_array(PARAMS_BASE, np.array([16], dtype=np.uint32))
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="B+tree traversal with broadcast node reads and pivot divergence",
+    )

@@ -1,0 +1,86 @@
+"""``hotspot`` (HS) proxy.
+
+Signature reproduced: a 1-D slice of the thermal stencil — per-thread
+loads of neighbouring temperatures (narrow-range floats sharing their
+top bytes), a boundary branch that makes a large fraction of warps
+diverge, and inside the divergent paths chains operating on the shared
+physical constants (ambient temperature, Rc step) that become
+divergent-scalar instructions (~17% of total, §5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 202
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the HS proxy at the given scale."""
+    b = KernelBuilder("hotspot")
+    tid = b.tid()
+    ambient = load_broadcast(b, PARAMS_BASE)  # scalar constants
+    r_step = load_broadcast(b, PARAMS_BASE + 4)
+    cap = load_broadcast(b, PARAMS_BASE + 8)
+    flag = load_thread_flag(b, tid)
+    is_boundary = b.setne(flag, 0)
+
+    temp = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    left = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 4))
+    right = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 8))
+
+    with b.for_range(0, scale.inner_iterations) as _step:
+        # Vector stencil body on similar float values.
+        laplacian = b.fadd(left, right)
+        laplacian = b.fsub(laplacian, b.fmul(temp, b.fimm(2.0)))
+        delta = b.fmul(laplacian, r_step)
+        with b.if_(is_boundary) as branch:
+            # Boundary path: clamp toward the ambient constant.  The
+            # whole chain operates on scalar registers, so every one of
+            # these is a divergent-scalar instruction in mixed warps.
+            drift = b.fmul(ambient, r_step)
+            correction = b.fadd(drift, cap)
+            damped = b.fmul(correction, b.fimm(0.5))
+            limited = b.fmin(damped, cap)
+            temp = b.fadd(temp, limited, dst=temp)
+            with branch.else_():
+                # Interior path: vector stencil propagation.
+                temp = b.fadd(temp, delta, dst=temp)
+                left = b.fadd(left, delta, dst=left)
+                right = b.fsub(right, delta, dst=right)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), temp)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads + 2, 330.0, 2.5, _SEED)
+    )
+    memory.bind_array(
+        PARAMS_BASE, np.array([300.0, 0.065, 0.5], dtype=np.float32)
+    )
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.72, _SEED + 1),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="thermal stencil with boundary divergence over scalar constants",
+    )

@@ -1,0 +1,90 @@
+"""``heartwall`` (HW) proxy.
+
+Signature reproduced: one of the two most divergent benchmarks the
+paper names (~50% of executed instructions divergent, §4.2).  The
+tracking loop branches twice per iteration on data-dependent flags
+(edge detection, correlation acceptance); both divergent paths mix
+per-thread pixel math with chains over shared detector constants, so a
+sizeable minority of the divergent instructions are divergent-scalar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 303
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the HW proxy at the given scale."""
+    b = KernelBuilder("heartwall")
+    tid = b.tid()
+    threshold = load_broadcast(b, PARAMS_BASE)
+    gain = load_broadcast(b, PARAMS_BASE + 4)
+    offset = load_broadcast(b, PARAMS_BASE + 8)
+    pixel = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    template = b.ld_global(thread_element_addr(b, tid, INPUT_B))
+    score = b.mov(0)
+
+    with b.for_range(0, 2 * scale.inner_iterations) as step:
+        edge_flag = b.ld_global(
+            b.imad(b.iadd(tid, step), 4, FLAGS_BASE)
+        )
+        is_edge = b.setne(edge_flag, 0)
+        diff = b.isub(pixel, template)
+        mag = b.imax(diff, b.isub(template, pixel))
+        with b.if_(is_edge) as outer:
+            # Edge path (divergent): detector constants only — these
+            # become divergent-scalar chains.
+            boost = b.imul(threshold, 3)
+            window = b.iadd(boost, offset)
+            norm = b.shr(window, 2)
+            floor = b.imax(norm, offset)
+            span = b.iadd(floor, gain)
+            score = b.iadd(score, span, dst=score)
+            inner_flag = b.setgt(mag, threshold)
+            with b.if_(inner_flag):
+                # Accepted correlation (nested divergence): per-thread.
+                score = b.iadd(score, mag, dst=score)
+            with outer.else_():
+                # Smooth path: mixed per-thread and scalar work.
+                smooth = b.imul(gain, 2)
+                pixel = b.iadd(pixel, smooth, dst=pixel)
+                score = b.iadd(score, diff, dst=score)
+        template = b.iadd(template, 1, dst=template)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), score)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    iterations = 2 * scale.inner_iterations
+    memory = MemoryImage()
+    memory.bind_array(INPUT_A, datagen.small_ints(total_threads, 256, _SEED))
+    memory.bind_array(INPUT_B, datagen.small_ints(total_threads, 256, _SEED + 1))
+    memory.bind_array(PARAMS_BASE, np.array([96, 7, 12], dtype=np.uint32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(
+            total_threads + iterations, 0.9, _SEED + 2
+        ),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="tracking loop with nested data-dependent divergence",
+    )

@@ -1,0 +1,83 @@
+"""``leukocyte`` (LC) proxy.
+
+Signature reproduced (§5.4): the benchmark most sensitive to G-Scalar's
++3-cycle pipeline stretch — it launches too few warps to hide latency
+(a single small CTA here) and leans on long-latency integer division in
+its inner loop, so every extra cycle of dependency latency shows up in
+IPC.  Moderate scalar population from shared cell-detection constants;
+moderate divergence from the gradient-threshold branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 505
+
+#: LC deliberately under-occupies the SM: 4 warps regardless of scale.
+_LOW_OCCUPANCY_CTA = 128
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the LC proxy (low occupancy by design)."""
+    iterations = 4 * scale.inner_iterations
+    b = KernelBuilder("leukocyte")
+    tid = b.tid()
+    radius = load_broadcast(b, PARAMS_BASE)  # scalar detector constants
+    divisor = load_broadcast(b, PARAMS_BASE + 4)
+    sample = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    flag = load_thread_flag(b, tid)
+    in_cell = b.setne(flag, 0)
+    gradient = b.mov(0)
+
+    with b.for_range(0, iterations) as step:
+        # Long-latency integer division in the dependent chain: the
+        # matrix solve LC spends its time in.
+        quotient = b.idiv(sample, divisor)  # IDIV: 120-cycle class
+        remainder = b.irem(sample, divisor)
+        gradient = b.iadd(gradient, quotient, dst=gradient)
+        scaled_radius = b.imul(radius, 5)  # ALU scalar
+        window = b.iadd(scaled_radius, 3)  # ALU scalar
+        with b.if_(in_cell):
+            # Divergent path: the window-refinement chain is scalar with
+            # respect to the mask (divergent-scalar instructions).
+            half_window = b.shr(window, 1)
+            margin = b.iadd(half_window, radius)
+            trimmed = b.imin(margin, window)
+            gradient = b.iadd(gradient, trimmed, dst=gradient)
+        sample = b.iadd(sample, remainder, dst=sample)
+        sample = b.imax(sample, b.mov(1), dst=sample)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), gradient)
+    kernel = b.finish()
+
+    total_threads = _LOW_OCCUPANCY_CTA
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.small_ints(total_threads, 4096, _SEED) + 64
+    )
+    memory.bind_array(PARAMS_BASE, np.array([10, 7], dtype=np.uint32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.7, _SEED + 1),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=1, cta_dim=_LOW_OCCUPANCY_CTA),
+        memory=memory,
+        description="low-occupancy cell detection with long-latency integer DIV",
+    )

@@ -1,0 +1,76 @@
+"""``pathfinder`` (PF) proxy.
+
+Signature reproduced: the dynamic-programming row relaxation — each
+thread loads its three upstream costs (small integers, so registers
+share their top three bytes), takes a min-chain, and a modest fraction
+of warps diverge at the grid edge where the shared penalty constant is
+applied (divergent-scalar work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 606
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the PF proxy at the given scale."""
+    rows = 2 * scale.inner_iterations
+    b = KernelBuilder("pathfinder")
+    tid = b.tid()
+    penalty = load_broadcast(b, PARAMS_BASE)  # scalar edge penalty
+    cost = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    flag = load_thread_flag(b, tid)
+    at_edge = b.setne(flag, 0)
+
+    with b.for_range(0, rows) as row:
+        row_base = b.imad(row, 4, INPUT_B)  # scalar address math
+        left = b.ld_global(b.imad(tid, 4, row_base))
+        center = b.ld_global(b.iadd(b.imad(tid, 4, row_base), 4))
+        right = b.ld_global(b.iadd(b.imad(tid, 4, row_base), 8))
+        best = b.imin(left, center)
+        best = b.imin(best, right, dst=best)
+        with b.if_(at_edge) as branch:
+            # Edge path: shared penalty chain (divergent scalar).
+            doubled = b.imul(penalty, 2)
+            capped = b.imin(doubled, b.mov(255))
+            cost = b.iadd(cost, capped, dst=cost)
+            with branch.else_():
+                cost = b.iadd(cost, best, dst=cost)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), cost)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(INPUT_A, datagen.small_ints(total_threads, 64, _SEED))
+    memory.bind_array(
+        INPUT_B, datagen.small_ints(total_threads + rows + 2, 64, _SEED + 1)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([9], dtype=np.uint32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.62, _SEED + 2),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="DP row relaxation over small-integer costs",
+    )

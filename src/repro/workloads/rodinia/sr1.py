@@ -1,0 +1,83 @@
+"""``srad_1`` (SR1) proxy.
+
+Signature reproduced: the first SRAD kernel — per-thread gradient
+computation over narrow-range image floats, the diffusion-coefficient
+exponential evaluated on the *shared* q0 statistic (SFU-scalar), and a
+boundary-clamp branch that diverges a large fraction of warps with a
+scalar-lambda chain inside (divergent scalar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    OUTPUT_A,
+    OUTPUT_B,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 707
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the SR1 proxy at the given scale."""
+    b = KernelBuilder("srad_1")
+    tid = b.tid()
+    q0 = load_broadcast(b, PARAMS_BASE)  # shared image statistic
+    lam = load_broadcast(b, PARAMS_BASE + 4)  # scalar lambda
+    flag = load_thread_flag(b, tid)
+    at_border = b.setne(flag, 0)
+    image = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    north = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 4))
+    south = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_A), 8))
+    coefficient_sum = b.mov(b.fimm(0.0))
+
+    with b.for_range(0, scale.inner_iterations) as _sweep:
+        # Shared diffusion coefficient: exp(-q0 * step) — SFU scalar.
+        q_scaled = b.fmul(q0, b.fimm(-1.4427))  # ALU scalar (1/ln2 fold)
+        coefficient = b.ex2(q_scaled)  # SFU scalar
+        damping = b.fmul(coefficient, lam)  # ALU scalar
+        # Vector gradient work on similar floats.
+        gradient_n = b.fsub(north, image)
+        gradient_s = b.fsub(south, image)
+        divergence_term = b.fadd(gradient_n, gradient_s)
+        update = b.fmul(divergence_term, damping)
+        with b.if_(at_border) as branch:
+            # Border clamp over scalar constants: divergent scalar.
+            clamp = b.fmul(lam, b.fimm(0.25))
+            floor = b.fmax(clamp, coefficient)
+            coefficient_sum = b.fadd(coefficient_sum, floor, dst=coefficient_sum)
+            with branch.else_():
+                image = b.fadd(image, update, dst=image)
+        q0 = b.fmul(q0, b.fimm(0.97), dst=q0)  # statistic decays (scalar)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), image)
+    b.st_global(thread_element_addr(b, tid, OUTPUT_B), coefficient_sum)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads + 2, 0.5, 0.02, _SEED)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([0.35, 0.125], dtype=np.float32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.78, _SEED + 1),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="SRAD gradient kernel with scalar exponential coefficient",
+    )

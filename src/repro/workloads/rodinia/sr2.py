@@ -1,0 +1,80 @@
+"""``srad_2`` (SR2) proxy.
+
+Signature reproduced: the second SRAD kernel — applies the diffusion
+update using neighbour coefficients (vector float work on similar
+values), with a smaller divergent fraction than SR1 and a heavier
+store tail.  Scalar population comes from the shared time-step
+constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    OUTPUT_B,
+    PARAMS_BASE,
+    load_broadcast,
+    load_thread_flag,
+    thread_element_addr,
+)
+from repro.workloads.registry import BuiltWorkload, ScaleConfig
+
+_SEED = 808
+
+
+def build(scale: ScaleConfig) -> BuiltWorkload:
+    """Build the SR2 proxy at the given scale."""
+    b = KernelBuilder("srad_2")
+    tid = b.tid()
+    dt = load_broadcast(b, PARAMS_BASE)  # scalar time step
+    scale_c = load_broadcast(b, PARAMS_BASE + 4)
+    flag = load_thread_flag(b, tid)
+    at_border = b.setne(flag, 0)
+    image = b.ld_global(thread_element_addr(b, tid, INPUT_A))
+    coeff_e = b.ld_global(thread_element_addr(b, tid, INPUT_B))
+    coeff_s = b.ld_global(b.iadd(thread_element_addr(b, tid, INPUT_B), 4))
+
+    with b.for_range(0, scale.inner_iterations) as _sweep:
+        step_gain = b.fmul(dt, scale_c)  # ALU scalar
+        quarter = b.fmul(step_gain, b.fimm(0.25))  # ALU scalar
+        flux = b.fadd(coeff_e, coeff_s)  # vector
+        delta = b.fmul(flux, quarter)  # vector
+        image = b.fadd(image, delta, dst=image)
+        with b.if_(at_border):
+            # Border: renormalize with the scalar gain (divergent scalar).
+            renorm = b.fmul(step_gain, b.fimm(0.5))
+            bounded = b.fmin(renorm, dt)
+            coeff_e = b.fadd(coeff_e, bounded, dst=coeff_e)
+        coeff_s = b.fmul(coeff_s, b.fimm(0.995), dst=coeff_s)
+        b.st_global(thread_element_addr(b, tid, OUTPUT_B), delta)
+
+    b.st_global(thread_element_addr(b, tid, OUTPUT_A), image)
+    kernel = b.finish()
+
+    total_threads = scale.grid_dim * scale.cta_dim
+    memory = MemoryImage()
+    memory.bind_array(
+        INPUT_A, datagen.narrow_floats(total_threads, 0.55, 0.015, _SEED)
+    )
+    memory.bind_array(
+        INPUT_B, datagen.narrow_floats(total_threads + 2, 0.2, 0.01, _SEED + 1)
+    )
+    memory.bind_array(PARAMS_BASE, np.array([0.05, 1.5], dtype=np.float32))
+    memory.bind_array(
+        FLAGS_BASE,
+        datagen.boundary_mask_pattern(total_threads, 0.5, _SEED + 2),
+    )
+    return BuiltWorkload(
+        kernel=kernel,
+        launch=LaunchConfig(grid_dim=scale.grid_dim, cta_dim=scale.cta_dim),
+        memory=memory,
+        description="SRAD update kernel with scalar time-step chain",
+    )

@@ -1,0 +1,96 @@
+"""Unit + property tests for the BDI comparison compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bdi import (
+    BdiMode,
+    bdi_bytes_accessed,
+    bdi_compress,
+    bdi_decompress,
+)
+from repro.errors import CompressionError
+
+
+class TestModes:
+    def test_repeated(self):
+        compressed = bdi_compress(np.full(32, 99, dtype=np.uint32))
+        assert compressed.mode is BdiMode.REPEATED
+        assert compressed.total_bits == 34
+
+    def test_delta1(self):
+        values = np.uint32(1000) + np.arange(32, dtype=np.uint32)
+        compressed = bdi_compress(values)
+        assert compressed.mode is BdiMode.DELTA1
+
+    def test_delta2(self):
+        values = np.uint32(1000) + 300 * np.arange(32, dtype=np.uint32)
+        compressed = bdi_compress(values)
+        assert compressed.mode is BdiMode.DELTA2
+
+    def test_uncompressed(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**32, size=32, dtype=np.uint64).astype(np.uint32)
+        compressed = bdi_compress(values)
+        assert compressed.mode is BdiMode.UNCOMPRESSED
+
+    def test_negative_deltas(self):
+        values = np.uint32(1000) - np.arange(32, dtype=np.uint32)
+        assert bdi_compress(values).mode is BdiMode.DELTA1
+
+    def test_modular_wraparound_delta(self):
+        # Base near 2^32; values wrap around zero -> small modular deltas.
+        values = (np.uint32(0xFFFFFFF0) + np.arange(32, dtype=np.uint32))
+        assert bdi_compress(values).mode is BdiMode.DELTA1
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(CompressionError):
+            bdi_compress(np.zeros((2, 2), dtype=np.uint32))
+
+
+class TestBytesAccessed:
+    def test_compressed_access_counts_base_and_deltas(self):
+        values = np.uint32(1000) + np.arange(32, dtype=np.uint32)
+        compressed = bdi_compress(values)
+        assert bdi_bytes_accessed(compressed) == 4 + 32
+
+    def test_uncompressed_access_moves_everything(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**32, size=32, dtype=np.uint64).astype(np.uint32)
+        assert bdi_bytes_accessed(bdi_compress(values)) == 128
+
+
+lane_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=32, max_size=32
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=lane_arrays)
+def test_round_trip_property(values):
+    assert np.array_equal(bdi_decompress(bdi_compress(values)), values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=lane_arrays)
+def test_compressed_never_larger_than_raw_plus_tag(values):
+    compressed = bdi_compress(values)
+    assert compressed.total_bits <= 32 * 32 + 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    base=st.integers(min_value=0, max_value=2**32 - 1),
+    deltas=st.lists(
+        st.integers(min_value=0, max_value=127), min_size=32, max_size=32
+    ),
+)
+def test_byte_deltas_always_compress(base, deltas):
+    # BDI deltas are taken against lane 0, so offsets in [0, 127] keep
+    # every lane-0-relative delta within one signed byte.
+    deltas[0] = 0
+    values = ((base + np.array(deltas, dtype=np.int64)) % 2**32).astype(np.uint32)
+    compressed = bdi_compress(values)
+    assert compressed.mode in (BdiMode.REPEATED, BdiMode.DELTA1)

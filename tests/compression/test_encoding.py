@@ -1,0 +1,62 @@
+"""Unit tests for enc-bit algebra and register-encoding state."""
+
+import pytest
+
+from repro.compression.encoding import (
+    SCALAR_PREFIX,
+    RegisterEncoding,
+    bits_to_enc,
+    enc_to_bits,
+    is_scalar_encoding,
+)
+from repro.errors import CompressionError
+
+
+class TestPrefixCode:
+    @pytest.mark.parametrize(
+        "prefix,pattern",
+        [(0, 0b0000), (1, 0b1000), (2, 0b1100), (3, 0b1110), (4, 0b1111)],
+    )
+    def test_round_trip(self, prefix, pattern):
+        assert enc_to_bits(prefix) == pattern
+        assert bits_to_enc(pattern) == prefix
+
+    def test_out_of_range_prefix_rejected(self):
+        with pytest.raises(CompressionError):
+            enc_to_bits(5)
+        with pytest.raises(CompressionError):
+            enc_to_bits(-1)
+
+    @pytest.mark.parametrize("pattern", [0b0001, 0b0110, 0b1010, 0b0111])
+    def test_non_prefix_patterns_rejected(self, pattern):
+        with pytest.raises(CompressionError):
+            bits_to_enc(pattern)
+
+    def test_scalar_detection(self):
+        assert is_scalar_encoding(SCALAR_PREFIX)
+        assert not is_scalar_encoding(3)
+
+
+class TestRegisterEncoding:
+    def test_stored_bytes(self):
+        assert RegisterEncoding(enc=3, base=0).stored_data_bytes_per_lane == 1
+        assert RegisterEncoding(enc=4, base=0).stored_data_bytes_per_lane == 0
+
+    def test_divergent_registers_store_everything(self):
+        encoding = RegisterEncoding(enc=4, base=0xFF, divergent=True)
+        assert encoding.stored_data_bytes_per_lane == 4
+
+    def test_invalid_enc_rejected(self):
+        with pytest.raises(CompressionError):
+            RegisterEncoding(enc=9, base=0)
+
+    def test_mask_fits_in_base_for_wide_warps(self):
+        # A 64-lane active mask must be storable in the BVR field.
+        encoding = RegisterEncoding(enc=4, base=(1 << 64) - 1, divergent=True)
+        assert encoding.base == (1 << 64) - 1
+
+    def test_uncompressed_initial_state(self):
+        initial = RegisterEncoding.uncompressed()
+        assert initial.enc == 0
+        assert not initial.divergent
+        assert not initial.is_scalar

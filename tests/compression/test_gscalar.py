@@ -1,0 +1,134 @@
+"""Unit + property tests for the byte-wise prefix compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.gscalar import (
+    common_prefix_bytes,
+    compress,
+    compressed_bits,
+    decompress,
+)
+from repro.errors import CompressionError
+
+
+class TestCommonPrefix:
+    def test_paper_example(self):
+        # C04039C0, C04039C8, ..., C04039F8: bytes 3..1 identical.
+        values = np.uint32(0xC04039C0) + np.arange(0, 64, 8, dtype=np.uint32)
+        assert common_prefix_bytes(values) == 3
+
+    def test_scalar(self):
+        assert common_prefix_bytes(np.full(32, 0xDEADBEEF, dtype=np.uint32)) == 4
+
+    def test_no_similarity(self):
+        values = np.array([0x01000000, 0x02000000], dtype=np.uint32)
+        assert common_prefix_bytes(values) == 0
+
+    @pytest.mark.parametrize("prefix", [0, 1, 2, 3])
+    def test_exact_prefix_lengths(self, prefix):
+        base = 0xAABBCCDD
+        low_bits = 8 * (4 - prefix)
+        prefix_mask = (0xFFFFFFFF << low_bits) & 0xFFFFFFFF
+        rng = np.random.default_rng(prefix)
+        values = (base & prefix_mask) | rng.integers(
+            0, 1 << low_bits, size=32, dtype=np.uint64
+        ).astype(np.uint32)
+        # Force a differing byte at the boundary position so the prefix
+        # is exactly `prefix` long.
+        values[0] ^= np.uint32(0x80 << (low_bits - 8))
+        assert common_prefix_bytes(values) == prefix
+
+    def test_masked_comparison_ignores_inactive_lanes(self):
+        values = np.zeros(8, dtype=np.uint32)
+        values[1] = 0xFFFFFFFF  # inactive junk
+        mask = np.array([True, False, True, True, True, True, True, True])
+        assert common_prefix_bytes(values, mask) == 4
+
+    def test_single_active_lane_is_scalar(self):
+        values = np.arange(8, dtype=np.uint32)
+        mask = np.zeros(8, dtype=bool)
+        mask[3] = True
+        assert common_prefix_bytes(values, mask) == 4
+
+    def test_empty_mask_is_scalar(self):
+        values = np.arange(8, dtype=np.uint32)
+        assert common_prefix_bytes(values, np.zeros(8, dtype=bool)) == 4
+
+
+class TestCompressDecompress:
+    def test_round_trip_paper_example(self):
+        # 32 lanes stepping by 2 keeps byte[0] below 0x40 so bytes 3..1
+        # stay C0 40 39 across the whole register, as in Figure 2.
+        values = np.uint32(0xC04039C0) + np.arange(0, 64, 2, dtype=np.uint32)
+        compressed = compress(values)
+        assert compressed.enc == 3
+        assert compressed.base == 0xC04039C0
+        assert np.array_equal(decompress(compressed), values)
+
+    def test_scalar_register_stores_no_data_bytes(self):
+        compressed = compress(np.full(32, 7, dtype=np.uint32))
+        assert compressed.enc == 4
+        assert compressed.stored_bits == 0
+        assert compressed.total_bits == 36
+
+    def test_compression_ratio(self):
+        compressed = compress(np.full(32, 7, dtype=np.uint32))
+        assert compressed.compression_ratio == pytest.approx(1024 / 36)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(CompressionError):
+            compress(np.zeros((4, 4), dtype=np.uint32))
+
+    def test_compressed_bits_helper(self):
+        assert compressed_bits(4, 32) == 36
+        assert compressed_bits(0, 32) == 1024 + 36
+        with pytest.raises(CompressionError):
+            compressed_bits(7, 32)
+
+
+lane_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=32, max_size=32
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=lane_arrays)
+def test_round_trip_property(values):
+    assert np.array_equal(decompress(compress(values)), values)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=lane_arrays)
+def test_enc_is_sound(values):
+    """The top `enc` bytes really are identical across all lanes."""
+    enc = common_prefix_bytes(values)
+    if enc > 0:
+        shift = np.uint32(8 * (4 - enc))
+        prefixes = values >> shift
+        assert bool(np.all(prefixes == prefixes[0]))
+    if enc < 4:
+        # Maximality: the next byte differs somewhere.
+        shift = np.uint32(8 * (3 - enc))
+        next_bytes = (values >> shift) & np.uint32(0xFF)
+        assert not bool(np.all(next_bytes == next_bytes[0]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=lane_arrays,
+    mask_bits=st.integers(min_value=1, max_value=2**32 - 1),
+)
+def test_masked_enc_at_least_unmasked(values, mask_bits):
+    """Restricting comparison to a lane subset can only raise the prefix."""
+    mask = np.array([(mask_bits >> i) & 1 == 1 for i in range(32)])
+    assert common_prefix_bytes(values, mask) >= common_prefix_bytes(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=lane_arrays, offset=st.integers(min_value=0, max_value=255))
+def test_shared_high_bytes_detected(values, offset):
+    forced = (values & np.uint32(0xFF)) | np.uint32(0xABCD0000 + (offset << 8))
+    assert common_prefix_bytes(forced) >= 3

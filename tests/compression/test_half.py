@@ -1,0 +1,108 @@
+"""Unit tests for half-register compression and FS flag semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.half import compress_halves, scalar_chunks
+from repro.errors import CompressionError
+
+
+def halves(lo_value, hi_value, warp_size=32):
+    half = warp_size // 2
+    return np.concatenate(
+        [
+            np.full(half, lo_value, dtype=np.uint32),
+            np.full(half, hi_value, dtype=np.uint32),
+        ]
+    )
+
+
+class TestCompressHalves:
+    def test_full_scalar_sets_fs(self):
+        encoding = compress_halves(halves(7, 7))
+        assert encoding.full_scalar
+        assert encoding.lo_is_scalar and encoding.hi_is_scalar
+
+    def test_two_distinct_scalars(self):
+        encoding = compress_halves(halves(7, 9))
+        assert encoding.both_halves_scalar
+        assert not encoding.full_scalar
+        assert encoding.base_lo == 7
+        assert encoding.base_hi == 9
+
+    def test_paper_example_encl_1100_ench_1111(self):
+        lo = np.uint32(0xAABB0000) | np.arange(16, dtype=np.uint32) * 0x101
+        hi = np.full(16, 0x12345678, dtype=np.uint32)
+        encoding = compress_halves(np.concatenate([lo, hi]))
+        assert encoding.enc_lo == 2
+        assert encoding.enc_hi == 4
+        assert encoding.hi_is_scalar and not encoding.lo_is_scalar
+
+    def test_stored_bytes(self):
+        encoding = compress_halves(halves(7, 9))
+        assert encoding.stored_data_bytes(32) == 0
+        mixed = compress_halves(
+            np.concatenate(
+                [
+                    np.full(16, 5, dtype=np.uint32),
+                    0x1000 + np.arange(16, dtype=np.uint32),
+                ]
+            )
+        )
+        assert mixed.stored_data_bytes(32) == 16 * (4 - mixed.enc_hi)
+
+    def test_odd_warp_size_rejected(self):
+        with pytest.raises(CompressionError):
+            compress_halves(np.zeros(7, dtype=np.uint32))
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(CompressionError):
+            compress_halves(np.zeros(32, dtype=np.uint32), granularity=5)
+
+    def test_chunked_half_requires_chunk_agreement(self):
+        # Warp 64, granularity 16: half "lo" is two chunks.  Each chunk
+        # scalar but with different values -> the half is NOT scalar.
+        lo = np.concatenate(
+            [np.full(16, 1, dtype=np.uint32), np.full(16, 2, dtype=np.uint32)]
+        )
+        hi = np.full(32, 3, dtype=np.uint32)
+        encoding = compress_halves(np.concatenate([lo, hi]), granularity=16)
+        assert not encoding.lo_is_scalar
+        assert encoding.hi_is_scalar
+
+
+class TestScalarChunks:
+    def test_chunk_flags(self):
+        values = np.concatenate(
+            [np.full(16, 1, dtype=np.uint32), np.arange(16, dtype=np.uint32)]
+        )
+        assert scalar_chunks(values, 16) == [True, False]
+
+    def test_granularity_must_divide(self):
+        with pytest.raises(CompressionError):
+            scalar_chunks(np.zeros(32, dtype=np.uint32), 12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), min_size=32, max_size=32
+    ).map(lambda xs: np.array(xs, dtype=np.uint32))
+)
+def test_halves_never_coarser_than_full_register(values):
+    """Per-half prefixes are always >= the full-register prefix."""
+    from repro.compression.gscalar import common_prefix_bytes
+
+    encoding = compress_halves(values)
+    full = common_prefix_bytes(values)
+    assert encoding.enc_lo >= full
+    assert encoding.enc_hi >= full
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**32 - 1))
+def test_fs_iff_identical_scalar(value):
+    encoding = compress_halves(np.full(32, value, dtype=np.uint32))
+    assert encoding.full_scalar

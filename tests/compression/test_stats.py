@@ -1,0 +1,63 @@
+"""Unit tests for compression-ratio accounting."""
+
+import numpy as np
+
+from repro.compression.stats import CompressionComparison, compare_trace
+from repro.isa import KernelBuilder
+from repro.simt import MemoryImage
+
+from tests.conftest import run_one_warp
+
+
+class TestCompressionComparison:
+    def test_scalar_values_compress_best(self):
+        comparison = CompressionComparison(warp_size=32)
+        comparison.observe(np.full(32, 5, dtype=np.uint32))
+        assert comparison.ours_ratio > 20
+        assert comparison.enc_histogram[4] == 1
+
+    def test_random_values_do_not_compress(self):
+        comparison = CompressionComparison(warp_size=32)
+        rng = np.random.default_rng(0)
+        comparison.observe(
+            rng.integers(0, 2**32, size=32, dtype=np.uint64).astype(np.uint32)
+        )
+        assert comparison.ours_ratio < 1.05
+
+    def test_fractions_sum_to_one(self):
+        comparison = CompressionComparison(warp_size=32)
+        comparison.observe(np.full(32, 5, dtype=np.uint32))
+        comparison.observe(np.arange(32, dtype=np.uint32))
+        fractions = comparison.enc_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_empty_comparison_has_unit_ratios(self):
+        comparison = CompressionComparison(warp_size=32)
+        assert comparison.ours_ratio == 1.0
+        assert comparison.bdi_ratio == 1.0
+
+
+class TestCompareTrace:
+    def test_divergent_writes_skipped(self):
+        b = KernelBuilder("skip_divergent")
+        tid = b.tid()
+        value = b.mov(3)  # convergent scalar write (observed)
+        odd = b.and_(tid, 1)
+        cond = b.setne(odd, 0)
+        with b.if_(cond):
+            value = b.mov(9, dst=value)  # divergent write (skipped)
+        b.st_global(b.imad(tid, 4, 0x100), value)
+        trace = run_one_warp(b.finish(), MemoryImage())
+        comparison = compare_trace(trace)
+        total_writes = sum(
+            1 for e in trace.all_events() if e.dst_values is not None
+        )
+        assert comparison.registers_seen < total_writes
+        assert comparison.registers_seen > 0
+
+    def test_ratios_track_value_structure(self, scalar_heavy_kernel):
+        trace = run_one_warp(scalar_heavy_kernel, MemoryImage())
+        comparison = compare_trace(trace)
+        # A scalar-chain kernel compresses extremely well under both.
+        assert comparison.ours_ratio > 5
+        assert comparison.bdi_ratio > 5

@@ -1,0 +1,30 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_static_tables_run(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        assert main(["table2"]) == 0
+        assert "backprop" in capsys.readouterr().out
+        assert main(["table3"]) == 0
+        assert "compressor" in capsys.readouterr().out
+
+    def test_figure_at_tiny_scale(self, capsys):
+        assert main(["fig1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "LBM" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_experiment_list_is_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "table1", "table2", "table3", "extras", "scorecard", "suite",
+        }

@@ -1,0 +1,133 @@
+"""Shape tests for every figure regenerator (tiny scale).
+
+These check the *qualitative* paper claims, not absolute numbers:
+who wins, what's bigger than what, and that rendering works.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig8, fig9, fig10, fig11, fig12
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="tiny")
+
+
+class TestFig1:
+    def test_shape(self, runner):
+        data = fig1.compute(runner)
+        assert len(data.rows) == 17
+        assert 0.05 < data.average_divergent < 0.6
+        assert data.average_divergent_scalar <= data.average_divergent
+        # The paper's headline: a large share of divergent instructions
+        # is divergent-scalar.
+        assert data.average_scalar_share_of_divergent > 0.3
+
+    def test_lbm_among_most_divergent(self, runner):
+        data = fig1.compute(runner)
+        by_abbr = {row.abbr: row.stats.divergent_fraction for row in data.rows}
+        assert by_abbr["LBM"] > by_abbr["MQ"]
+        assert by_abbr["HW"] > by_abbr["MM"]
+
+    def test_render(self, runner):
+        text = fig1.render(fig1.compute(runner))
+        assert "Figure 1" in text and "AVG" in text
+
+
+class TestFig8:
+    def test_scalar_is_largest_similarity_class(self, runner):
+        data = fig8.compute(runner)
+        averages = data.average_fractions()
+        assert averages["scalar"] > averages["2-byte"]
+        assert averages["scalar"] > 0.2
+        assert abs(sum(averages.values()) - 1.0) < 1e-9
+
+    def test_render(self, runner):
+        text = fig8.render(fig8.compute(runner))
+        assert "3-byte" in text
+
+
+class TestFig9:
+    def test_stacking_and_doubling(self, runner):
+        data = fig9.compute(runner)
+        assert len(data.rows) == 17
+        # G-Scalar roughly doubles eligibility over ALU-scalar (paper:
+        # 22% -> 40%); allow a generous band at tiny scale.
+        assert data.average_total > 1.4 * data.average_alu_scalar
+        for row in data.rows:
+            assert row.total_eligible <= 1.0
+
+    def test_bp_half_scalar_visible(self, runner):
+        data = fig9.compute(runner)
+        bp = next(r for r in data.rows if r.abbr == "BP")
+        assert bp.half_scalar > 0.05
+
+    def test_render(self, runner):
+        assert "ALU scalar" in fig9.render(fig9.compute(runner))
+
+
+class TestFig10:
+    def test_warp64_increases_chunk_scalar(self, runner):
+        data = fig10.compute(runner)
+        # The paper's effect: quarter-scalar at warp 64 exceeds
+        # half-scalar at warp 32 on average.
+        assert data.average_warp64 > data.average_warp32
+
+    def test_render(self, runner):
+        assert "quarter" in fig10.render(fig10.compute(runner))
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def data(self):
+        # Tiny launches (2 warps) cannot hide the +3-cycle latency, so
+        # efficiency shape tests need enough warps for latency hiding —
+        # exactly the §5.4 occupancy argument.
+        return fig11.compute(ExperimentRunner(scale="small"))
+
+    def test_gscalar_beats_baseline_and_alu_scalar(self, data):
+        assert data.average_gscalar_efficiency > 1.05
+        assert data.average_gscalar_efficiency > data.average_alu_scalar_efficiency
+
+    def test_bp_is_the_star(self, data):
+        bp = next(r for r in data.rows if r.abbr == "BP")
+        others = [
+            r.normalized_efficiency("gscalar") for r in data.rows if r.abbr != "BP"
+        ]
+        assert bp.normalized_efficiency("gscalar") > max(others)
+
+    def test_ipc_penalty_small_on_average(self, data):
+        assert 0.88 < data.average_gscalar_ipc < 1.02
+
+    def test_gscalar_geq_without_divergent(self, data):
+        for row in data.rows:
+            assert (
+                row.normalized_efficiency("gscalar")
+                >= row.normalized_efficiency("gscalar_no_divergent") - 0.02
+            )
+
+    def test_render(self, data):
+        assert "G-Scalar" in fig11.render(data)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def data(self, runner):
+        return fig12.compute(runner)
+
+    def test_ordering_matches_paper(self, data):
+        # ours < scalar-only < baseline on average (54% vs 37% savings).
+        assert data.average("ours") < data.average("scalar_rf") < 1.0
+        assert data.average("ours") < data.average("wc_bdi")
+
+    def test_mg_mv_gap_over_scalar_rf(self, data):
+        """§5.3: on MG and MV our compression beats the scalar RF by a
+        wide margin because similarity is partial-byte, not scalar."""
+        for abbr in ("MG", "MV"):
+            row = next(r for r in data.rows if r.abbr == abbr)
+            assert row.normalized["ours"] < row.normalized["scalar_rf"] - 0.1
+
+    def test_render(self, data):
+        assert "W-C" in fig12.render(data)

@@ -1,0 +1,61 @@
+"""Tests for the caching experiment runner."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="tiny")
+
+
+class TestRunner:
+    def test_benchmark_names_in_table2_order(self, runner):
+        names = runner.benchmark_names()
+        assert names[0] == "BT"
+        assert names[-1] == "ACF"
+        assert len(names) == 17
+
+    def test_run_caches_trace(self, runner):
+        first = runner.run("BP")
+        second = runner.run("bp")  # case-insensitive
+        assert first is second
+
+    def test_processed_cached_per_architecture(self, runner):
+        arch = ArchitectureConfig.gscalar()
+        first = runner.processed("BP", arch)
+        second = runner.processed("BP", arch)
+        assert first is second
+
+    def test_timing_and_power(self, runner):
+        arch = ArchitectureConfig.baseline()
+        timing = runner.timing("HS", arch)
+        power = runner.power("HS", arch)
+        assert timing.cycles > 0
+        assert power.cycles == timing.cycles
+        assert power.ipc_per_watt > 0
+
+    def test_warp64_traces(self, runner):
+        trace32 = runner.trace_with_warp_size("HS", 32)
+        trace64 = runner.trace_with_warp_size("HS", 64)
+        assert trace32.warp_size == 32
+        assert trace64.warp_size == 64
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(scale="nope")
+
+
+class TestTraceCache:
+    def test_disk_cache_round_trip(self, tmp_path):
+        first = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        run_a = first.run("HS")
+        assert (tmp_path / "HS_tiny.npz").exists()
+        second = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        run_b = second.run("HS")
+        assert run_a.trace.total_instructions == run_b.trace.total_instructions
+        masks_a = [e.active_mask for e in run_a.trace.all_events()]
+        masks_b = [e.active_mask for e in run_b.trace.all_events()]
+        assert masks_a == masks_b

@@ -1,0 +1,68 @@
+"""Tests for the calibration-sensitivity sweep."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sensitivity import (
+    SWEEPABLE,
+    headline_is_robust,
+    sweep_energy_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="small")
+
+
+BENCHES = ("BP", "HS", "MM")
+
+
+class TestSweep:
+    def test_static_power_sweep_shape(self, runner):
+        points = sweep_energy_parameter(
+            runner, "sm_static_w", (0.5, 1.0, 2.0), benchmarks=BENCHES
+        )
+        assert len(points) == 3
+        # More static power dilutes dynamic savings: gain shrinks.
+        gains = [p.mean_gscalar_gain for p in points]
+        assert gains[0] > gains[1] > gains[2]
+        # But the conclusion survives a 2x mis-calibration either way.
+        assert headline_is_robust(points)
+
+    def test_rf_energy_sweep_helps_gscalar(self, runner):
+        points = sweep_energy_parameter(
+            runner, "rf_full_access_pj", (0.5, 1.0, 2.0), benchmarks=BENCHES
+        )
+        gains = [p.mean_gscalar_gain for p in points]
+        # The more the RF costs, the more compression saves.
+        assert gains[2] > gains[0]
+        assert headline_is_robust(points)
+
+    def test_alu_energy_sweep(self, runner):
+        points = sweep_energy_parameter(
+            runner, "alu_lane_pj", (0.5, 1.0, 2.0), benchmarks=BENCHES
+        )
+        assert headline_is_robust(points)
+
+    def test_values_scale_correctly(self, runner):
+        points = sweep_energy_parameter(
+            runner, "dram_access_pj", (0.5, 1.0), benchmarks=("BP",)
+        )
+        assert points[1].value == pytest.approx(2 * points[0].value)
+        assert points[0].parameter == "dram_access_pj"
+
+    def test_unknown_parameter_rejected(self, runner):
+        with pytest.raises(ConfigError):
+            sweep_energy_parameter(runner, "magic_pj", (1.0,))
+
+    def test_nonpositive_factor_rejected(self, runner):
+        with pytest.raises(ConfigError):
+            sweep_energy_parameter(runner, "alu_lane_pj", (0.0,), benchmarks=("BP",))
+
+    def test_sweepable_list_matches_energy_params(self):
+        from repro.power.energy import DEFAULT_ENERGY
+
+        for name in SWEEPABLE:
+            assert hasattr(DEFAULT_ENERGY, name)

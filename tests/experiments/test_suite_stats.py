@@ -1,0 +1,46 @@
+"""Tests for the workload-suite statistics command."""
+
+import pytest
+
+from repro.experiments import suite
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def data():
+    return suite.compute(ExperimentRunner(scale="tiny"))
+
+
+class TestSuiteStats:
+    def test_all_benchmarks_present(self, data):
+        assert len(data.rows) == 17
+        assert [row.abbr for row in data.rows][0] == "BT"
+
+    def test_fractions_are_fractions(self, data):
+        for row in data.rows:
+            for value in (
+                row.divergent, row.alu_scalar, row.sfu_scalar, row.mem_scalar,
+                row.half_scalar, row.divergent_scalar, row.eligible,
+                row.sfu_mix, row.mem_mix,
+            ):
+                assert 0.0 <= value <= 1.0, row.abbr
+
+    def test_eligible_is_sum_of_classes(self, data):
+        for row in data.rows:
+            total = (
+                row.alu_scalar + row.sfu_scalar + row.mem_scalar
+                + row.half_scalar + row.divergent_scalar
+            )
+            assert row.eligible == pytest.approx(total, abs=1e-9)
+
+    def test_averages_row(self, data):
+        averages = data.averages()
+        assert averages.abbr == "AVG"
+        assert averages.instructions == sum(r.instructions for r in data.rows)
+        assert 0.0 < averages.eligible < 1.0
+
+    def test_render(self, data):
+        text = suite.render(data)
+        assert "Workload-suite" in text
+        assert "AVG" in text
+        assert "LBM" in text

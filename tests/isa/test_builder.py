@@ -1,0 +1,148 @@
+"""Unit tests for the structured kernel-builder DSL."""
+
+import pytest
+
+from repro.errors import BuilderError
+from repro.isa.builder import KernelBuilder
+from repro.isa.kernel import Branch, Exit, Jump
+
+
+class TestStraightLine:
+    def test_simple_kernel(self):
+        b = KernelBuilder("simple")
+        x = b.mov(42)
+        y = b.iadd(x, 1)
+        b.st_global(b.mov(0x1000), y)
+        kernel = b.finish()
+        assert len(kernel.blocks) == 1
+        assert isinstance(kernel.blocks[0].terminator, Exit)
+        assert kernel.static_instruction_count() == 4
+
+    def test_fresh_registers_are_distinct(self):
+        b = KernelBuilder("regs")
+        a = b.mov(1)
+        c = b.mov(2)
+        assert a != c
+
+    def test_explicit_destination(self):
+        b = KernelBuilder("dst")
+        acc = b.mov(0)
+        result = b.iadd(acc, 1, dst=acc)
+        assert result == acc
+
+    def test_float_immediates(self):
+        b = KernelBuilder("f")
+        b.fadd(b.fimm(1.5), 2.5)
+        kernel = b.finish()
+        assert kernel.static_instruction_count() == 1
+
+    def test_finish_twice_rejected(self):
+        b = KernelBuilder("twice")
+        b.mov(0)
+        b.finish()
+        with pytest.raises(BuilderError):
+            b.finish()
+
+    def test_emit_after_finish_rejected(self):
+        b = KernelBuilder("after")
+        b.finish()
+        with pytest.raises(BuilderError):
+            b.mov(0)
+
+    def test_bad_operand_type_rejected(self):
+        b = KernelBuilder("bad")
+        with pytest.raises(BuilderError):
+            b.iadd("not an operand", 1)
+
+
+class TestIf:
+    def test_if_without_else(self):
+        b = KernelBuilder("if")
+        cond = b.mov(1)
+        with b.if_(cond):
+            b.mov(2)
+        kernel = b.finish()
+        # entry + then + (empty) else + merge
+        assert len(kernel.blocks) == 4
+        assert isinstance(kernel.blocks[0].terminator, Branch)
+
+    def test_if_with_else(self):
+        b = KernelBuilder("ifelse")
+        cond = b.mov(1)
+        with b.if_(cond) as branch:
+            b.mov(2)
+            with branch.else_():
+                b.mov(3)
+        kernel = b.finish()
+        branch_term = kernel.blocks[0].terminator
+        assert isinstance(branch_term, Branch)
+        taken = kernel.blocks[branch_term.taken]
+        not_taken = kernel.blocks[branch_term.not_taken]
+        assert len(taken.instructions) == 1
+        assert len(not_taken.instructions) == 1
+        assert isinstance(taken.terminator, Jump)
+        assert taken.terminator.target == not_taken.terminator.target
+
+    def test_double_else_rejected(self):
+        b = KernelBuilder("doubleelse")
+        cond = b.mov(1)
+        with pytest.raises(BuilderError):
+            with b.if_(cond) as branch:
+                with branch.else_():
+                    pass
+                with branch.else_():
+                    pass
+
+    def test_nested_if(self):
+        b = KernelBuilder("nested")
+        c1 = b.mov(1)
+        c2 = b.mov(0)
+        with b.if_(c1):
+            with b.if_(c2):
+                b.mov(5)
+        kernel = b.finish()
+        assert len(kernel.blocks) == 7
+
+
+class TestLoops:
+    def test_while_structure(self):
+        b = KernelBuilder("while")
+        i = b.mov(0)
+        with b.while_(lambda: b.setlt(i, 3)):
+            b.iadd(i, 1, dst=i)
+        kernel = b.finish()
+        # entry, header, body, exit
+        assert len(kernel.blocks) == 4
+        header = kernel.blocks[1]
+        assert isinstance(header.terminator, Branch)
+
+    def test_for_range_zero_step_rejected(self):
+        b = KernelBuilder("badstep")
+        with pytest.raises(BuilderError):
+            with b.for_range(0, 4, step=0):
+                pass
+
+    def test_for_range_negative_step(self):
+        b = KernelBuilder("down")
+        with b.for_range(5, 0, step=-1):
+            b.mov(0)
+        kernel = b.finish()
+        assert kernel.static_instruction_count() > 0
+
+    def test_nested_loop(self):
+        b = KernelBuilder("nestloop")
+        with b.for_range(0, 2):
+            with b.for_range(0, 3):
+                b.mov(1)
+        kernel = b.finish()
+        assert len(kernel.blocks) == 7
+
+
+class TestSpecialRegisters:
+    def test_all_specials_materialize(self):
+        b = KernelBuilder("specials")
+        for method in (b.tid, b.lane, b.ctaid, b.warp_in_cta, b.ntid):
+            reg = method()
+            assert reg is not None
+        kernel = b.finish()
+        assert kernel.static_instruction_count() == 5

@@ -1,0 +1,45 @@
+"""Tests for the kernel disassembler."""
+
+from repro.isa import KernelBuilder, disassemble
+
+
+def test_straight_line_listing():
+    b = KernelBuilder("simple")
+    x = b.mov(0x2A)
+    b.iadd(x, 1)
+    text = disassemble(b.finish())
+    assert "// kernel simple" in text
+    assert "B0:" in text
+    assert "mov" in text and "#0x2a" in text
+    assert text.rstrip().endswith("exit")
+
+
+def test_branch_rendering():
+    b = KernelBuilder("branching")
+    tid = b.tid()
+    cond = b.setlt(tid, 4)
+    with b.if_(cond):
+        b.mov(1)
+    text = disassemble(b.finish())
+    assert "%tid" in text
+    assert "bra" in text and "?" in text
+    assert "jmp" in text
+
+
+def test_every_block_labelled():
+    b = KernelBuilder("blocks")
+    with b.for_range(0, 3):
+        b.mov(0)
+    kernel = b.finish()
+    text = disassemble(kernel)
+    for block in kernel.blocks:
+        assert f"B{block.block_id}:" in text
+
+
+def test_workload_kernels_disassemble():
+    from repro.workloads.registry import all_workloads, SCALES
+
+    for spec in all_workloads()[:5]:
+        built = spec.builder(SCALES["tiny"])
+        text = disassemble(built.kernel)
+        assert built.kernel.name in text

@@ -1,0 +1,73 @@
+"""Unit tests for instruction and operand representations."""
+
+import pytest
+
+from repro.errors import KernelValidationError
+from repro.isa.instructions import Imm, Instruction, Reg, SpecialReg
+from repro.isa.opcodes import Opcode
+
+
+class TestReg:
+    def test_repr(self):
+        assert repr(Reg(5)) == "r5"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Reg(-1)
+
+    def test_equality_and_hash(self):
+        assert Reg(3) == Reg(3)
+        assert hash(Reg(3)) == hash(Reg(3))
+        assert Reg(3) != Reg(4)
+
+
+class TestImm:
+    def test_wraps_to_unsigned(self):
+        assert Imm(-1).value == 0xFFFFFFFF
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Imm(2**32)
+        with pytest.raises(KernelValidationError):
+            Imm(-(2**31) - 1)
+
+    def test_float_round_trip(self):
+        imm = Imm.from_float(3.5)
+        assert imm.as_float() == 3.5
+
+    def test_float_one_is_known_pattern(self):
+        assert Imm.from_float(1.0).value == 0x3F800000
+
+    def test_float_negative_zero(self):
+        assert Imm.from_float(-0.0).value == 0x80000000
+
+
+class TestInstruction:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Instruction(opcode=Opcode.IADD, dst=Reg(0), srcs=(Reg(1),))
+
+    def test_missing_destination_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Instruction(opcode=Opcode.IADD, dst=None, srcs=(Reg(1), Reg(2)))
+
+    def test_store_takes_no_destination(self):
+        with pytest.raises(KernelValidationError):
+            Instruction(opcode=Opcode.ST_GLOBAL, dst=Reg(0), srcs=(Reg(1), Reg(2)))
+
+    def test_control_opcode_rejected_as_body(self):
+        with pytest.raises(KernelValidationError):
+            Instruction(opcode=Opcode.BRA, dst=None, srcs=(Reg(0),))
+
+    def test_source_registers_filters_non_registers(self):
+        inst = Instruction(
+            opcode=Opcode.IMAD,
+            dst=Reg(0),
+            srcs=(Reg(1), Imm(4), SpecialReg.TID),
+        )
+        assert inst.source_registers == (Reg(1),)
+
+    def test_valid_instruction_reprs(self):
+        inst = Instruction(opcode=Opcode.IADD, dst=Reg(0), srcs=(Reg(1), Imm(2)))
+        assert "iadd" in repr(inst)
+        assert "r0" in repr(inst)

@@ -1,0 +1,150 @@
+"""Unit tests for kernel CFGs and post-dominator analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import KernelValidationError
+from repro.isa.instructions import Imm, Instruction, Reg
+from repro.isa.kernel import (
+    EXIT_NODE,
+    BasicBlock,
+    Branch,
+    Exit,
+    Jump,
+    Kernel,
+    immediate_postdominators,
+)
+from repro.isa.opcodes import Opcode
+
+
+def mov(dst, value):
+    return Instruction(opcode=Opcode.MOV, dst=Reg(dst), srcs=(Imm(value),))
+
+
+def diamond_kernel():
+    """0 -> (1 | 2) -> 3 -> exit."""
+    return Kernel(
+        name="diamond",
+        blocks=[
+            BasicBlock(0, [mov(0, 1)], Branch(cond=Reg(0), taken=1, not_taken=2)),
+            BasicBlock(1, [mov(1, 10)], Jump(3)),
+            BasicBlock(2, [mov(1, 20)], Jump(3)),
+            BasicBlock(3, [mov(2, 30)], Exit()),
+        ],
+    )
+
+
+def loop_kernel():
+    """0 -> 1(header) -> 2(body) -> 1 ... -> 3 -> exit."""
+    return Kernel(
+        name="loop",
+        blocks=[
+            BasicBlock(0, [mov(0, 1)], Jump(1)),
+            BasicBlock(1, [], Branch(cond=Reg(0), taken=2, not_taken=3)),
+            BasicBlock(2, [mov(1, 5)], Jump(1)),
+            BasicBlock(3, [], Exit()),
+        ],
+    )
+
+
+class TestValidation:
+    def test_block_id_mismatch_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Kernel(name="bad", blocks=[BasicBlock(1, [], Exit())])
+
+    def test_dangling_target_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Kernel(name="bad", blocks=[BasicBlock(0, [], Jump(7))])
+
+    def test_unreachable_block_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Kernel(
+                name="bad",
+                blocks=[
+                    BasicBlock(0, [], Exit()),
+                    BasicBlock(1, [], Exit()),
+                ],
+            )
+
+    def test_no_exit_rejected(self):
+        with pytest.raises(KernelValidationError):
+            Kernel(
+                name="bad",
+                blocks=[
+                    BasicBlock(0, [], Jump(1)),
+                    BasicBlock(1, [], Jump(0)),
+                ],
+            )
+
+    def test_num_registers_computed(self):
+        kernel = diamond_kernel()
+        assert kernel.num_registers == 3
+
+    def test_static_instruction_count(self):
+        assert diamond_kernel().static_instruction_count() == 4
+
+    def test_predecessors(self):
+        preds = diamond_kernel().predecessors()
+        assert sorted(preds[3]) == [1, 2]
+        assert preds[0] == []
+        assert preds[EXIT_NODE] == [3]
+
+
+class TestPostdominators:
+    def test_diamond(self):
+        ipdom = immediate_postdominators(diamond_kernel())
+        assert ipdom[0] == 3
+        assert ipdom[1] == 3
+        assert ipdom[2] == 3
+        assert ipdom[3] == EXIT_NODE
+
+    def test_loop(self):
+        ipdom = immediate_postdominators(loop_kernel())
+        assert ipdom[1] == 3  # loop branch reconverges at the exit block
+        assert ipdom[2] == 1  # body post-dominated by the header
+
+    def test_nested_diamonds_match_networkx(self):
+        # 0 -> (1 | 4); 1 -> (2 | 3) -> 5; 4 -> 5; 5 -> exit
+        kernel = Kernel(
+            name="nested",
+            blocks=[
+                BasicBlock(0, [mov(0, 1)], Branch(cond=Reg(0), taken=1, not_taken=4)),
+                BasicBlock(1, [], Branch(cond=Reg(0), taken=2, not_taken=3)),
+                BasicBlock(2, [], Jump(5)),
+                BasicBlock(3, [], Jump(5)),
+                BasicBlock(4, [], Jump(5)),
+                BasicBlock(5, [], Exit()),
+            ],
+        )
+        ours = immediate_postdominators(kernel)
+        reference = _networkx_ipdom(kernel)
+        assert ours == reference
+
+    def test_random_structured_cfgs_match_networkx(self):
+        from repro.isa import KernelBuilder
+
+        b = KernelBuilder("structured")
+        tid = b.tid()
+        c1 = b.setlt(tid, 10)
+        with b.if_(c1) as br:
+            c2 = b.setlt(tid, 5)
+            with b.if_(c2):
+                b.iadd(tid, 1)
+            with br.else_():
+                with b.for_range(0, 3):
+                    b.iadd(tid, 2)
+        kernel = b.finish()
+        assert immediate_postdominators(kernel) == _networkx_ipdom(kernel)
+
+
+def _networkx_ipdom(kernel):
+    """Reference implementation via networkx on the reverse CFG."""
+    graph = nx.DiGraph()
+    for block in kernel.blocks:
+        for successor in block.successors():
+            graph.add_edge(successor, block.block_id)  # reversed edge
+    idom = nx.immediate_dominators(graph, EXIT_NODE)
+    return {
+        block.block_id: idom[block.block_id]
+        for block in kernel.blocks
+    }

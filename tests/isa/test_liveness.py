@@ -1,0 +1,114 @@
+"""Tests for liveness and branch-region analysis."""
+
+from repro.isa import KernelBuilder
+from repro.isa.kernel import EXIT_NODE, Branch
+from repro.isa.liveness import block_liveness, branch_regions
+
+
+def diamond():
+    b = KernelBuilder("diamond")
+    tid = b.tid()
+    c = b.mov(7)
+    cond = b.setlt(tid, 16)
+    with b.if_(cond) as branch:
+        x = b.iadd(c, 1)
+        with branch.else_():
+            x2 = b.iadd(c, 2)
+    b.st_global(b.imad(tid, 4, 0x100), c)
+    return b.finish()
+
+
+class TestLiveness:
+    def test_constant_live_across_branch(self):
+        kernel = diamond()
+        liveness = block_liveness(kernel)
+        # `c` (register written in block 0, read in arms and at the end)
+        # must be live out of the entry block.
+        entry_defs = liveness.defs[0]
+        c_candidates = entry_defs & liveness.live_out[0]
+        assert c_candidates  # at least c and cond flow out
+
+    def test_dead_temp_not_live_at_merge(self):
+        kernel = diamond()
+        liveness = block_liveness(kernel)
+        branch_term = kernel.blocks[0].terminator
+        assert isinstance(branch_term, Branch)
+        taken = kernel.blocks[branch_term.taken]
+        temp = taken.instructions[-1].dst.index  # x, never read again
+        regions = branch_regions(kernel)
+        merge = regions[branch_term.taken].reconvergence
+        assert temp not in liveness.live_in[merge]
+
+    def test_loop_carried_register_live_at_header(self):
+        b = KernelBuilder("loop")
+        acc = b.mov(0)
+        with b.for_range(0, 4):
+            acc = b.iadd(acc, 1, dst=acc)
+        b.st_global(b.mov(0x100), acc)
+        kernel = b.finish()
+        liveness = block_liveness(kernel)
+        # acc is live around the back edge: live-in of the loop header.
+        header = 1
+        assert acc.index in liveness.live_in[header]
+
+    def test_use_before_def_within_block(self):
+        b = KernelBuilder("ubd")
+        x = b.mov(1)
+        y = b.iadd(x, 1)
+        b.iadd(y, 1, dst=x)  # x redefined after use
+        kernel = b.finish()
+        liveness = block_liveness(kernel)
+        assert x.index in liveness.defs[0]
+        assert liveness.live_in[0] == set()  # everything defined first
+
+
+class TestBranchRegions:
+    def test_if_else_region(self):
+        kernel = diamond()
+        regions = branch_regions(kernel)
+        branch_term = kernel.blocks[0].terminator
+        region = regions[branch_term.taken]
+        assert region.branch_block == 0
+        assert region.taken_head == branch_term.taken
+        assert region.not_taken_head == branch_term.not_taken
+        assert region.sibling_of(branch_term.taken) == branch_term.not_taken
+        # Both arms map to the same region; entry and merge do not.
+        assert branch_term.not_taken in regions
+        assert 0 not in regions
+        assert region.reconvergence not in regions
+
+    def test_nested_regions_innermost_wins(self):
+        b = KernelBuilder("nested")
+        tid = b.tid()
+        c1 = b.setlt(tid, 16)
+        c2 = b.setlt(tid, 8)
+        with b.if_(c1):
+            with b.if_(c2):
+                b.iadd(tid, 1)
+        kernel = b.finish()
+        regions = branch_regions(kernel)
+        # The innermost block belongs to the inner branch's region.
+        inner_branches = [
+            blk.block_id
+            for blk in kernel.blocks
+            if isinstance(blk.terminator, Branch) and blk.block_id != 0
+        ]
+        inner_branch = inner_branches[0]
+        inner_taken = kernel.blocks[inner_branch].terminator.taken
+        assert regions[inner_taken].branch_block == inner_branch
+
+    def test_straight_line_has_no_regions(self):
+        b = KernelBuilder("straight")
+        b.mov(1)
+        kernel = b.finish()
+        assert branch_regions(kernel) == {}
+
+    def test_loop_body_not_a_branch_region_member_of_itself(self):
+        b = KernelBuilder("loop")
+        i = b.mov(0)
+        with b.while_(lambda: b.setlt(i, 3)):
+            b.iadd(i, 1, dst=i)
+        kernel = b.finish()
+        regions = branch_regions(kernel)
+        # The loop header's branch creates a region containing the body.
+        assert any(r.branch_block == 1 for r in regions.values())

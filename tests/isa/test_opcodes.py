@@ -1,0 +1,100 @@
+"""Unit tests for opcode metadata."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    LONG_LATENCY_ALU,
+    SFU_ENERGY_FACTOR,
+    OpCategory,
+    Opcode,
+    category_of,
+    has_destination,
+    is_control,
+    is_load,
+    is_sfu,
+    is_store,
+    source_arity,
+)
+
+
+class TestCategories:
+    def test_alu_opcodes(self):
+        for op in (Opcode.IADD, Opcode.FMUL, Opcode.SETLT, Opcode.SELP, Opcode.MOV):
+            assert category_of(op) is OpCategory.ALU
+
+    def test_sfu_opcodes(self):
+        for op in (Opcode.SIN, Opcode.COS, Opcode.EX2, Opcode.RSQRT, Opcode.FDIV):
+            assert category_of(op) is OpCategory.SFU
+            assert is_sfu(op)
+
+    def test_mem_opcodes(self):
+        for op in (Opcode.LD_GLOBAL, Opcode.ST_SHARED):
+            assert category_of(op) is OpCategory.MEM
+
+    def test_ctrl_opcodes(self):
+        for op in (Opcode.BRA, Opcode.JMP, Opcode.EXIT):
+            assert category_of(op) is OpCategory.CTRL
+            assert is_control(op)
+
+    def test_decompress_mov_is_alu(self):
+        assert category_of(Opcode.DECOMPRESS_MOV) is OpCategory.ALU
+
+
+class TestLoadStore:
+    def test_loads(self):
+        assert is_load(Opcode.LD_GLOBAL)
+        assert is_load(Opcode.LD_SHARED)
+        assert not is_load(Opcode.ST_GLOBAL)
+
+    def test_stores(self):
+        assert is_store(Opcode.ST_GLOBAL)
+        assert is_store(Opcode.ST_SHARED)
+        assert not is_store(Opcode.LD_SHARED)
+
+    def test_loads_have_destination_stores_do_not(self):
+        assert has_destination(Opcode.LD_GLOBAL)
+        assert not has_destination(Opcode.ST_GLOBAL)
+
+
+class TestArity:
+    @pytest.mark.parametrize(
+        "opcode,arity",
+        [
+            (Opcode.IADD, 2),
+            (Opcode.IMAD, 3),
+            (Opcode.FFMA, 3),
+            (Opcode.SELP, 3),
+            (Opcode.NOT, 1),
+            (Opcode.MOV, 1),
+            (Opcode.SIN, 1),
+            (Opcode.LD_GLOBAL, 1),
+            (Opcode.ST_GLOBAL, 2),
+            (Opcode.BRA, 1),
+            (Opcode.JMP, 0),
+            (Opcode.EXIT, 0),
+        ],
+    )
+    def test_source_arity(self, opcode, arity):
+        assert source_arity(opcode) == arity
+
+    def test_control_has_no_destination(self):
+        for op in (Opcode.BRA, Opcode.JMP, Opcode.EXIT):
+            assert not has_destination(op)
+
+
+class TestEnergyMetadata:
+    def test_sfu_factors_cover_paper_range(self):
+        factors = list(SFU_ENERGY_FACTOR.values())
+        assert min(factors) >= 3.0
+        assert max(factors) <= 24.0
+        assert max(factors) == 24.0  # sin/cos hit the top of the range
+
+    def test_every_sfu_opcode_has_a_factor(self):
+        for op in Opcode:
+            if is_sfu(op):
+                assert op in SFU_ENERGY_FACTOR
+
+    def test_long_latency_set(self):
+        assert Opcode.IDIV in LONG_LATENCY_ALU
+        assert Opcode.IREM in LONG_LATENCY_ALU
+        assert Opcode.IADD not in LONG_LATENCY_ALU

@@ -1,0 +1,55 @@
+"""Unit tests for the extra kernel validation passes."""
+
+import pytest
+
+from repro.errors import KernelValidationError
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Instruction, Reg
+from repro.isa.kernel import BasicBlock, Exit, Kernel
+from repro.isa.opcodes import Opcode
+from repro.isa.validation import validate_kernel
+
+
+def test_clean_kernel_passes():
+    b = KernelBuilder("clean")
+    x = b.mov(1)
+    b.iadd(x, 2)
+    report = validate_kernel(b.finish())
+    assert report.num_instructions == 2
+    assert report.never_written == set()
+
+
+def test_undefined_read_rejected():
+    kernel = Kernel(
+        name="undef",
+        blocks=[
+            BasicBlock(
+                0,
+                [Instruction(opcode=Opcode.IADD, dst=Reg(0), srcs=(Reg(5), Reg(6)))],
+                Exit(),
+            )
+        ],
+    )
+    with pytest.raises(KernelValidationError, match="read"):
+        validate_kernel(kernel)
+
+
+def test_register_budget_enforced():
+    b = KernelBuilder("pressure")
+    regs = [b.mov(i) for i in range(70)]
+    b.iadd(regs[0], regs[1])
+    kernel = b.finish()
+    with pytest.raises(KernelValidationError, match="budget"):
+        validate_kernel(kernel, max_registers=64)
+    report = validate_kernel(kernel, max_registers=128)
+    assert report.num_registers == 71
+
+
+def test_report_tracks_read_and_written_sets():
+    b = KernelBuilder("sets")
+    x = b.mov(1)
+    y = b.iadd(x, 2)
+    b.st_global(b.mov(0x100), y)
+    report = validate_kernel(b.finish())
+    assert x.index in report.written_registers
+    assert x.index in report.read_registers

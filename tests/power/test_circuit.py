@@ -1,0 +1,77 @@
+"""Tests for the Table 3 analytic circuit model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.circuit import (
+    PAPER_TABLE3,
+    compressor_estimate,
+    decompressor_estimate,
+    per_sm_overhead,
+)
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize("block", ["compressor", "decompressor"])
+    def test_area_within_15_percent(self, block):
+        estimate = {
+            "compressor": compressor_estimate,
+            "decompressor": decompressor_estimate,
+        }[block]()
+        paper = PAPER_TABLE3[block]["area_um2"]
+        assert abs(estimate.area_um2 - paper) / paper < 0.15
+
+    @pytest.mark.parametrize("block", ["compressor", "decompressor"])
+    def test_power_within_10_percent(self, block):
+        estimate = {
+            "compressor": compressor_estimate,
+            "decompressor": decompressor_estimate,
+        }[block]()
+        paper = PAPER_TABLE3[block]["power_mw"]
+        assert abs(estimate.power_mw - paper) / paper < 0.10
+
+    def test_delays_bracket_paper(self):
+        comp = compressor_estimate()
+        decomp = decompressor_estimate()
+        assert abs(comp.delay_ns - 0.67) < 0.05
+        assert abs(decomp.delay_ns - 0.35) < 0.05
+        # Both close timing at 1.4 GHz (0.714 ns) as §3.1 requires.
+        assert comp.delay_ns < 1 / 1.4
+        assert decomp.delay_ns < 1 / 1.4
+
+    def test_compressor_larger_than_decompressor(self):
+        assert compressor_estimate().area_um2 > decompressor_estimate().area_um2
+
+
+class TestPerSmOverhead:
+    def test_matches_paper_budget(self):
+        power_w, area_mm2 = per_sm_overhead()
+        # Paper: 0.32 W and 0.16 mm^2 per SM.
+        assert power_w == pytest.approx(0.32, rel=0.10)
+        assert area_mm2 == pytest.approx(0.16, rel=0.10)
+
+    def test_counts_scale(self):
+        base_power, base_area = per_sm_overhead()
+        double_power, double_area = per_sm_overhead(
+            num_collectors=32, num_pipelines=8
+        )
+        assert double_power == pytest.approx(2 * base_power)
+        assert double_area == pytest.approx(2 * base_area)
+
+
+class TestScaling:
+    def test_wider_warp_costs_more(self):
+        assert compressor_estimate(64).area_um2 > compressor_estimate(32).area_um2
+        assert (
+            decompressor_estimate(64).power_mw > decompressor_estimate(32).power_mw
+        )
+
+    def test_invalid_warp_size_rejected(self):
+        with pytest.raises(ConfigError):
+            compressor_estimate(1)
+
+    def test_energy_per_op(self):
+        estimate = compressor_estimate()
+        assert estimate.energy_per_op_pj == pytest.approx(
+            estimate.power_mw / estimate.frequency_ghz
+        )

@@ -1,0 +1,54 @@
+"""Unit tests for energy parameters."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import Opcode
+from repro.power.energy import DEFAULT_ENERGY, EnergyParams
+
+
+class TestDerivedQuantities:
+    def test_array_energy_is_one_eighth(self):
+        params = DEFAULT_ENERGY
+        assert params.rf_array_pj == pytest.approx(params.rf_full_access_pj / 8)
+
+    def test_sidecar_is_paper_fraction(self):
+        params = DEFAULT_ENERGY
+        assert params.sidecar_pj == pytest.approx(0.052 * params.rf_full_access_pj)
+
+    def test_compressor_energy_matches_table3(self):
+        # 16.22 mW at 1.4 GHz -> pJ per operation.
+        assert DEFAULT_ENERGY.compressor_op_pj == pytest.approx(16.22 / 1.4)
+        assert DEFAULT_ENERGY.decompressor_op_pj == pytest.approx(15.86 / 1.4)
+
+
+class TestExecLaneEnergy:
+    def test_sfu_factors_in_paper_range(self):
+        params = DEFAULT_ENERGY
+        for opcode in (Opcode.SIN, Opcode.EX2, Opcode.RCP):
+            ratio = params.exec_lane_pj(opcode) / params.alu_lane_pj
+            assert 3.0 <= ratio <= 24.0
+
+    def test_sin_is_most_expensive(self):
+        params = DEFAULT_ENERGY
+        assert params.exec_lane_pj(Opcode.SIN) == 24.0 * params.alu_lane_pj
+
+    def test_memory_op_energy(self):
+        params = DEFAULT_ENERGY
+        assert params.exec_lane_pj(Opcode.LD_GLOBAL) == params.mem_lane_pj
+
+    def test_plain_alu(self):
+        params = DEFAULT_ENERGY
+        assert params.exec_lane_pj(Opcode.IADD) == params.alu_lane_pj
+
+
+class TestValidation:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DEFAULT_ENERGY, alu_lane_pj=-1.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DEFAULT_ENERGY, sidecar_fraction=1.5)

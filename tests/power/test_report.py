@@ -1,0 +1,70 @@
+"""Direct tests for power-report arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.report import EnergyBreakdown, PowerReport
+
+
+def make_report(cycles=1000, instructions=900, **energy):
+    breakdown = EnergyBreakdown(**energy)
+    return PowerReport(
+        arch_name="test",
+        cycles=cycles,
+        instructions=instructions,
+        frequency_ghz=1.4,
+        static_w=2.0,
+        breakdown=breakdown,
+    )
+
+
+class TestEnergyBreakdown:
+    def test_exec_sums_sub_pipelines(self):
+        breakdown = EnergyBreakdown(
+            exec_alu_pj=10.0, exec_sfu_pj=20.0, exec_mem_pj=5.0
+        )
+        assert breakdown.exec_pj == 35.0
+
+    def test_total(self):
+        breakdown = EnergyBreakdown(
+            exec_alu_pj=1, rf_pj=2, crossbar_pj=3, compression_pj=4,
+            fds_pj=5, memory_pj=6,
+        )
+        assert breakdown.total_pj == 21
+
+    def test_fractions_empty(self):
+        assert EnergyBreakdown().fractions() == {}
+
+
+class TestPowerReport:
+    def test_runtime_and_power(self):
+        report = make_report(cycles=1400, exec_alu_pj=1e6)
+        assert report.runtime_s == pytest.approx(1e-6)
+        # 1e6 pJ over 1 us = 1 W dynamic.
+        assert report.dynamic_power_w == pytest.approx(1.0)
+        assert report.total_power_w == pytest.approx(3.0)
+
+    def test_ipc_per_watt(self):
+        report = make_report(cycles=1000, instructions=500, exec_alu_pj=0.0)
+        assert report.ipc == 0.5
+        assert report.ipc_per_watt == pytest.approx(0.5 / report.total_power_w)
+
+    def test_zero_cycles(self):
+        report = make_report(cycles=0, instructions=0)
+        assert report.ipc == 0.0
+        assert report.dynamic_power_w == 0.0
+        assert report.ipc_per_watt == 0.0
+
+    def test_component_powers(self):
+        report = make_report(cycles=1400, exec_sfu_pj=1e6, rf_pj=5e5)
+        assert report.sfu_power_w == pytest.approx(1.0)
+        assert report.rf_dynamic_power_w == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_report(cycles=-1)
+        with pytest.raises(ConfigError):
+            PowerReport(
+                arch_name="x", cycles=1, instructions=1,
+                frequency_ghz=0.0, static_w=1.0,
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for per-access register-file energy."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.power.energy import DEFAULT_ENERGY
+from repro.power.rf_energy import RegisterFileEnergyModel
+from repro.regfile.access import AccessKind, RegisterAccess
+
+BASELINE_MODEL = RegisterFileEnergyModel(ArchitectureConfig.baseline(), DEFAULT_ENERGY)
+GSCALAR_MODEL = RegisterFileEnergyModel(ArchitectureConfig.gscalar(), DEFAULT_ENERGY)
+
+
+class TestAccessShapes:
+    def test_full_read(self):
+        energy = BASELINE_MODEL.energy_of(
+            RegisterAccess(kind=AccessKind.FULL_READ, register=0)
+        )
+        assert energy.rf_pj == pytest.approx(DEFAULT_ENERGY.rf_full_access_pj)
+        assert energy.crossbar_pj == pytest.approx(
+            128 * DEFAULT_ENERGY.crossbar_per_byte_pj
+        )
+
+    def test_scalar_read_costs_sidecar_only(self):
+        energy = GSCALAR_MODEL.energy_of(
+            RegisterAccess(kind=AccessKind.SCALAR_READ, register=0, enc=4, sidecar=True)
+        )
+        assert energy.rf_pj == pytest.approx(DEFAULT_ENERGY.sidecar_pj)
+        assert energy.rf_pj < 0.06 * DEFAULT_ENERGY.rf_full_access_pj
+
+    def test_compressed_read_scales_with_prefix(self):
+        def rf_for(enc):
+            return GSCALAR_MODEL.energy_of(
+                RegisterAccess(
+                    kind=AccessKind.COMPRESSED_READ,
+                    register=0,
+                    enc=enc,
+                    enc_lo=enc,
+                    enc_hi=enc,
+                    half_compressed=True,
+                    sidecar=True,
+                )
+            ).rf_pj
+
+        assert rf_for(3) < rf_for(2) < rf_for(1) < rf_for(0)
+        # 3-byte prefix: 2 of 8 arrays + sidecar.
+        expected = 2 * DEFAULT_ENERGY.rf_array_pj + DEFAULT_ENERGY.sidecar_pj
+        assert rf_for(3) == pytest.approx(expected)
+
+    def test_half_compression_uses_per_half_counts(self):
+        energy = GSCALAR_MODEL.energy_of(
+            RegisterAccess(
+                kind=AccessKind.COMPRESSED_READ,
+                register=0,
+                enc=0,
+                enc_lo=4,
+                enc_hi=2,
+                half_compressed=True,
+                sidecar=True,
+            )
+        )
+        expected = 2 * DEFAULT_ENERGY.rf_array_pj + DEFAULT_ENERGY.sidecar_pj
+        assert energy.rf_pj == pytest.approx(expected)
+
+    def test_partial_write_baseline_vs_rotated(self):
+        access = RegisterAccess(
+            kind=AccessKind.PARTIAL_WRITE, register=0, active_mask=0x1, sidecar=True
+        )
+        rotated = GSCALAR_MODEL.energy_of(access).rf_pj
+        baseline = BASELINE_MODEL.energy_of(
+            RegisterAccess(kind=AccessKind.PARTIAL_WRITE, register=0, active_mask=0x1)
+        ).rf_pj
+        # One active lane: baseline touches one word-array, byte rotation
+        # lights the whole bank (§3.3 last paragraph).
+        assert baseline == pytest.approx(DEFAULT_ENERGY.rf_array_pj)
+        assert rotated > baseline
+
+    def test_scalar_rf_access(self):
+        model = RegisterFileEnergyModel(ArchitectureConfig.alu_scalar(), DEFAULT_ENERGY)
+        energy = model.energy_of(
+            RegisterAccess(kind=AccessKind.SCALAR_RF_READ, register=0)
+        )
+        assert energy.rf_pj == pytest.approx(DEFAULT_ENERGY.scalar_rf_pj)
+
+
+class TestTotals:
+    def test_total_energy_sums(self):
+        accesses = (
+            RegisterAccess(kind=AccessKind.FULL_READ, register=0),
+            RegisterAccess(kind=AccessKind.FULL_WRITE, register=1),
+        )
+        total = BASELINE_MODEL.total_energy(accesses)
+        single = BASELINE_MODEL.energy_of(accesses[0])
+        assert total.rf_pj == pytest.approx(2 * single.rf_pj)
+        assert total.total_pj == pytest.approx(2 * single.total_pj)

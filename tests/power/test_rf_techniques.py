@@ -1,0 +1,66 @@
+"""Tests for the Figure 12 RF-technique comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import KernelBuilder
+from repro.power.rf_techniques import RF_TECHNIQUES, rf_energy_for_technique
+from repro.scalar.tracker import classify_trace
+from repro.simt import MemoryImage
+
+from tests.conftest import run_one_warp
+
+
+def classified_for(kernel):
+    trace = run_one_warp(kernel, MemoryImage())
+    return classify_trace(trace, kernel.num_registers), trace.warp_size
+
+
+def similar_value_kernel():
+    """Registers hold shared-prefix values: compressible by both schemes."""
+    b = KernelBuilder("similar")
+    tid = b.tid()
+    x = b.iadd(tid, 0x40300000)  # 2-3 byte prefix across lanes
+    y = b.iadd(x, 1)
+    z = b.iadd(y, x)
+    b.st_global(b.imad(tid, 4, 0x100), z)
+    return b.finish()
+
+
+class TestOrdering:
+    def test_all_techniques_cheaper_than_baseline(self, scalar_heavy_kernel):
+        classified, warp_size = classified_for(scalar_heavy_kernel)
+        baseline = rf_energy_for_technique(classified, "baseline", warp_size)
+        for technique in ("scalar_rf", "wc_bdi", "ours"):
+            result = rf_energy_for_technique(classified, technique, warp_size)
+            assert result.rf_pj < baseline.rf_pj
+
+    def test_ours_beats_scalar_rf_on_partial_similarity(self):
+        classified, warp_size = classified_for(similar_value_kernel())
+        scalar_rf = rf_energy_for_technique(classified, "scalar_rf", warp_size)
+        ours = rf_energy_for_technique(classified, "ours", warp_size)
+        # No full-scalar values here, so the scalar RF barely helps while
+        # byte-wise compression still does (the MG/MV story of §5.3).
+        assert ours.rf_pj < 0.9 * scalar_rf.rf_pj
+
+    def test_normalization(self, scalar_heavy_kernel):
+        classified, warp_size = classified_for(scalar_heavy_kernel)
+        baseline = rf_energy_for_technique(classified, "baseline", warp_size)
+        assert baseline.normalized_to(baseline) == pytest.approx(1.0)
+
+    def test_unknown_technique_rejected(self, scalar_heavy_kernel):
+        classified, warp_size = classified_for(scalar_heavy_kernel)
+        with pytest.raises(ConfigError):
+            rf_energy_for_technique(classified, "magic", warp_size)
+
+    def test_series_constant_is_ordered(self):
+        assert RF_TECHNIQUES == ("baseline", "scalar_rf", "wc_bdi", "ours")
+
+
+class TestWcBdiState:
+    def test_divergent_writes_stay_uncompressed(self, divergent_kernel):
+        classified, warp_size = classified_for(divergent_kernel)
+        result = rf_energy_for_technique(classified, "wc_bdi", warp_size)
+        assert result.rf_pj > 0
+        assert result.accesses > 0

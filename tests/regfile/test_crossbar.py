@@ -1,0 +1,39 @@
+"""Unit tests for the crossbar traffic model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regfile.crossbar import scalar_read_traffic, traffic_for_access
+
+
+class TestTraffic:
+    def test_uncompressed_moves_all_lanes(self):
+        traffic = traffic_for_access(0, 32)
+        assert traffic.data_bytes == 128
+        assert traffic.total_bytes == 128 + 0
+
+    def test_compressed_skips_prefix_bytes(self):
+        traffic = traffic_for_access(3, 32)
+        assert traffic.data_bytes == 32
+        assert traffic.base_bytes == 3
+
+    def test_scalar_read_moves_base_only(self):
+        traffic = scalar_read_traffic(32)
+        assert traffic.data_bytes == 0
+        assert traffic.total_bytes == 4
+
+    def test_divergent_register_travels_uncompressed(self):
+        traffic = traffic_for_access(4, 32, divergent_register=True)
+        assert traffic.data_bytes == 128
+
+    def test_compression_disabled(self):
+        traffic = traffic_for_access(3, 32, compression_enabled=False)
+        assert traffic.data_bytes == 128
+
+    def test_invalid_enc_rejected(self):
+        with pytest.raises(ConfigError):
+            traffic_for_access(5, 32)
+
+    def test_invalid_warp_size_rejected(self):
+        with pytest.raises(ConfigError):
+            scalar_read_traffic(0)

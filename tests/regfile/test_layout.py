@@ -1,0 +1,77 @@
+"""Unit tests for bank layouts and arrays-activated arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regfile.layout import (
+    SIDECAR_ENERGY_FRACTION,
+    BankGeometry,
+    BaselineLayout,
+    ByteRotatedLayout,
+)
+
+
+class TestGeometry:
+    def test_default_matches_memory_compiler_result(self):
+        geometry = BankGeometry()
+        assert geometry.arrays_per_bank == 8
+        assert geometry.array_bits == 128
+        assert geometry.lanes_per_array == 16
+        assert geometry.arrays_per_byte_position == 2
+        assert geometry.lanes_per_word_array == 4
+
+    def test_inconsistent_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            BankGeometry(warp_size=32, arrays_per_bank=4, array_bits=128)
+
+    def test_sidecar_fraction_is_papers(self):
+        assert SIDECAR_ENERGY_FRACTION == 0.052
+
+
+class TestByteRotated:
+    def test_full_access(self):
+        assert ByteRotatedLayout().arrays_for_full_access() == 8
+
+    @pytest.mark.parametrize("enc,arrays", [(0, 8), (1, 6), (2, 4), (3, 2), (4, 0)])
+    def test_compressed_access(self, enc, arrays):
+        assert ByteRotatedLayout().arrays_for_compressed_access(enc) == arrays
+
+    def test_half_compressed_access(self):
+        layout = ByteRotatedLayout()
+        # Paper example: encl=1100 (2 bytes), ench=1111 (scalar).
+        assert layout.arrays_for_half_compressed_access(2, 4) == 2
+        assert layout.arrays_for_half_compressed_access(0, 0) == 8
+        assert layout.arrays_for_half_compressed_access(4, 4) == 0
+
+    def test_divergent_write_lights_whole_bank(self):
+        assert ByteRotatedLayout().arrays_for_divergent_write() == 8
+
+    def test_data_bytes_moved(self):
+        layout = ByteRotatedLayout()
+        assert layout.data_bytes_moved(3) == 32
+        assert layout.data_bytes_moved(0) == 128
+
+    def test_invalid_enc_rejected(self):
+        with pytest.raises(ConfigError):
+            ByteRotatedLayout().arrays_for_compressed_access(5)
+
+
+class TestBaseline:
+    def test_full_access(self):
+        assert BaselineLayout().arrays_for_full_access() == 8
+
+    def test_partial_write_counts_word_groups(self):
+        layout = BaselineLayout()
+        # One active lane touches one array.
+        assert layout.arrays_for_partial_write(0x1) == 1
+        # Lanes 0 and 4 live in different 4-lane word arrays.
+        assert layout.arrays_for_partial_write(0x11) == 2
+        # All lanes.
+        assert layout.arrays_for_partial_write(0xFFFFFFFF) == 8
+        # One lane in every group.
+        assert layout.arrays_for_partial_write(0x11111111) == 8
+
+    def test_data_bytes_moved(self):
+        layout = BaselineLayout()
+        assert layout.data_bytes_moved() == 128
+        assert layout.data_bytes_moved(0xF) == 16

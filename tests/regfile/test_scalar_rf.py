@@ -1,0 +1,62 @@
+"""Unit tests for the prior-work single-bank scalar register file."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regfile.scalar_rf import ScalarRegisterFile
+
+
+class TestResidency:
+    def test_write_then_read_hits(self):
+        rf = ScalarRegisterFile()
+        rf.write_scalar(3)
+        assert rf.read(3)
+        assert rf.scalar_reads == 1
+
+    def test_miss_falls_back_to_vector(self):
+        rf = ScalarRegisterFile()
+        assert not rf.read(5)
+        assert rf.vector_fallback_reads == 1
+
+    def test_invalidate(self):
+        rf = ScalarRegisterFile()
+        rf.write_scalar(2)
+        rf.invalidate(2)
+        assert not rf.is_resident(2)
+        assert not rf.read(2)
+
+    def test_invalidate_nonresident_is_noop(self):
+        rf = ScalarRegisterFile()
+        rf.invalidate(9)
+        assert not rf.is_resident(9)
+
+    def test_lru_eviction(self):
+        rf = ScalarRegisterFile(capacity=2)
+        rf.write_scalar(0)
+        rf.write_scalar(1)
+        rf.read(0)  # make 1 the LRU
+        rf.write_scalar(2)
+        assert rf.evictions == 1
+        assert rf.is_resident(0)
+        assert not rf.is_resident(1)
+        assert rf.is_resident(2)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            ScalarRegisterFile(capacity=0)
+
+
+class TestPortSerialization:
+    def test_single_port_serializes(self):
+        rf = ScalarRegisterFile()
+        assert rf.port_cycles_for(0) == 0
+        assert rf.port_cycles_for(1) == 1
+        assert rf.port_cycles_for(3) == 3  # the §4.1 burst bottleneck
+
+    def test_multi_port(self):
+        rf = ScalarRegisterFile(read_ports=2)
+        assert rf.port_cycles_for(3) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ScalarRegisterFile().port_cycles_for(-1)

@@ -1,0 +1,91 @@
+"""Property-based tests: executor semantics vs direct numpy reference."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import KernelBuilder
+from repro.simt import LaunchConfig, MemoryImage, run_kernel
+
+lane_values = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=32, max_size=32
+)
+
+
+def run_binary(opcode_method_name, a_values, b_values):
+    """Execute one binary op over 32 lanes through the full stack."""
+    b = KernelBuilder("prop")
+    tid = b.tid()
+    x = b.ld_global(b.imad(tid, 4, 0x1000))
+    y = b.ld_global(b.imad(tid, 4, 0x2000))
+    method = getattr(b, opcode_method_name)
+    z = method(x, y)
+    b.st_global(b.imad(tid, 4, 0x3000), z)
+    memory = MemoryImage()
+    memory.bind_array(0x1000, np.array(a_values, dtype=np.uint32))
+    memory.bind_array(0x2000, np.array(b_values, dtype=np.uint32))
+    run_kernel(b.finish(), LaunchConfig(1, 32), memory)
+    return memory.read_array(0x3000, 32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=lane_values, b=lane_values)
+def test_iadd_matches_numpy(a, b):
+    expected = (np.array(a, dtype=np.uint64) + np.array(b, dtype=np.uint64)) % 2**32
+    assert np.array_equal(run_binary("iadd", a, b), expected.astype(np.uint32))
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=lane_values, b=lane_values)
+def test_imul_matches_numpy(a, b):
+    expected = (np.array(a, dtype=np.uint64) * np.array(b, dtype=np.uint64)) % 2**32
+    assert np.array_equal(run_binary("imul", a, b), expected.astype(np.uint32))
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=lane_values, b=lane_values)
+def test_xor_and_or_consistent(a, b):
+    a_arr = np.array(a, dtype=np.uint32)
+    b_arr = np.array(b, dtype=np.uint32)
+    assert np.array_equal(run_binary("xor", a, b), a_arr ^ b_arr)
+    assert np.array_equal(run_binary("and_", a, b), a_arr & b_arr)
+    assert np.array_equal(run_binary("or_", a, b), a_arr | b_arr)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=lane_values, b=lane_values)
+def test_setlt_is_signed(a, b):
+    a_signed = np.array(a, dtype=np.uint32).view(np.int32)
+    b_signed = np.array(b, dtype=np.uint32).view(np.int32)
+    expected = (a_signed < b_signed).astype(np.uint32)
+    assert np.array_equal(run_binary("setlt", a, b), expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=lane_values, b=lane_values)
+def test_imin_imax_bracket(a, b):
+    low = run_binary("imin", a, b).view(np.int32)
+    high = run_binary("imax", a, b).view(np.int32)
+    assert bool(np.all(low <= high))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    flags=st.lists(st.booleans(), min_size=32, max_size=32),
+)
+def test_divergent_merge_preserves_inactive_lanes(flags):
+    """A divergent write must leave inactive lanes untouched."""
+    b = KernelBuilder("merge")
+    tid = b.tid()
+    flag = b.ld_global(b.imad(tid, 4, 0x1000))
+    value = b.mov(5)
+    cond = b.setne(flag, 0)
+    with b.if_(cond):
+        value = b.mov(77, dst=value)
+    b.st_global(b.imad(tid, 4, 0x3000), value)
+    memory = MemoryImage()
+    memory.bind_array(0x1000, np.array(flags, dtype=np.uint32))
+    run_kernel(b.finish(), LaunchConfig(1, 32), memory)
+    out = memory.read_array(0x3000, 32)
+    expected = np.where(np.array(flags), 77, 5).astype(np.uint32)
+    assert np.array_equal(out, expected)

@@ -1,0 +1,76 @@
+"""Unit tests for grid/warp decomposition and mask helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simt.grid import (
+    LaunchConfig,
+    enumerate_warps,
+    int_to_mask,
+    mask_to_int,
+    popcount,
+)
+
+
+class TestLaunchConfig:
+    def test_totals(self):
+        launch = LaunchConfig(grid_dim=3, cta_dim=128)
+        assert launch.total_threads == 384
+        assert launch.warps_per_cta(32) == 4
+        assert launch.total_warps(32) == 12
+
+    def test_ragged_cta_rounds_up(self):
+        launch = LaunchConfig(grid_dim=1, cta_dim=33)
+        assert launch.warps_per_cta(32) == 2
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigError):
+            LaunchConfig(grid_dim=0, cta_dim=32)
+        with pytest.raises(ConfigError):
+            LaunchConfig(grid_dim=1, cta_dim=0)
+
+
+class TestWarpEnumeration:
+    def test_identities(self):
+        warps = enumerate_warps(LaunchConfig(grid_dim=2, cta_dim=64), 32)
+        assert len(warps) == 4
+        assert warps[0].first_thread == 0
+        assert warps[1].first_thread == 32
+        assert warps[2].cta_id == 1
+        assert warps[2].first_thread == 64
+        assert warps[3].warp_in_cta == 1
+
+    def test_global_thread_ids(self):
+        warps = enumerate_warps(LaunchConfig(grid_dim=2, cta_dim=32), 32)
+        ids = warps[1].global_thread_ids()
+        assert ids[0] == 32
+        assert ids[-1] == 63
+
+    def test_partial_warp_mask(self):
+        warps = enumerate_warps(LaunchConfig(grid_dim=1, cta_dim=40), 32)
+        assert warps[0].initial_mask().all()
+        tail = warps[1].initial_mask()
+        assert tail[:8].all()
+        assert not tail[8:].any()
+
+    def test_invalid_warp_size_rejected(self):
+        with pytest.raises(ConfigError):
+            enumerate_warps(LaunchConfig(grid_dim=1, cta_dim=32), 0)
+
+
+class TestMaskConversion:
+    def test_round_trip(self):
+        mask = np.array([True, False] * 16)
+        bits = mask_to_int(mask)
+        assert bits == 0x55555555
+        assert np.array_equal(int_to_mask(bits, 32), mask)
+
+    def test_empty_and_full(self):
+        assert mask_to_int(np.zeros(32, dtype=bool)) == 0
+        assert mask_to_int(np.ones(32, dtype=bool)) == 0xFFFFFFFF
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(0x80000001) == 2

@@ -1,0 +1,74 @@
+"""Unit tests for the functional memory image."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.simt.memory_state import MemoryImage
+
+
+class TestArrayBinding:
+    def test_uint32_round_trip(self):
+        memory = MemoryImage()
+        data = np.arange(10, dtype=np.uint32)
+        memory.bind_array(0x100, data)
+        assert np.array_equal(memory.read_array(0x100, 10), data)
+
+    def test_float32_bit_pattern_round_trip(self):
+        memory = MemoryImage()
+        data = np.array([1.5, -2.25, 0.0], dtype=np.float32)
+        memory.bind_array(0x200, data)
+        assert np.array_equal(memory.read_array(0x200, 3, dtype=np.float32), data)
+
+    def test_unaligned_base_rejected(self):
+        memory = MemoryImage()
+        with pytest.raises(MemoryError_):
+            memory.bind_array(0x101, np.zeros(1, dtype=np.uint32))
+
+    def test_unsupported_dtype_rejected(self):
+        memory = MemoryImage()
+        with pytest.raises(MemoryError_):
+            memory.bind_array(0x100, np.zeros(4, dtype=np.float64))
+
+
+class TestVectorAccess:
+    def test_masked_load(self):
+        memory = MemoryImage()
+        memory.bind_array(0, np.array([10, 20, 30, 40], dtype=np.uint32))
+        addrs = np.array([0, 4, 8, 12], dtype=np.uint32)
+        mask = np.array([True, False, True, False])
+        values = memory.load(addrs, mask)
+        assert values[0] == 10
+        assert values[2] == 30
+        assert values[1] == 0  # inactive lane reads as zero
+
+    def test_masked_store(self):
+        memory = MemoryImage()
+        addrs = np.array([0, 4], dtype=np.uint32)
+        memory.store(addrs, np.array([7, 9], dtype=np.uint32), np.array([True, False]))
+        assert memory.read_array(0, 2)[0] == 7
+        assert memory.read_array(0, 2)[1] == 0
+
+    def test_colliding_stores_highest_lane_wins(self):
+        memory = MemoryImage()
+        addrs = np.array([0, 0, 0], dtype=np.uint32)
+        memory.store(
+            addrs, np.array([1, 2, 3], dtype=np.uint32), np.ones(3, dtype=bool)
+        )
+        assert memory.read_array(0, 1)[0] == 3
+
+    def test_strict_mode_raises_on_unmapped(self):
+        memory = MemoryImage(strict=True)
+        with pytest.raises(MemoryError_):
+            memory.load(np.array([0x5000], dtype=np.uint32), np.array([True]))
+
+    def test_lenient_mode_reads_zero(self):
+        memory = MemoryImage()
+        values = memory.load(np.array([0x5000], dtype=np.uint32), np.array([True]))
+        assert values[0] == 0
+
+    def test_mapped_bytes_grows_lazily(self):
+        memory = MemoryImage()
+        assert memory.mapped_bytes == 0
+        memory.bind_array(0, np.zeros(1, dtype=np.uint32))
+        assert memory.mapped_bytes > 0

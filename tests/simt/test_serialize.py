@@ -1,0 +1,84 @@
+"""Round-trip tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.simt import MemoryImage
+from repro.simt.serialize import load_trace, save_trace
+
+from tests.conftest import run_one_warp
+
+
+def assert_traces_equal(a, b):
+    assert a.kernel_name == b.kernel_name
+    assert a.warp_size == b.warp_size
+    assert len(a.warps) == len(b.warps)
+    for warp_a, warp_b in zip(a.warps, b.warps):
+        assert warp_a.warp_id == warp_b.warp_id
+        assert len(warp_a) == len(warp_b)
+        for ev_a, ev_b in zip(warp_a.events, warp_b.events):
+            assert ev_a.opcode is ev_b.opcode
+            assert ev_a.dst == ev_b.dst
+            assert ev_a.src_regs == ev_b.src_regs
+            assert ev_a.active_mask == ev_b.active_mask
+            assert ev_a.block_id == ev_b.block_id
+            assert ev_a.varying_special_src == ev_b.varying_special_src
+            assert ev_a.scalar_nonreg_srcs == ev_b.scalar_nonreg_srcs
+            if ev_a.dst_values is None:
+                assert ev_b.dst_values is None
+            else:
+                assert np.array_equal(ev_a.dst_values, ev_b.dst_values)
+            if ev_a.addresses is None:
+                assert ev_b.addresses is None
+            else:
+                assert np.array_equal(ev_a.addresses, ev_b.addresses)
+
+
+class TestRoundTrip:
+    def test_divergent_trace(self, divergent_kernel, tmp_path):
+        trace = run_one_warp(divergent_kernel, MemoryImage(), cta=64)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        assert_traces_equal(trace, load_trace(path))
+
+    def test_memory_trace(self, saxpy_kernel, simple_memory, tmp_path):
+        trace = run_one_warp(saxpy_kernel, simple_memory)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        assert_traces_equal(trace, load_trace(path))
+
+    def test_empty_trace(self, tmp_path):
+        from repro.simt.trace import KernelTrace
+
+        trace = KernelTrace(kernel_name="empty", warp_size=32)
+        path = tmp_path / "empty.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.total_instructions == 0
+
+    def test_downstream_results_identical(self, divergent_kernel, tmp_path):
+        """A reloaded trace must classify identically."""
+        from repro.scalar import classify_trace, trace_statistics
+
+        trace = run_one_warp(divergent_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        reloaded = load_trace(path)
+        original = trace_statistics(
+            classify_trace(trace, divergent_kernel.num_registers)
+        )
+        recovered = trace_statistics(
+            classify_trace(reloaded, divergent_kernel.num_registers)
+        )
+        assert original.class_counts == recovered.class_counts
+
+    def test_workload_trace_round_trip(self, tmp_path):
+        from repro.simt.executor import run_kernel
+        from repro.workloads.registry import build_workload
+
+        built = build_workload("HS", scale="tiny")
+        trace = run_kernel(built.kernel, built.launch, built.memory)
+        path = tmp_path / "hs.npz"
+        save_trace(trace, path)
+        assert_traces_equal(trace, load_trace(path))
+        assert path.stat().st_size > 0

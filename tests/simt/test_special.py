@@ -1,0 +1,82 @@
+"""Unit tests for SFU functional semantics."""
+
+import numpy as np
+
+from repro.simt.special import (
+    UNARY_SFU,
+    sfu_cos,
+    sfu_ex2,
+    sfu_fdiv,
+    sfu_lg2,
+    sfu_rcp,
+    sfu_rsqrt,
+    sfu_sin,
+    sfu_sqrt,
+)
+
+
+def bits(*values):
+    return np.array(values, dtype=np.float32).view(np.uint32)
+
+
+def floats(raw):
+    return raw.view(np.float32)
+
+
+class TestUnaryFunctions:
+    def test_sin_known_values(self):
+        out = floats(sfu_sin(bits(0.0, np.pi / 2)))
+        assert out[0] == 0.0
+        assert abs(out[1] - 1.0) < 1e-6
+
+    def test_cos_known_values(self):
+        out = floats(sfu_cos(bits(0.0)))
+        assert out[0] == 1.0
+
+    def test_ex2(self):
+        out = floats(sfu_ex2(bits(0.0, 3.0, -1.0)))
+        assert np.allclose(out, [1.0, 8.0, 0.5])
+
+    def test_lg2(self):
+        out = floats(sfu_lg2(bits(8.0, 1.0)))
+        assert np.allclose(out, [3.0, 0.0])
+
+    def test_lg2_of_zero_is_negative_infinity(self):
+        out = floats(sfu_lg2(bits(0.0)))
+        assert np.isneginf(out[0])
+
+    def test_rsqrt(self):
+        out = floats(sfu_rsqrt(bits(4.0)))
+        assert abs(out[0] - 0.5) < 1e-6
+
+    def test_rcp_of_zero_is_infinity(self):
+        out = floats(sfu_rcp(bits(0.0)))
+        assert np.isinf(out[0])
+
+    def test_sqrt_of_negative_is_nan(self):
+        out = floats(sfu_sqrt(bits(-1.0)))
+        assert np.isnan(out[0])
+
+    def test_results_are_float32_precision(self):
+        raw = sfu_sin(bits(1.0))
+        assert raw.dtype == np.uint32
+        expected = np.sin(np.float32(1.0), dtype=np.float32)
+        assert floats(raw)[0] == expected
+
+
+class TestFdiv:
+    def test_division(self):
+        out = floats(sfu_fdiv(bits(6.0), bits(3.0)))
+        assert out[0] == 2.0
+
+    def test_division_by_zero(self):
+        out = floats(sfu_fdiv(bits(1.0), bits(0.0)))
+        assert np.isinf(out[0])
+
+    def test_zero_over_zero_is_nan(self):
+        out = floats(sfu_fdiv(bits(0.0), bits(0.0)))
+        assert np.isnan(out[0])
+
+
+def test_unary_table_is_complete():
+    assert len(UNARY_SFU) == 7

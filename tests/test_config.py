@@ -1,0 +1,84 @@
+"""Tests for GPU and architecture configuration."""
+
+import pytest
+
+from repro.config import (
+    EVALUATED_ARCHITECTURES,
+    ArchitectureConfig,
+    GpuConfig,
+    ScalarMode,
+    architecture_by_name,
+)
+from repro.errors import ConfigError
+
+
+class TestGpuConfig:
+    def test_defaults_match_table1(self):
+        config = GpuConfig()
+        assert config.num_sms == 15
+        assert config.max_warps_per_sm == 48
+        assert config.vector_registers_per_sm == 1024
+        assert config.vector_registers_per_bank == 64
+        assert config.alu_dispatch_cycles == 2
+        assert config.sfu_dispatch_cycles == 8
+
+    def test_invalid_warp_size(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(warp_size=3)
+
+    def test_threads_must_be_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(threads_per_sm=1500)
+
+    def test_wider_warp_dispatch(self):
+        config = GpuConfig(warp_size=64, threads_per_sm=1536)
+        assert config.alu_dispatch_cycles == 4
+        assert config.sfu_dispatch_cycles == 16
+
+
+class TestArchitectureConfig:
+    def test_four_evaluated_architectures(self):
+        names = [arch.name for arch in EVALUATED_ARCHITECTURES]
+        assert names == [
+            "baseline",
+            "alu_scalar",
+            "gscalar_no_divergent",
+            "gscalar",
+        ]
+
+    def test_lookup_by_name(self):
+        assert architecture_by_name("gscalar").divergent_scalar
+        with pytest.raises(ConfigError):
+            architecture_by_name("nope")
+
+    def test_baseline_has_nothing_enabled(self):
+        baseline = ArchitectureConfig.baseline()
+        assert baseline.scalar_mode is ScalarMode.NONE
+        assert not baseline.register_compression
+        assert baseline.extra_pipeline_cycles == 0
+
+    def test_gscalar_capabilities(self):
+        gscalar = ArchitectureConfig.gscalar()
+        assert gscalar.scalar_mode is ScalarMode.ALL_PIPELINES
+        assert gscalar.register_compression
+        assert gscalar.half_warp_scalar
+        assert gscalar.divergent_scalar
+        assert gscalar.extra_pipeline_cycles == 3
+        assert not gscalar.scalar_fast_dispatch  # paper-faithful default
+
+    def test_half_warp_requires_half_compression(self):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig.gscalar().replace(half_register_compression=False)
+
+    def test_divergent_scalar_requires_compression(self):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig.gscalar().replace(register_compression=False)
+
+    def test_divergent_scalar_requires_scalar_mode(self):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig.gscalar().replace(scalar_mode=ScalarMode.NONE)
+
+    def test_replace_for_ablations(self):
+        fast = ArchitectureConfig.gscalar().replace(scalar_fast_dispatch=True)
+        assert fast.scalar_fast_dispatch
+        assert fast.divergent_scalar  # everything else preserved

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+These protect the documentation surface — an example that crashes is
+worse than no example.  Each runs in a subprocess with a generous
+timeout; ``power_sweep`` gets the tiny scale to stay fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "architecture comparison" in out
+        assert "gscalar" in out
+
+    def test_divergence_study(self):
+        out = run_example("divergence_study.py")
+        assert "divergent-scalar" in out.lower()
+
+    def test_compression_explorer(self):
+        out = run_example("compression_explorer.py")
+        assert "Figure 2's example" in out
+        assert "BDI" in out
+
+    def test_custom_kernel(self):
+        out = run_example("custom_kernel.py")
+        assert "block sums verified" in out
+
+    def test_power_sweep_tiny(self):
+        out = run_example("power_sweep.py", "tiny")
+        assert "G-Scalar mean IPC/W gain" in out
+        assert "BP SFU power" in out
+
+
+def test_examples_directory_is_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert names >= {
+        "quickstart.py",
+        "divergence_study.py",
+        "compression_explorer.py",
+        "custom_kernel.py",
+        "power_sweep.py",
+    }

@@ -1,0 +1,79 @@
+"""Unit tests for the cache/DRAM latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.timing.memory import MemoryModel, SetAssociativeCache
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(1024)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        cache = SetAssociativeCache(4 * 128, ways=2)  # 2 sets x 2 ways
+        # Segments 0, 2, 4 map to set 0 (num_sets=2).
+        cache.access(0)
+        cache.access(2)
+        cache.access(4)  # evicts 0
+        assert not cache.access(0)
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(1024)
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate() == 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(0)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(128, line_bytes=128, ways=4)
+
+
+class TestMemoryModel:
+    def test_latency_ordering(self):
+        model = MemoryModel()
+        cold = model.access_global((0,), is_store=False)
+        warm = model.access_global((0,), is_store=False)
+        assert cold == model.dram_latency
+        assert warm == model.l1_hit_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        model = MemoryModel(l1_size_bytes=8 * 128)  # 2 sets x 4 ways
+        model.access_global((0,), is_store=False)  # dram
+        # Fill set 0 (even segments) until segment 0 is evicted.
+        for segment in (2, 4, 6, 8):
+            model.access_global((segment,), is_store=False)
+        latency = model.access_global((0,), is_store=False)
+        assert latency == model.l2_hit_latency
+
+    def test_store_is_write_through(self):
+        model = MemoryModel()
+        latency = model.access_global((7,), is_store=True)
+        assert latency == model.l1_hit_latency
+        assert model.counts.l2_accesses == 1
+
+    def test_multi_segment_takes_worst(self):
+        model = MemoryModel()
+        model.access_global((0,), is_store=False)  # warm one segment
+        latency = model.access_global((0, 99), is_store=False)
+        assert latency == model.dram_latency
+
+    def test_empty_segment_list_is_l1_latency(self):
+        model = MemoryModel()
+        assert model.access_global((), is_store=False) == model.l1_hit_latency
+
+    def test_shared_access(self):
+        model = MemoryModel()
+        assert model.access_shared() == model.shared_latency
+        assert model.counts.shared_accesses == 1
+
+    def test_counters_accumulate(self):
+        model = MemoryModel()
+        model.access_global((0, 1, 2), is_store=False)
+        assert model.counts.l1_accesses == 3
+        assert model.counts.dram_accesses == 3

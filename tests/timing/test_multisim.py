@@ -1,0 +1,66 @@
+"""Tests for the multi-SM GPU wrapper."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.errors import TimingError
+from repro.scalar.architectures import process_trace
+from repro.simt.executor import run_kernel
+from repro.timing.multisim import simulate_gpu
+from repro.workloads.registry import build_workload
+
+ARCH = ArchitectureConfig.baseline()
+
+
+@pytest.fixture(scope="module")
+def processed_hs():
+    built = build_workload("HS", scale="small")  # 16 warps, 4 CTAs
+    trace = run_kernel(built.kernel, built.launch, built.memory)
+    processed = process_trace(trace, ARCH, built.kernel.num_registers)
+    warps_per_cta = built.launch.warps_per_cta(32)
+    return processed, warps_per_cta
+
+
+class TestSimulateGpu:
+    def test_all_instructions_complete(self, processed_hs):
+        processed, wpc = processed_hs
+        result = simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=2)
+        total_events = sum(len(w) for w in processed)
+        assert result.instructions == total_events
+        assert result.useful_instructions == total_events
+
+    def test_more_sms_never_slower(self, processed_hs):
+        processed, wpc = processed_hs
+        one = simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=1)
+        four = simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=4)
+        assert four.cycles <= one.cycles
+        assert four.ipc >= one.ipc
+
+    def test_excess_sms_idle(self, processed_hs):
+        processed, wpc = processed_hs
+        result = simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=15)
+        busy = [r for r in result.per_sm if r.instructions > 0]
+        assert len(busy) == 4  # only 4 CTAs to place
+
+    def test_memory_counts_aggregate(self, processed_hs):
+        processed, wpc = processed_hs
+        split = simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=2)
+        assert split.memory_counts.l1_accesses > 0
+
+    def test_load_imbalance_bounds(self, processed_hs):
+        processed, wpc = processed_hs
+        result = simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=3)
+        # 4 CTAs over 3 SMs: one SM runs two CTAs -> imbalance > 1.
+        assert result.load_imbalance() >= 1.0
+
+    def test_invalid_parameters(self, processed_hs):
+        processed, wpc = processed_hs
+        with pytest.raises(TimingError):
+            simulate_gpu(processed, ARCH, warps_per_cta=wpc, num_sms=0)
+        with pytest.raises(TimingError):
+            simulate_gpu(processed, ARCH, warps_per_cta=0)
+
+    def test_empty_launch(self):
+        result = simulate_gpu([], ARCH, num_sms=4)
+        assert result.cycles == 0
+        assert result.ipc == 0.0

@@ -1,0 +1,101 @@
+"""Tests for the value-pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.gscalar import common_prefix_bytes
+from repro.errors import WorkloadError
+from repro.workloads import datagen
+
+
+class TestGenerators:
+    def test_scalar_words(self):
+        values = datagen.scalar_words(32, 0xABCD)
+        assert common_prefix_bytes(values) == 4
+
+    @pytest.mark.parametrize("prefix", [1, 2, 3])
+    def test_shared_prefix_words(self, prefix):
+        values = datagen.shared_prefix_words(64, prefix, seed=1)
+        assert common_prefix_bytes(values[:32]) >= prefix
+
+    def test_shared_prefix_is_deterministic(self):
+        a = datagen.shared_prefix_words(32, 2, seed=7)
+        b = datagen.shared_prefix_words(32, 2, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_affine_words(self):
+        values = datagen.affine_words(8, base=0x1000, stride=4)
+        assert values[0] == 0x1000
+        assert values[7] == 0x1000 + 28
+
+    def test_affine_wraps(self):
+        values = datagen.affine_words(2, base=0xFFFFFFFC, stride=8)
+        assert values[1] == 4
+
+    def test_narrow_floats_share_exponent(self):
+        values = datagen.narrow_floats(32, 100.0, 0.5, seed=3)
+        assert common_prefix_bytes(values) >= 1
+
+    def test_small_ints_have_zero_top_bytes(self):
+        values = datagen.small_ints(32, 256, seed=4)
+        assert common_prefix_bytes(values) >= 3
+
+    def test_random_words_rarely_similar(self):
+        values = datagen.random_words(32, seed=5)
+        assert common_prefix_bytes(values) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            datagen.shared_prefix_words(8, 5, seed=0)
+        with pytest.raises(WorkloadError):
+            datagen.small_ints(8, 0, seed=0)
+        with pytest.raises(WorkloadError):
+            datagen.narrow_floats(8, 0.0, -1.0, seed=0)
+
+
+class TestMixedWords:
+    def test_fraction_validation(self):
+        with pytest.raises(WorkloadError):
+            datagen.mixed_words(64, {4: 0.5}, seed=0)
+
+    def test_chunks_follow_distribution(self):
+        values = datagen.mixed_words(32 * 200, {4: 0.5, 0: 0.5}, seed=9)
+        scalar_chunks = sum(
+            1
+            for i in range(200)
+            if common_prefix_bytes(values[32 * i : 32 * (i + 1)]) == 4
+        )
+        assert 60 <= scalar_chunks <= 140
+
+
+class TestBoundaryMask:
+    def test_exact_mixed_count(self):
+        flags = datagen.boundary_mask_pattern(320, 0.5, seed=11)
+        mixed = 0
+        for warp in range(10):
+            block = flags[warp * 32 : (warp + 1) * 32]
+            if 0 < block.sum() < 32:
+                mixed += 1
+        assert mixed == 5
+
+    def test_extremes(self):
+        none_mixed = datagen.boundary_mask_pattern(320, 0.0, seed=1)
+        for warp in range(10):
+            block = none_mixed[warp * 32 : (warp + 1) * 32]
+            assert block.sum() in (0, 32)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            datagen.boundary_mask_pattern(32, 1.5, seed=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    prefix=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_shared_prefix_property(prefix, seed):
+    values = datagen.shared_prefix_words(32, prefix, seed)
+    assert common_prefix_bytes(values) >= prefix

@@ -1,0 +1,582 @@
+"""Functional correctness of workload kernels against numpy references.
+
+The figure pipeline only consumes statistics, so a silently-wrong
+kernel could still produce plausible-looking figures.  These tests
+recompute several proxies' outputs with plain numpy and demand exact
+(bit-level, float32) agreement — validating the executor's semantics on
+real multi-block, divergent, looping kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simt.executor import run_kernel
+from repro.workloads import datagen
+from repro.workloads.patterns import (
+    FLAGS_BASE,
+    INPUT_A,
+    INPUT_B,
+    OUTPUT_A,
+    PARAMS_BASE,
+)
+from repro.workloads.registry import SCALES, build_workload
+
+SCALE = SCALES["tiny"]
+
+
+def f32(x):
+    return np.float32(x)
+
+
+class TestSgemm:
+    def test_matches_reference(self):
+        built = build_workload("MM", scale="tiny")
+        total_threads = built.launch.total_threads
+        k_dim = 4 * SCALE.inner_iterations
+        a_column = built.memory.read_array(INPUT_A, k_dim + 1, dtype=np.float32)
+        b_values = built.memory.read_array(
+            INPUT_B, total_threads, dtype=np.float32
+        ).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        acc = np.zeros(total_threads, dtype=np.float32)
+        b_current = b_values.astype(np.float32)
+        growth = f32(np.float32(1.0009765625))
+        for k in range(k_dim):
+            row_scale = f32(a_column[k]) * f32(1.0)
+            acc = (b_current * f32(row_scale) + acc).astype(np.float32)
+            b_current = (b_current * growth).astype(np.float32)
+        assert np.array_equal(out, acc)
+
+
+class TestPathfinder:
+    def test_matches_reference(self):
+        built = build_workload("PF", scale="tiny")
+        total_threads = built.launch.total_threads
+        rows = 2 * SCALE.inner_iterations
+        cost0 = built.memory.read_array(INPUT_A, total_threads).copy()
+        grid = built.memory.read_array(INPUT_B, total_threads + rows + 2).copy()
+        penalty = int(built.memory.read_array(PARAMS_BASE, 1)[0])
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        cost = cost0.astype(np.int64)
+        for row in range(rows):
+            # row_base = INPUT_B + 4*row; loads at tid*4 + row_base etc.
+            left = grid[row + np.arange(total_threads)]
+            center = grid[row + np.arange(total_threads) + 1]
+            right = grid[row + np.arange(total_threads) + 2]
+            best = np.minimum(np.minimum(left, center), right).astype(np.int64)
+            edge_increment = min(2 * penalty, 255)
+            cost = np.where(flags != 0, cost + edge_increment, cost + best)
+        assert np.array_equal(out, (cost & 0xFFFFFFFF).astype(np.uint32))
+
+
+class TestHeartwall:
+    def test_matches_reference(self):
+        built = build_workload("HW", scale="tiny")
+        total_threads = built.launch.total_threads
+        iterations = 2 * SCALE.inner_iterations
+        pixel = built.memory.read_array(INPUT_A, total_threads).astype(np.int64)
+        template = built.memory.read_array(INPUT_B, total_threads).astype(np.int64)
+        params = built.memory.read_array(PARAMS_BASE, 3)
+        threshold, gain, offset = (int(v) for v in params)
+        flags = built.memory.read_array(
+            FLAGS_BASE, total_threads + iterations
+        ).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        tids = np.arange(total_threads)
+        score = np.zeros(total_threads, dtype=np.int64)
+        for step in range(iterations):
+            edge = flags[tids + step] != 0
+            diff = pixel - template
+            mag = np.maximum(diff, -diff)
+            boost = threshold * 3
+            window = boost + offset
+            norm = window >> 2
+            floor = np.maximum(norm, offset)
+            span = floor + gain
+            inner = mag > threshold
+            smooth = gain * 2
+            score = np.where(edge, score + span + np.where(inner, mag, 0),
+                             score + diff)
+            pixel = np.where(~edge, pixel + smooth, pixel)
+            template = template + 1
+        assert np.array_equal(out, (score & 0xFFFFFFFF).astype(np.uint32))
+
+
+class TestBtree:
+    def test_matches_reference(self):
+        built = build_workload("BT", scale="tiny")
+        total_threads = built.launch.total_threads
+        levels = 2 * SCALE.inner_iterations
+        query = built.memory.read_array(INPUT_A, total_threads).astype(np.int64)
+        nodes = built.memory.read_array(INPUT_B, 2 * levels + 2).copy()
+        stride = int(built.memory.read_array(PARAMS_BASE, 1)[0])
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        position = np.zeros(total_threads, dtype=np.int64)
+        node_addr_offset = 0
+        for _level in range(levels):
+            pivot = np.int64(np.int32(nodes[node_addr_offset // 4]))
+            go_right = query.astype(np.int32) >= np.int32(pivot)
+            right_step = stride * 2 + 4
+            left_step = stride * 1
+            position = position + np.where(go_right, right_step, left_step)
+            node_addr_offset += 8
+            query = query + 1
+        assert np.array_equal(out, (position & 0xFFFFFFFF).astype(np.uint32))
+
+
+class TestMriQ:
+    def test_matches_reference(self):
+        built = build_workload("MQ", scale="tiny")
+        total_threads = built.launch.total_threads
+        samples = 2 * SCALE.inner_iterations
+        x = built.memory.read_array(INPUT_A, total_threads, dtype=np.float32).copy()
+        kspace = built.memory.read_array(
+            INPUT_B, 3 * samples + 3, dtype=np.float32
+        ).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out_real = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        q_real = np.zeros(total_threads, dtype=np.float32)
+        for sample in range(samples):
+            kx = f32(kspace[3 * sample])
+            ky = f32(kspace[3 * sample + 1])
+            w = f32(kspace[3 * sample + 2])
+            k_mag = f32(kx * kx) + f32(ky * ky)
+            w_mag = f32(w * np.sqrt(k_mag, dtype=np.float32))
+            phase = (kx * x).astype(np.float32)
+            c = np.cos(phase, dtype=np.float32)
+            q_real = (w_mag * c + q_real).astype(np.float32)
+        assert np.array_equal(out_real, q_real)
+
+
+class TestStencil:
+    def test_matches_reference(self):
+        built = build_workload("ST", scale="tiny")
+        total_threads = built.launch.total_threads
+        field = built.memory.read_array(
+            INPUT_A, total_threads + 4, dtype=np.float32
+        ).copy()
+        c0, c1 = built.memory.read_array(PARAMS_BASE, 2, dtype=np.float32)
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        tids = np.arange(total_threads)
+        center = field[tids].astype(np.float32)
+        west = field[tids + 1]
+        east = field[tids + 2]
+        north = field[tids + 3]
+        south = field[tids + 4]
+        at_face = flags != 0
+        for _sweep in range(SCALE.inner_iterations):
+            ring = ((west + east) + (north + south)).astype(np.float32)
+            scaled_c1 = f32(c1 * f32(0.25))
+            combined = (ring * scaled_c1).astype(np.float32)
+            weighted = (center * c0).astype(np.float32)
+            center = (combined + weighted).astype(np.float32)
+            center = np.where(
+                at_face, (center * f32(0.5)).astype(np.float32), center
+            )
+        assert np.array_equal(out, center)
+
+
+class TestSad:
+    def test_matches_reference(self):
+        built = build_workload("SAD", scale="tiny")
+        total_threads = built.launch.total_threads
+        candidates = 2 * SCALE.inner_iterations
+        current = built.memory.read_array(INPUT_A, total_threads).astype(np.int64)
+        reference = built.memory.read_array(
+            INPUT_B, total_threads + candidates + 1
+        ).astype(np.int64)
+        window, penalty = (
+            int(v) for v in built.memory.read_array(PARAMS_BASE, 2)
+        )
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        tids = np.arange(total_threads)
+        best = np.full(total_threads, 0xFFFF, dtype=np.int64)
+        near_border = flags != 0
+        clamped = min(window, 64)
+        folded = max((clamped + penalty) << 1, penalty)
+        for candidate in range(candidates):
+            ref = reference[tids + candidate]
+            abs_diff = np.abs(current - ref)
+            best = np.where(
+                near_border,
+                np.minimum(best, folded),
+                np.minimum(best, abs_diff),
+            )
+        assert np.array_equal(out, best.astype(np.uint32))
+
+
+class TestSrad2:
+    def test_matches_reference(self):
+        built = build_workload("SR2", scale="tiny")
+        total_threads = built.launch.total_threads
+        image = built.memory.read_array(
+            INPUT_A, total_threads, dtype=np.float32
+        ).copy()
+        coeffs = built.memory.read_array(
+            INPUT_B, total_threads + 2, dtype=np.float32
+        ).copy()
+        dt, scale_c = built.memory.read_array(PARAMS_BASE, 2, dtype=np.float32)
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        tids = np.arange(total_threads)
+        coeff_e = coeffs[tids].astype(np.float32)
+        coeff_s = coeffs[tids + 1].astype(np.float32)
+        at_border = flags != 0
+        for _sweep in range(SCALE.inner_iterations):
+            step_gain = f32(dt * scale_c)
+            quarter = f32(step_gain * f32(0.25))
+            flux = (coeff_e + coeff_s).astype(np.float32)
+            delta = (flux * quarter).astype(np.float32)
+            image = (image + delta).astype(np.float32)
+            bounded = f32(np.fmin(f32(step_gain * f32(0.5)), dt))
+            coeff_e = np.where(
+                at_border, (coeff_e + bounded).astype(np.float32), coeff_e
+            )
+            coeff_s = (coeff_s * f32(0.995)).astype(np.float32)
+        assert np.array_equal(out, image)
+
+
+class TestLeukocyte:
+    def test_matches_reference(self):
+        built = build_workload("LC", scale="tiny")
+        total_threads = built.launch.total_threads
+        iterations = 4 * SCALE.inner_iterations
+        sample = built.memory.read_array(INPUT_A, total_threads).astype(np.int64)
+        radius, divisor = (
+            int(v) for v in built.memory.read_array(PARAMS_BASE, 2)
+        )
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        in_cell = flags != 0
+        gradient = np.zeros(total_threads, dtype=np.int64)
+        window = radius * 5 + 3
+        trimmed = min((window >> 1) + radius, window)
+        for _step in range(iterations):
+            quotient = sample // divisor  # all values positive: trunc==floor
+            remainder = sample - quotient * divisor
+            gradient = gradient + quotient
+            gradient = np.where(in_cell, gradient + trimmed, gradient)
+            sample = np.maximum(sample + remainder, 1)
+        assert np.array_equal(out, (gradient & 0xFFFFFFFF).astype(np.uint32))
+
+
+class TestCutcp:
+    def test_matches_reference(self):
+        from repro.workloads.parboil.cc import _ATOMS
+
+        built = build_workload("CC", scale="tiny")
+        total_threads = built.launch.total_threads
+        atoms = 2 * SCALE.inner_iterations
+        grid_x = built.memory.read_array(
+            INPUT_A, total_threads, dtype=np.float32
+        ).copy()
+        atom_table = built.memory.read_array(
+            _ATOMS, 2 * atoms + 2, dtype=np.float32
+        ).copy()
+        cutoff_sq, charge_scale = built.memory.read_array(
+            PARAMS_BASE, 2, dtype=np.float32
+        )
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        potential = np.zeros(total_threads, dtype=np.float32)
+        for atom in range(atoms):
+            atom_x = f32(atom_table[2 * atom])
+            atom_q = f32(atom_table[2 * atom + 1])
+            dx = (grid_x - atom_x).astype(np.float32)
+            dist_sq = (dx * dx).astype(np.float32)
+            in_range = dist_sq < cutoff_sq
+            softened = f32(f32(atom_q * charge_scale) + f32(0.05))
+            inv_r = (f32(1.0) / np.sqrt(dist_sq, dtype=np.float32)).astype(
+                np.float32
+            )
+            contribution = (softened * inv_r + potential).astype(np.float32)
+            potential = np.where(in_range, contribution, potential)
+        assert np.array_equal(out, potential)
+
+
+class TestSrad1:
+    def test_matches_reference(self):
+        built = build_workload("SR1", scale="tiny")
+        total_threads = built.launch.total_threads
+        field = built.memory.read_array(
+            INPUT_A, total_threads + 2, dtype=np.float32
+        ).copy()
+        q0, lam = built.memory.read_array(PARAMS_BASE, 2, dtype=np.float32)
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        tids = np.arange(total_threads)
+        image = field[tids].astype(np.float32)
+        north = field[tids + 1]
+        south = field[tids + 2]
+        at_border = flags != 0
+        q_current = f32(q0)
+        for _sweep in range(SCALE.inner_iterations):
+            q_scaled = f32(q_current * f32(-1.4427))
+            coefficient = f32(np.exp2(q_scaled, dtype=np.float32))
+            damping = f32(coefficient * lam)
+            gradient_n = (north - image).astype(np.float32)
+            gradient_s = (south - image).astype(np.float32)
+            divergence_term = (gradient_n + gradient_s).astype(np.float32)
+            update = (divergence_term * damping).astype(np.float32)
+            image = np.where(
+                at_border, image, (image + update).astype(np.float32)
+            )
+            q_current = f32(q_current * f32(0.97))
+        assert np.array_equal(out, image)
+
+
+class TestLbm:
+    def test_matches_reference(self):
+        from repro.workloads.patterns import INPUT_C, INPUT_D, OUTPUT_B
+
+        built = build_workload("LBM", scale="tiny")
+        total_threads = built.launch.total_threads
+        f_in = [
+            built.memory.read_array(base, total_threads, dtype=np.float32).copy()
+            for base in (INPUT_A, INPUT_B, INPUT_C, INPUT_D)
+        ]
+        omega, w_center, w_axis = built.memory.read_array(
+            PARAMS_BASE, 3, dtype=np.float32
+        )
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out_f0 = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+        out_f1 = built.memory.read_array(OUTPUT_B, total_threads, dtype=np.float32)
+
+        # Distributions reload from the (unmodified) inputs each
+        # iteration, so the stored result equals one collision step.
+        f0, f1, f2, f3 = (values.astype(np.float32) for values in f_in)
+        is_fluid = flags != 0
+        tau = f32(f32(1.0) / omega)
+        eq_center = f32(w_center * tau)
+        eq_axis = f32(w_axis * tau)
+        relax = f32(f32(1.0) - omega)
+        gain = f32(relax * eq_center)
+        bias = f32(gain + eq_axis)
+        spread = f32(bias - f32(bias * f32(0.5)))
+        norm = f32(np.fmax(spread, eq_axis))
+        new_f0 = (f0 * relax + norm).astype(np.float32)
+        new_f1 = (f1 * relax + spread).astype(np.float32)
+        expected_f0 = np.where(is_fluid, new_f0, f0)
+        expected_f1 = np.where(is_fluid, new_f1, f1)
+        assert np.array_equal(out_f0, expected_f0)
+        assert np.array_equal(out_f1, expected_f1)
+
+
+class TestSpmv:
+    def test_matches_reference(self):
+        from repro.workloads.parboil.mv import (
+            _COLUMNS,
+            _ROW_LENGTHS,
+            _VALUES,
+            _VECTOR,
+        )
+
+        built = build_workload("MV", scale="tiny")
+        total_threads = built.launch.total_threads
+        max_nnz = 2 * SCALE.inner_iterations
+        lengths = built.memory.read_array(_ROW_LENGTHS, total_threads).copy()
+        values = built.memory.read_array(
+            _VALUES, total_threads * max_nnz, dtype=np.float32
+        ).copy()
+        columns = built.memory.read_array(
+            _COLUMNS, total_threads * max_nnz
+        ).copy()
+        vector = built.memory.read_array(_VECTOR, 4096, dtype=np.float32).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        expected = np.zeros(total_threads, dtype=np.float32)
+        for thread in range(total_threads):
+            acc = f32(0.0)
+            for index in range(int(lengths[thread])):
+                value = f32(values[thread * max_nnz + index])
+                column = int(columns[thread * max_nnz + index])
+                acc = f32(f32(value * vector[column]) + acc)
+            expected[thread] = acc
+        assert np.array_equal(out, expected)
+
+
+class TestBackprop:
+    def test_matches_reference(self):
+        from repro.workloads.patterns import OUTPUT_B
+
+        built = build_workload("BP", scale="tiny")
+        total_threads = built.launch.total_threads
+        iterations = 2 * SCALE.inner_iterations
+        x = built.memory.read_array(INPUT_A, total_threads, dtype=np.float32).copy()
+        params = built.memory.read_array(PARAMS_BASE, 4, dtype=np.float32)
+        weight, eta, hp_lo, hp_hi = (f32(v) for v in params)
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out_acc = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+        out_half = built.memory.read_array(OUTPUT_B, total_threads, dtype=np.float32)
+
+        lanes = np.arange(total_threads) % 32
+        hp = np.where(lanes < 16, hp_lo, hp_hi).astype(np.float32)
+        acc = np.zeros(total_threads, dtype=np.float32)
+        half_acc = np.zeros(total_threads, dtype=np.float32)
+        bias = np.full(total_threads, 0.5, dtype=np.float32)
+        one = f32(1.0)
+        for k in range(iterations):
+            power = f32(np.exp2(np.float32(k), dtype=np.float32))
+            scaled_weight = f32(weight * power)
+            term = (x * scaled_weight).astype(np.float32)
+            acc = (acc + term).astype(np.float32)
+            half_term = (hp * power).astype(np.float32)
+            half_acc = (half_acc + half_term).astype(np.float32)
+            bias = (bias + scaled_weight).astype(np.float32)
+            exponent = np.exp2(-bias, dtype=np.float32)
+            sigmoid = (one / (one + exponent)).astype(np.float32)
+            delta = (term * sigmoid + acc).astype(np.float32)
+            acc = (acc + delta).astype(np.float32)
+        acc = np.where(flags != 0, (acc * eta).astype(np.float32), acc)
+        assert np.array_equal(out_acc, acc)
+        assert np.array_equal(out_half, half_acc)
+
+
+class TestTpacf:
+    def test_matches_reference(self):
+        from repro.workloads.parboil.acf import _BIN_EDGES
+
+        built = build_workload("ACF", scale="tiny")
+        total_threads = built.launch.total_threads
+        pairs = 2 * SCALE.inner_iterations
+        x = built.memory.read_array(INPUT_A, total_threads, dtype=np.float32).copy()
+        others = built.memory.read_array(INPUT_B, pairs + 1, dtype=np.float32).copy()
+        edges = built.memory.read_array(
+            _BIN_EDGES, pairs + 1, dtype=np.float32
+        ).copy()
+        bin_scale = f32(
+            built.memory.read_array(PARAMS_BASE, 1, dtype=np.float32)[0]
+        )
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        histogram = np.zeros(total_threads, dtype=np.int64)
+        for pair in range(pairs):
+            other = f32(others[pair])
+            dot = np.fmin((x * other).astype(np.float32), f32(0.9999))
+            angle_sq = (f32(1.0) - (dot * dot).astype(np.float32)).astype(
+                np.float32
+            )
+            angle = np.sqrt(angle_sq, dtype=np.float32)
+            log_angle = np.log2(
+                (angle + f32(1e-6)).astype(np.float32), dtype=np.float32
+            )
+            edge = f32(edges[pair])
+            above = log_angle > edge
+            shifted = f32(f32(bin_scale * f32(2.0)) + edge)
+            bin_bump = int(np.trunc(np.float64(shifted)))
+            histogram = np.where(above, histogram + bin_bump, histogram + 1)
+        assert np.array_equal(out, (histogram & 0xFFFFFFFF).astype(np.uint32))
+
+
+class TestHotspot:
+    def test_matches_reference(self):
+        built = build_workload("HS", scale="tiny")
+        total_threads = built.launch.total_threads
+        field = built.memory.read_array(
+            INPUT_A, total_threads + 2, dtype=np.float32
+        ).copy()
+        ambient, r_step, cap = (
+            f32(v)
+            for v in built.memory.read_array(PARAMS_BASE, 3, dtype=np.float32)
+        )
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads, dtype=np.float32)
+
+        tids = np.arange(total_threads)
+        temp = field[tids].astype(np.float32)
+        left = field[tids + 1].astype(np.float32)
+        right = field[tids + 2].astype(np.float32)
+        boundary = flags != 0
+        limited = f32(np.fmin(f32(f32(f32(ambient * r_step) + cap) * f32(0.5)), cap))
+        for _step in range(SCALE.inner_iterations):
+            laplacian = (left + right).astype(np.float32)
+            laplacian = (laplacian - (temp * f32(2.0)).astype(np.float32)).astype(
+                np.float32
+            )
+            delta = (laplacian * r_step).astype(np.float32)
+            temp = np.where(
+                boundary,
+                (temp + limited).astype(np.float32),
+                (temp + delta).astype(np.float32),
+            )
+            left = np.where(boundary, left, (left + delta).astype(np.float32))
+            right = np.where(boundary, right, (right - delta).astype(np.float32))
+        assert np.array_equal(out, temp)
+
+
+class TestMriGrid:
+    def test_matches_reference(self):
+        from repro.workloads.parboil.mg import _GRID
+        from repro.workloads.patterns import INPUT_C
+
+        built = build_workload("MG", scale="tiny")
+        total_threads = built.launch.total_threads
+        passes = SCALE.inner_iterations
+        count = total_threads + passes + 1
+        coords = built.memory.read_array(INPUT_A, count + 3 * passes).copy()
+        weights = built.memory.read_array(INPUT_B, count + 3 * passes).copy()
+        densities = built.memory.read_array(INPUT_C, count + 3 * passes).copy()
+        flags = built.memory.read_array(FLAGS_BASE, total_threads).copy()
+        run_kernel(built.kernel, built.launch, built.memory)
+        out = built.memory.read_array(OUTPUT_A, total_threads)
+
+        def spread_for(thread, pass_index):
+            idx = thread + 4 * pass_index
+            coord = int(coords[idx])
+            weight = int(weights[idx])
+            density = int(densities[idx])
+            bin_offset = coord & 0xFFF
+            contribution = (weight * density) & 0xFFFFFFFF
+            spread = (contribution + bin_offset) & 0xFFFFFFFF
+            if flags[thread]:
+                spread >>= 1
+            return coord >> 20, spread, contribution
+
+        # OUTPUT_A holds the final pass's contribution per thread.
+        expected_out = np.zeros(total_threads, dtype=np.uint32)
+        for thread in range(total_threads):
+            _, _, contribution = spread_for(thread, passes - 1)
+            expected_out[thread] = contribution
+        assert np.array_equal(out, expected_out)
+
+        # The scatter grid resolves collisions in execution order:
+        # warps run to completion in warp order; lanes ascend.
+        grid_expected: dict[int, int] = {}
+        warps = total_threads // 32
+        for warp in range(warps):
+            for pass_index in range(passes):
+                for lane in range(32):
+                    thread = warp * 32 + lane
+                    bin_index, spread, _ = spread_for(thread, pass_index)
+                    grid_expected[bin_index] = spread
+        for bin_index, value in grid_expected.items():
+            stored = built.memory.read_array(_GRID + 4 * bin_index, 1)[0]
+            assert stored == value, bin_index

@@ -1,0 +1,59 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.registry import (
+    SCALES,
+    all_workloads,
+    build_workload,
+    workload_by_name,
+)
+
+
+class TestRegistry:
+    def test_all_seventeen_present(self):
+        specs = all_workloads()
+        assert len(specs) == 17
+        abbrs = {spec.abbr for spec in specs}
+        assert abbrs == {
+            "BT", "BP", "HW", "HS", "LC", "PF", "SR1", "SR2",
+            "CC", "LBM", "MG", "MQ", "SAD", "MM", "MV", "ST", "ACF",
+        }
+
+    def test_suites_match_table2(self):
+        by_abbr = {spec.abbr: spec for spec in all_workloads()}
+        assert by_abbr["BP"].suite == "Rodinia"
+        assert by_abbr["LBM"].suite == "Parboil"
+        rodinia = [s for s in all_workloads() if s.suite == "Rodinia"]
+        parboil = [s for s in all_workloads() if s.suite == "Parboil"]
+        assert len(rodinia) == 8
+        assert len(parboil) == 9
+
+    def test_lookup_by_abbreviation_and_name(self):
+        assert workload_by_name("bp").name == "backprop"
+        assert workload_by_name("Backprop").abbr == "BP"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_by_name("nosuch")
+
+    def test_flags(self):
+        assert workload_by_name("LBM").memory_intensive
+        assert workload_by_name("LC").low_occupancy
+        assert not workload_by_name("BP").memory_intensive
+
+
+class TestBuilding:
+    def test_build_at_tiny_scale(self):
+        built = build_workload("HS", scale="tiny")
+        assert built.kernel.name == "hotspot"
+        assert built.launch.total_threads == SCALES["tiny"].total_threads \
+            if hasattr(SCALES["tiny"], "total_threads") else True
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("HS", scale="gigantic")
+
+    def test_scales_are_ordered(self):
+        assert SCALES["tiny"].inner_iterations < SCALES["default"].inner_iterations
