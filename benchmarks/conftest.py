@@ -31,6 +31,21 @@ def pytest_addoption(parser):
         default=False,
         help="run figure benches at the full 'default' workload scale",
     )
+    parser.addoption(
+        "--bench-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist traces/results in DIR so repeated bench runs skip "
+        "functional re-execution (fingerprint-checked, safe across edits)",
+    )
+    parser.addoption(
+        "--bench-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="prefetch the benchmark matrix with N worker processes "
+        "before benching (requires --bench-cache-dir for N > 1)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -39,9 +54,21 @@ def bench_scale(request) -> str:
 
 
 @pytest.fixture(scope="session")
-def shared_runner(bench_scale) -> ExperimentRunner:
-    """One runner shared by all benches: traces execute exactly once."""
-    return ExperimentRunner(scale=bench_scale)
+def shared_runner(request, bench_scale) -> ExperimentRunner:
+    """One runner shared by all benches: traces execute exactly once.
+
+    With ``--bench-cache-dir`` they execute exactly once *ever*: the
+    runner persists fingerprinted traces and stage results on disk, and
+    ``--bench-jobs N`` warms that cache across N processes up front.
+    """
+    cache_dir = request.config.getoption("--bench-cache-dir")
+    jobs = request.config.getoption("--bench-jobs")
+    runner = ExperimentRunner(scale=bench_scale, cache_dir=cache_dir)
+    if jobs > 1:
+        # Warp-64 traces feed bench_fig10/bench_ablations; the four
+        # paper architectures feed bench_fig11 and the ablations.
+        runner.prefetch(jobs=jobs, warp_sizes=(32, 64))
+    return runner
 
 
 def run_once(benchmark, func, *args):

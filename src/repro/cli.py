@@ -4,13 +4,15 @@ Examples::
 
     python -m repro table2
     python -m repro fig9 --scale small
-    python -m repro all --scale default
+    python -m repro all --scale default --jobs 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
 import time
 
 from repro.experiments import (
@@ -36,6 +38,11 @@ _TRACE_EXPERIMENTS = (
 )
 _STATIC_EXPERIMENTS = ("table1", "table2", "table3")
 EXPERIMENTS = _TRACE_EXPERIMENTS + _STATIC_EXPERIMENTS
+
+#: Experiments that need warp-64 traces (Figure 10's warp-size sweep).
+_WARP64_EXPERIMENTS = frozenset({"fig10"})
+#: Experiments that need timing/power over the four paper architectures.
+_MATRIX_EXPERIMENTS = frozenset({"fig11", "scorecard"})
 
 
 def _run_one(name: str, runner: ExperimentRunner | None) -> str:
@@ -118,16 +125,56 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the computed data as JSON to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the benchmark matrix (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist traces and stage results in DIR across runs",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write cache/stage statistics (hits, misses, timings) to PATH",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     needs_runner = any(name in _TRACE_EXPERIMENTS for name in wanted)
+    cache_dir = args.cache_dir
+    if needs_runner and args.jobs > 1 and cache_dir is None:
+        # Workers communicate through the on-disk cache; give them one.
+        cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+        print(f"[--jobs {args.jobs}: using temporary cache {cache_dir}]",
+              file=sys.stderr)
     runner = (
-        ExperimentRunner(scale=args.scale, verbose=args.verbose)
+        ExperimentRunner(scale=args.scale, verbose=args.verbose, cache_dir=cache_dir)
         if needs_runner
         else None
     )
+    if runner is not None and args.jobs > 1:
+        warp_sizes = (
+            (32, 64)
+            if any(name in _WARP64_EXPERIMENTS for name in wanted)
+            else (32,)
+        )
+        arches = (
+            None  # prefetch's default: the four paper architectures
+            if any(name in _MATRIX_EXPERIMENTS for name in wanted)
+            else ()
+        )
+        runner.prefetch(jobs=args.jobs, warp_sizes=warp_sizes, arches=arches)
     json_results = []
+    experiment_seconds: dict[str, float] = {}
     for name in wanted:
         started = time.time()
         print(_run_one(name, runner))
@@ -142,14 +189,29 @@ def main(argv: list[str] | None = None) -> int:
 
             if name in exportable_experiments():
                 json_results.append(export_experiment(name, runner, args.scale))
+        experiment_seconds[name] = round(time.time() - started, 6)
         if args.verbose:
-            print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+            print(f"[{name}: {experiment_seconds[name]:.1f}s]", file=sys.stderr)
         print()
     if args.json is not None and json_results:
         from repro.experiments.export import write_json
 
         write_json(json_results, args.json)
         print(f"[wrote JSON to {args.json}]", file=sys.stderr)
+    if args.stats_json is not None:
+        stats = {
+            "experiment": args.experiment,
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "cache_dir": str(cache_dir) if cache_dir is not None else None,
+            "experiment_seconds": experiment_seconds,
+        }
+        if runner is not None:
+            stats.update(runner.stats.to_dict())
+        with open(args.stats_json, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[wrote stats to {args.stats_json}]", file=sys.stderr)
     return 0
 
 

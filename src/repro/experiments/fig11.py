@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import ArchitectureConfig
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, paper_architectures
 from repro.experiments.tables import render_table
 
 
@@ -65,12 +64,7 @@ class Fig11Data:
         return self.average_gscalar_efficiency / base if base else 0.0
 
 
-_ARCHES = (
-    ArchitectureConfig.baseline(),
-    ArchitectureConfig.alu_scalar(),
-    ArchitectureConfig.gscalar_no_divergent(),
-    ArchitectureConfig.gscalar(),
-)
+_ARCHES = paper_architectures()
 
 
 def compute(runner: ExperimentRunner) -> Fig11Data:

@@ -9,24 +9,121 @@ configuration and lazily computes, per benchmark:
 
 Every figure regenerator takes a runner, so a full ``python -m repro all``
 executes each benchmark exactly once.
+
+With ``cache_dir`` set, every expensive stage also persists on disk so
+it can be shared *across* processes:
+
+* traces as compressed ``.npz`` archives (:mod:`repro.simt.serialize`),
+* classified streams and per-architecture timing/power results as
+  pickle sidecars.
+
+Each cached artifact embeds a content fingerprint
+(:mod:`repro.experiments.cachekey`) covering the kernel, scale, warp
+size, architecture, GPU configuration and energy parameters; a
+mismatch — or any corrupt file — falls back to re-execution and
+overwrites the stale entry.  :meth:`ExperimentRunner.prefetch` fans the
+benchmark × architecture matrix out over a process pool
+(:mod:`repro.experiments.parallel`) that communicates exclusively
+through this cache, and :attr:`ExperimentRunner.stats` counts cache
+hits, misses, re-executions and per-stage wall time for observability.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Iterator, Sequence
 
 from repro.config import ArchitectureConfig, GpuConfig
+from repro.errors import TraceError
+from repro.experiments import cachekey
 from repro.power.accounting import PowerAccountant
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import PowerReport
 from repro.scalar.architectures import ProcessedEvent, process_classified
 from repro.scalar.tracker import ClassifiedEvent, classify_trace
 from repro.simt.executor import run_kernel
+from repro.simt.serialize import load_trace, save_trace
 from repro.simt.trace import KernelTrace
 from repro.timing.gpu import simulate_architecture
 from repro.timing.sm import TimingResult
 from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workload_by_name
+
+#: Version of the pickled stage sidecars (classified streams and
+#: timing/power results).  Bump to invalidate all of them at once,
+#: e.g. when a classifier or timing-model change alters their meaning.
+STAGE_VERSION = 1
+
+
+def paper_architectures() -> tuple[ArchitectureConfig, ...]:
+    """The four evaluated architectures, in Figure 11 order."""
+    return (
+        ArchitectureConfig.baseline(),
+        ArchitectureConfig.alu_scalar(),
+        ArchitectureConfig.gscalar_no_divergent(),
+        ArchitectureConfig.gscalar(),
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Cache and stage observability counters for one runner.
+
+    ``counters`` tracks cache outcomes (``trace_cache_hits``,
+    ``trace_cache_misses``, ``trace_cache_invalid``,
+    ``trace_executions``, ``classified_cache_hits``, ...);
+    ``stage_seconds`` accumulates wall time per pipeline stage.  Stats
+    merge across processes, so a parallel prefetch reports the totals
+    over all workers.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(stage, time.perf_counter() - started)
+
+    def merge(self, other: "RunnerStats | dict") -> None:
+        """Fold another stats object (or its :meth:`to_dict`) into this one."""
+        if isinstance(other, RunnerStats):
+            counters, seconds = other.counters, other.stage_seconds
+        else:
+            counters = other.get("counters", {})
+            seconds = other.get("stage_seconds", {})
+        for name, amount in counters.items():
+            self.bump(name, amount)
+        for stage, value in seconds.items():
+            self.add_time(stage, value)
+
+    @property
+    def trace_executions(self) -> int:
+        """Functional executions actually performed (cache misses paid)."""
+        return self.counters.get("trace_executions", 0)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (``--stats-json``, worker returns)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "stage_seconds": {
+                stage: round(value, 6)
+                for stage, value in sorted(self.stage_seconds.items())
+            },
+        }
 
 
 @dataclass
@@ -37,6 +134,9 @@ class BenchmarkRun:
     built: BuiltWorkload
     trace: KernelTrace
     classified: list[list[ClassifiedEvent]] = field(repr=False, default_factory=list)
+    #: Content fingerprint of the (kernel, scale, warp-size) combination
+    #: that produced ``trace``; stage sidecars derive their keys from it.
+    trace_fingerprint: str = ""
 
 
 class ExperimentRunner:
@@ -59,8 +159,9 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = RunnerStats()
         self._runs: dict[str, BenchmarkRun] = {}
-        self._traces_64: dict[str, KernelTrace] = {}
+        self._warp_traces: dict[tuple[str, int], KernelTrace] = {}
         self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
         self._timing: dict[tuple[str, str], TimingResult] = {}
         self._power: dict[tuple[str, str], PowerReport] = {}
@@ -68,6 +169,107 @@ class ExperimentRunner:
     def _log(self, message: str) -> None:
         if self.verbose:
             print(f"[runner] {message}", flush=True)
+
+    @staticmethod
+    def _normalize(abbr: str) -> str:
+        """One canonical spelling for benchmark keys, lookups and files."""
+        return abbr.strip().upper()
+
+    # ------------------------------------------------------------------
+    # On-disk cache plumbing.
+    # ------------------------------------------------------------------
+    def _trace_path(self, key: str, warp_size: int) -> Path:
+        assert self.cache_dir is not None
+        suffix = "" if warp_size == 32 else f"_w{warp_size}"
+        return self.cache_dir / f"{key}_{self.scale.name}{suffix}.npz"
+
+    def _sidecar_path(self, key: str, stage: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}_{self.scale.name}_{stage}.pkl"
+
+    @staticmethod
+    def _replace_into(tmp: Path, final: Path) -> None:
+        os.replace(tmp, final)
+
+    def _load_sidecar(self, path: Path, fingerprint: str) -> dict | None:
+        """Read a pickle sidecar; ``None`` on absence, damage or staleness."""
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("fingerprint") == fingerprint:
+                return payload
+            self._log(f"discarding stale sidecar {path.name}")
+        except Exception as exc:
+            self._log(f"discarding corrupt sidecar {path.name}: {exc}")
+        self.stats.bump("sidecar_invalid")
+        return None
+
+    def _store_sidecar(self, path: Path, payload: dict) -> None:
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._replace_into(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Trace stage.
+    # ------------------------------------------------------------------
+    def _obtain_trace(
+        self, key: str, built: BuiltWorkload, warp_size: int
+    ) -> tuple[KernelTrace, str]:
+        """Load a fingerprint-matching cached trace or execute and cache."""
+        fingerprint = cachekey.trace_fingerprint(built.kernel, self.scale, warp_size)
+        path = None
+        if self.cache_dir is not None:
+            path = self._trace_path(key, warp_size)
+            if path.exists():
+                try:
+                    with self.stats.timer("trace_load"):
+                        trace = load_trace(path, expected_fingerprint=fingerprint)
+                except TraceError as exc:
+                    self._log(f"discarding cached trace {path.name}: {exc}")
+                    self.stats.bump("trace_cache_invalid")
+                else:
+                    self.stats.bump("trace_cache_hits")
+                    self._log(f"loaded cached trace for {key} (warp {warp_size})")
+                    return trace, fingerprint
+            self.stats.bump("trace_cache_misses")
+        self._log(f"executing {key} at scale {self.scale.name!r} warp {warp_size}")
+        self.stats.bump("trace_executions")
+        with self.stats.timer("trace_execute"):
+            trace = run_kernel(
+                built.kernel, built.launch, built.memory, warp_size=warp_size
+            )
+        if path is not None:
+            # Write-then-rename so a concurrent reader never sees a
+            # half-written archive (np.savez only appends ".npz" to
+            # names lacking it, so the temp name must keep the suffix).
+            tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+            with self.stats.timer("trace_save"):
+                save_trace(trace, tmp, fingerprint=fingerprint)
+                self._replace_into(tmp, path)
+        return trace, fingerprint
+
+    def _obtain_classified(
+        self, key: str, built: BuiltWorkload, trace_fingerprint: str, trace: KernelTrace
+    ) -> list[list[ClassifiedEvent]]:
+        fingerprint = cachekey.classified_fingerprint(trace_fingerprint, STAGE_VERSION)
+        path = None
+        if self.cache_dir is not None:
+            path = self._sidecar_path(key, "classified")
+            payload = self._load_sidecar(path, fingerprint)
+            if payload is not None:
+                self.stats.bump("classified_cache_hits")
+                return payload["classified"]
+            self.stats.bump("classified_cache_misses")
+        with self.stats.timer("classify"):
+            classified = classify_trace(trace, built.kernel.num_registers)
+        if path is not None:
+            self._store_sidecar(
+                path, {"fingerprint": fingerprint, "classified": classified}
+            )
+        return classified
 
     # ------------------------------------------------------------------
     def benchmark_names(self) -> list[str]:
@@ -78,84 +280,176 @@ class ExperimentRunner:
         """Execute (or fetch) one benchmark's functional trace.
 
         With ``cache_dir`` set, traces persist across processes as
-        ``.npz`` files keyed by benchmark and scale.
+        ``.npz`` files and classified streams as pickle sidecars, both
+        validated against a content fingerprint before reuse.
         """
-        key = abbr.upper()
+        key = self._normalize(abbr)
         if key not in self._runs:
             spec = workload_by_name(key)
             built = spec.builder(self.scale)
-            trace = None
-            cache_path = None
-            if self.cache_dir is not None:
-                cache_path = self.cache_dir / f"{key}_{self.scale.name}.npz"
-                if cache_path.exists():
-                    from repro.simt.serialize import load_trace
-
-                    self._log(f"loading cached trace for {key}")
-                    trace = load_trace(cache_path)
-            if trace is None:
-                self._log(f"executing {key} at scale {self.scale.name!r}")
-                trace = run_kernel(built.kernel, built.launch, built.memory)
-                if cache_path is not None:
-                    from repro.simt.serialize import save_trace
-
-                    save_trace(trace, cache_path)
-            classified = classify_trace(trace, built.kernel.num_registers)
+            trace, fingerprint = self._obtain_trace(key, built, 32)
+            classified = self._obtain_classified(key, built, fingerprint, trace)
             self._runs[key] = BenchmarkRun(
-                abbr=key, built=built, trace=trace, classified=classified
+                abbr=key,
+                built=built,
+                trace=trace,
+                classified=classified,
+                trace_fingerprint=fingerprint,
             )
         return self._runs[key]
 
     def trace_with_warp_size(self, abbr: str, warp_size: int) -> KernelTrace:
-        """Re-execute a benchmark with a different warp size (Figure 10)."""
-        key = (abbr.upper(), warp_size)
-        cache = self._traces_64
+        """Re-execute a benchmark with a different warp size (Figure 10).
+
+        Shares the same fingerprint-checked on-disk cache as :meth:`run`,
+        with the warp size in the cache key, so warp-64 traces are
+        executed once per cache directory rather than once per process.
+        """
+        key = self._normalize(abbr)
         if warp_size == 32:
-            return self.run(abbr).trace
-        token = f"{key[0]}@{warp_size}"
-        if token not in cache:
-            spec = workload_by_name(abbr)
+            return self.run(key).trace
+        token = (key, warp_size)
+        if token not in self._warp_traces:
+            spec = workload_by_name(key)
             built = spec.builder(self.scale)
-            self._log(f"executing {key[0]} at warp size {warp_size}")
-            cache[token] = run_kernel(
-                built.kernel, built.launch, built.memory, warp_size=warp_size
-            )
-        return cache[token]
+            trace, _ = self._obtain_trace(key, built, warp_size)
+            self._warp_traces[token] = trace
+        return self._warp_traces[token]
 
     # ------------------------------------------------------------------
     def processed(
         self, abbr: str, arch: ArchitectureConfig
     ) -> list[list[ProcessedEvent]]:
         """Per-architecture processed events for one benchmark."""
-        key = (abbr.upper(), arch.name)
+        key = (self._normalize(abbr), arch.name)
         if key not in self._processed:
-            run = self.run(abbr)
-            self._processed[key] = process_classified(
-                run.classified, arch, run.trace.warp_size
-            )
+            run = self.run(key[0])
+            with self.stats.timer("process"):
+                self._processed[key] = process_classified(
+                    run.classified, arch, run.trace.warp_size
+                )
         return self._processed[key]
 
-    def timing(self, abbr: str, arch: ArchitectureConfig) -> TimingResult:
-        """Cycle-level result for one (benchmark, architecture) pair."""
-        key = (abbr.upper(), arch.name)
-        if key not in self._timing:
-            self._log(f"timing {key[0]} on {arch.name}")
-            run = self.run(abbr)
-            warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
-            self._timing[key] = simulate_architecture(
-                self.processed(abbr, arch),
+    def _results_fingerprint(self, run: BenchmarkRun, arch: ArchitectureConfig) -> str:
+        return cachekey.stage_fingerprint(
+            run.trace_fingerprint, arch, self.config, self.params, STAGE_VERSION
+        )
+
+    def _load_results(self, key: str, arch: ArchitectureConfig) -> bool:
+        """Try the timing/power sidecar; ``True`` when both were restored."""
+        if self.cache_dir is None:
+            return False
+        run = self.run(key)
+        path = self._sidecar_path(key, f"results_{arch.name}")
+        payload = self._load_sidecar(path, self._results_fingerprint(run, arch))
+        if payload is None:
+            self.stats.bump("result_cache_misses")
+            return False
+        self._timing[(key, arch.name)] = payload["timing"]
+        self._power[(key, arch.name)] = payload["power"]
+        self.stats.bump("result_cache_hits")
+        return True
+
+    def _store_results(self, key: str, arch: ArchitectureConfig) -> None:
+        if self.cache_dir is None:
+            return
+        run = self.run(key)
+        self._store_sidecar(
+            self._sidecar_path(key, f"results_{arch.name}"),
+            {
+                "fingerprint": self._results_fingerprint(run, arch),
+                "timing": self._timing[(key, arch.name)],
+                "power": self._power[(key, arch.name)],
+            },
+        )
+
+    def _compute_timing(self, key: str, arch: ArchitectureConfig) -> None:
+        self._log(f"timing {key} on {arch.name}")
+        run = self.run(key)
+        warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
+        with self.stats.timer("timing"):
+            self._timing[(key, arch.name)] = simulate_architecture(
+                self.processed(key, arch),
                 arch,
                 self.config,
                 warps_per_cta=warps_per_cta,
             )
-        return self._timing[key]
+
+    def timing(self, abbr: str, arch: ArchitectureConfig) -> TimingResult:
+        """Cycle-level result for one (benchmark, architecture) pair."""
+        key = self._normalize(abbr)
+        if (key, arch.name) not in self._timing and not self._load_results(key, arch):
+            self._compute_timing(key, arch)
+        return self._timing[(key, arch.name)]
 
     def power(self, abbr: str, arch: ArchitectureConfig) -> PowerReport:
         """Power report for one (benchmark, architecture) pair."""
-        key = (abbr.upper(), arch.name)
-        if key not in self._power:
+        key = self._normalize(abbr)
+        if (key, arch.name) not in self._power and not self._load_results(key, arch):
+            timing = self.timing(key, arch)
             accountant = PowerAccountant(arch, self.params, self.config)
-            self._power[key] = accountant.account(
-                self.processed(abbr, arch), self.timing(abbr, arch)
+            with self.stats.timer("power"):
+                self._power[(key, arch.name)] = accountant.account(
+                    self.processed(key, arch), timing
+                )
+            self._store_results(key, arch)
+        return self._power[(key, arch.name)]
+
+    # ------------------------------------------------------------------
+    # Matrix prefetch (the parallel experiment engine's front door).
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        names: Sequence[str] | None = None,
+        jobs: int = 1,
+        warp_sizes: Sequence[int] = (32,),
+        arches: Sequence[ArchitectureConfig] | None = None,
+        progress: Callable[[str, int, int], None] | None = None,
+    ) -> RunnerStats:
+        """Warm every cacheable stage of the benchmark × arch matrix.
+
+        With ``jobs > 1`` the matrix fans out over a process pool
+        (:func:`repro.experiments.parallel.run_matrix`); workers share
+        results exclusively through the on-disk cache, so ``cache_dir``
+        is required.  Worker statistics merge into :attr:`stats` and the
+        merged stats are returned.  Serial (``jobs == 1``) prefetch
+        works with or without a cache directory.
+        """
+        wanted = [self._normalize(name) for name in (names or self.benchmark_names())]
+        arch_list = tuple(arches) if arches is not None else paper_architectures()
+        jobs = max(1, int(jobs))
+        if progress is None and self.verbose:
+            progress = lambda abbr, done, total: self._log(
+                f"prefetch {done}/{total}: {abbr}"
             )
-        return self._power[key]
+        with self.stats.timer("prefetch"):
+            if jobs == 1 or len(wanted) <= 1:
+                for index, abbr in enumerate(wanted):
+                    self.run(abbr)
+                    for warp_size in warp_sizes:
+                        self.trace_with_warp_size(abbr, warp_size)
+                    for arch in arch_list:
+                        self.power(abbr, arch)
+                    if progress is not None:
+                        progress(abbr, index + 1, len(wanted))
+            else:
+                if self.cache_dir is None:
+                    raise ValueError(
+                        "parallel prefetch requires cache_dir: worker "
+                        "processes communicate through the on-disk cache"
+                    )
+                from repro.experiments.parallel import run_matrix
+
+                worker_stats = run_matrix(
+                    names=wanted,
+                    scale=self.scale.name,
+                    cache_dir=self.cache_dir,
+                    jobs=jobs,
+                    warp_sizes=tuple(warp_sizes),
+                    arches=arch_list,
+                    config=self.config,
+                    params=self.params,
+                    progress=progress,
+                )
+                self.stats.merge(worker_stats)
+        return self.stats

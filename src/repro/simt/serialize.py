@@ -25,11 +25,21 @@ from repro.simt.trace import KernelTrace, TraceEvent, WarpTrace
 _OPCODE_TO_ID = {opcode: index for index, opcode in enumerate(sorted(Opcode, key=lambda o: o.value))}
 _ID_TO_OPCODE = {index: opcode for opcode, index in _OPCODE_TO_ID.items()}
 
-_FORMAT_VERSION = 1
+#: Bump whenever the archive layout or header schema changes; cached
+#: traces with a different version are re-executed, never re-interpreted.
+#: Version 2 added the embedded content ``fingerprint`` header field.
+_FORMAT_VERSION = 2
 
 
-def save_trace(trace: KernelTrace, path: str | Path) -> None:
-    """Write a trace to ``path`` (``.npz``, compressed)."""
+def save_trace(
+    trace: KernelTrace, path: str | Path, fingerprint: str | None = None
+) -> None:
+    """Write a trace to ``path`` (``.npz``, compressed).
+
+    ``fingerprint`` (see :mod:`repro.experiments.cachekey`) is stored in
+    the header so :func:`load_trace` can reject stale caches whose
+    source kernel, scale or warp size has since changed.
+    """
     events = [event for warp in trace.warps for event in warp.events]
     count = len(events)
 
@@ -65,6 +75,7 @@ def save_trace(trace: KernelTrace, path: str | Path) -> None:
 
     header = {
         "version": _FORMAT_VERSION,
+        "fingerprint": fingerprint,
         "kernel_name": trace.kernel_name,
         "warp_size": trace.warp_size,
         "warp_ids": [warp.warp_id for warp in trace.warps],
@@ -88,13 +99,42 @@ def save_trace(trace: KernelTrace, path: str | Path) -> None:
     )
 
 
-def load_trace(path: str | Path) -> KernelTrace:
-    """Read a trace previously written by :func:`save_trace`."""
-    with np.load(Path(path)) as archive:
+def load_trace(
+    path: str | Path, expected_fingerprint: str | None = None
+) -> KernelTrace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises :class:`~repro.errors.TraceError` when the file is corrupt,
+    written by a different format version, or — with
+    ``expected_fingerprint`` given — was produced from a kernel/scale/
+    warp-size combination other than the one being requested (a *stale*
+    cache entry).  Callers are expected to recover by re-executing and
+    overwriting; nothing here is fatal to an experiment run.
+    """
+    try:
+        return _load_trace_strict(Path(path), expected_fingerprint)
+    except TraceError:
+        raise
+    except Exception as exc:  # zip/json/array damage of any shape
+        raise TraceError(f"corrupt or unreadable trace file {path}: {exc}") from exc
+
+
+def _load_trace_strict(
+    path: Path, expected_fingerprint: str | None
+) -> KernelTrace:
+    with np.load(path) as archive:
         header = json.loads(bytes(archive["header"]).decode())
         if header.get("version") != _FORMAT_VERSION:
             raise TraceError(
                 f"unsupported trace format version {header.get('version')!r}"
+            )
+        if (
+            expected_fingerprint is not None
+            and header.get("fingerprint") != expected_fingerprint
+        ):
+            raise TraceError(
+                f"stale trace cache {path}: fingerprint "
+                f"{header.get('fingerprint')!r} != expected {expected_fingerprint!r}"
             )
         opcode_ids = archive["opcode_ids"]
         dst = archive["dst"]

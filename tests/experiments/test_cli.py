@@ -28,3 +28,49 @@ class TestCli:
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12",
             "table1", "table2", "table3", "extras", "scorecard", "suite",
         }
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--jobs", "0"])
+
+
+class TestCacheAndJobs:
+    def test_cache_dir_populates_and_replays(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["fig1", "--scale", "tiny", "--cache-dir", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert any(cache.glob("*.npz"))
+        assert main(["fig1", "--scale", "tiny", "--cache-dir", str(cache)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_stats_json_counts_cold_and_warm(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        stats_path = tmp_path / "stats.json"
+        argv = [
+            "fig1", "--scale", "tiny", "--jobs", "2",
+            "--cache-dir", str(cache), "--stats-json", str(stats_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        cold = json.loads(stats_path.read_text())
+        assert cold["jobs"] == 2
+        assert cold["counters"]["trace_executions"] == 17
+        assert "fig1" in cold["experiment_seconds"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        warm = json.loads(stats_path.read_text())
+        assert warm["counters"].get("trace_executions", 0) == 0
+        assert warm["counters"]["trace_cache_hits"] >= 17
+
+    def test_parallel_output_matches_serial(self, tmp_path, capsys):
+        assert main(["fig10", "--scale", "tiny"]) == 0
+        serial = capsys.readouterr().out
+        cache = tmp_path / "cache"
+        argv = [
+            "fig10", "--scale", "tiny", "--jobs", "2", "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        assert capsys.readouterr().out == serial
+        assert any(cache.glob("*_w64.npz"))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import ArchitectureConfig
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, RunnerStats
 
 
 @pytest.fixture(scope="module")
@@ -43,9 +43,36 @@ class TestRunner:
         assert trace32.warp_size == 32
         assert trace64.warp_size == 64
 
+    def test_warp64_case_insensitive(self, runner):
+        first = runner.trace_with_warp_size("HS", 64)
+        second = runner.trace_with_warp_size("hs", 64)
+        assert first is second
+
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
             ExperimentRunner(scale="nope")
+
+
+class TestRunnerStats:
+    def test_merge_accepts_stats_and_dicts(self):
+        stats = RunnerStats()
+        stats.bump("trace_executions", 2)
+        stats.add_time("classify", 0.5)
+        other = RunnerStats()
+        other.bump("trace_executions")
+        other.bump("trace_cache_hits", 3)
+        stats.merge(other)
+        stats.merge({"counters": {"trace_executions": 1}, "stage_seconds": {"classify": 0.25}})
+        assert stats.trace_executions == 4
+        assert stats.counters["trace_cache_hits"] == 3
+        assert stats.stage_seconds["classify"] == pytest.approx(0.75)
+
+    def test_to_dict_round_trips_through_merge(self):
+        stats = RunnerStats()
+        stats.bump("trace_executions", 5)
+        rebuilt = RunnerStats()
+        rebuilt.merge(stats.to_dict())
+        assert rebuilt.trace_executions == 5
 
 
 class TestTraceCache:
@@ -53,9 +80,103 @@ class TestTraceCache:
         first = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         run_a = first.run("HS")
         assert (tmp_path / "HS_tiny.npz").exists()
+        assert first.stats.trace_executions == 1
         second = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         run_b = second.run("HS")
+        assert second.stats.trace_executions == 0
+        assert second.stats.counters["trace_cache_hits"] == 1
         assert run_a.trace.total_instructions == run_b.trace.total_instructions
         masks_a = [e.active_mask for e in run_a.trace.all_events()]
         masks_b = [e.active_mask for e in run_b.trace.all_events()]
         assert masks_a == masks_b
+
+    def test_warp64_trace_cached_on_disk(self, tmp_path):
+        first = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        trace_a = first.trace_with_warp_size("hs", 64)
+        assert (tmp_path / "HS_tiny_w64.npz").exists()
+        second = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        trace_b = second.trace_with_warp_size("HS", 64)
+        assert second.stats.trace_executions == 0
+        assert trace_b.warp_size == 64
+        masks_a = [e.active_mask for e in trace_a.all_events()]
+        masks_b = [e.active_mask for e in trace_b.all_events()]
+        assert masks_a == masks_b
+
+    def test_warp_sizes_do_not_collide_in_cache(self, tmp_path):
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        runner.run("HS")
+        runner.trace_with_warp_size("HS", 64)
+        assert (tmp_path / "HS_tiny.npz").exists()
+        assert (tmp_path / "HS_tiny_w64.npz").exists()
+        fresh = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        assert fresh.trace_with_warp_size("HS", 64).warp_size == 64
+        assert fresh.run("HS").trace.warp_size == 32
+
+    def test_fingerprint_mismatch_triggers_reexecution(self, tmp_path):
+        from repro.simt.serialize import load_trace, save_trace
+
+        seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        good = seeded.run("HS").trace
+        path = tmp_path / "HS_tiny.npz"
+        # Rewrite the cache entry under a wrong fingerprint, simulating
+        # a kernel/scale edit since the trace was recorded.
+        save_trace(good, path, fingerprint="0" * 16)
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        run = runner.run("HS")
+        assert runner.stats.trace_executions == 1
+        assert runner.stats.counters["trace_cache_invalid"] == 1
+        # The stale entry was overwritten with a valid one.
+        verifier = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        verifier.run("HS")
+        assert verifier.stats.trace_executions == 0
+        assert run.trace.total_instructions == good.total_instructions
+
+    def test_corrupt_cache_file_recovered(self, tmp_path):
+        seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        expected = seeded.run("HS").trace.total_instructions
+        path = tmp_path / "HS_tiny.npz"
+        path.write_bytes(b"not an npz archive")
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        run = runner.run("HS")
+        assert run.trace.total_instructions == expected
+        assert runner.stats.trace_executions == 1
+        assert runner.stats.counters["trace_cache_invalid"] == 1
+        # And the overwrite repaired the cache for the next process.
+        repaired = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        repaired.run("HS")
+        assert repaired.stats.trace_executions == 0
+
+    def test_corrupt_sidecar_recovered(self, tmp_path):
+        arch = ArchitectureConfig.gscalar()
+        seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        expected = seeded.power("HS", arch).ipc_per_watt
+        (tmp_path / "HS_tiny_classified.pkl").write_bytes(b"junk")
+        (tmp_path / f"HS_tiny_results_{arch.name}.pkl").write_bytes(b"junk")
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        assert runner.power("HS", arch).ipc_per_watt == expected
+        assert runner.stats.counters["sidecar_invalid"] >= 2
+
+    def test_result_sidecars_replay_timing_and_power(self, tmp_path):
+        arch = ArchitectureConfig.gscalar()
+        seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        timing = seeded.timing("HS", arch)
+        power = seeded.power("HS", arch)
+        assert (tmp_path / f"HS_tiny_results_{arch.name}.pkl").exists()
+        warm = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        assert warm.power("HS", arch).ipc_per_watt == power.ipc_per_watt
+        assert warm.timing("HS", arch).cycles == timing.cycles
+        assert warm.stats.counters["result_cache_hits"] == 1
+        assert "timing" not in warm.stats.stage_seconds
+
+    def test_energy_param_change_invalidates_results(self, tmp_path):
+        from repro.power.energy import EnergyParams
+
+        arch = ArchitectureConfig.gscalar()
+        seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        seeded.power("HS", arch)
+        tweaked = ExperimentRunner(
+            scale="tiny", cache_dir=tmp_path, params=EnergyParams(alu_lane_pj=99.0)
+        )
+        tweaked.power("HS", arch)
+        assert tweaked.stats.counters.get("result_cache_hits", 0) == 0
+        assert tweaked.stats.counters["result_cache_misses"] >= 1

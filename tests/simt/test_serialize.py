@@ -82,3 +82,81 @@ class TestRoundTrip:
         save_trace(trace, path)
         assert_traces_equal(trace, load_trace(path))
         assert path.stat().st_size > 0
+
+
+class TestFingerprint:
+    def test_matching_fingerprint_round_trips(self, saxpy_kernel, tmp_path):
+        from repro.simt.trace import KernelTrace
+
+        trace = run_one_warp(saxpy_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path, fingerprint="deadbeef00000000")
+        loaded = load_trace(path, expected_fingerprint="deadbeef00000000")
+        assert isinstance(loaded, KernelTrace)
+        assert_traces_equal(trace, loaded)
+
+    def test_mismatched_fingerprint_raises(self, saxpy_kernel, tmp_path):
+        from repro.errors import TraceError
+
+        trace = run_one_warp(saxpy_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path, fingerprint="deadbeef00000000")
+        with pytest.raises(TraceError, match="stale"):
+            load_trace(path, expected_fingerprint="0123456789abcdef")
+
+    def test_missing_fingerprint_raises_when_expected(self, saxpy_kernel, tmp_path):
+        from repro.errors import TraceError
+
+        trace = run_one_warp(saxpy_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)  # no fingerprint embedded
+        with pytest.raises(TraceError, match="stale"):
+            load_trace(path, expected_fingerprint="0123456789abcdef")
+
+    def test_no_expected_fingerprint_skips_check(self, saxpy_kernel, tmp_path):
+        trace = run_one_warp(saxpy_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path, fingerprint="deadbeef00000000")
+        assert_traces_equal(trace, load_trace(path))
+
+
+class TestCorruption:
+    def test_garbage_file_raises_trace_error(self, tmp_path):
+        from repro.errors import TraceError
+
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceError, match="corrupt"):
+            load_trace(path)
+
+    def test_truncated_archive_raises_trace_error(self, saxpy_kernel, tmp_path):
+        from repro.errors import TraceError
+
+        trace = run_one_warp(saxpy_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_empty_file_raises_trace_error(self, tmp_path):
+        from repro.errors import TraceError
+
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version_raises_trace_error(self, saxpy_kernel, tmp_path):
+        from unittest import mock
+
+        from repro.errors import TraceError
+        from repro.simt import serialize
+
+        trace = run_one_warp(saxpy_kernel, MemoryImage())
+        path = tmp_path / "trace.npz"
+        with mock.patch.object(serialize, "_FORMAT_VERSION", 999):
+            save_trace(trace, path)
+        with pytest.raises(TraceError, match="version"):
+            load_trace(path)
