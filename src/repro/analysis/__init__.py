@@ -1,4 +1,8 @@
-"""Trace analyses backing Figures 1, 8 and 10."""
+"""Trace analyses (Figures 1, 8, 10) and the static kernel analyzer.
+
+Dynamic-trace analyses live at this level; the compile-time lint/
+diagnostic subsystem is the :mod:`repro.analysis.static_` subpackage.
+"""
 
 from repro.analysis.divergence import DivergenceStats, divergence_stats
 from repro.analysis.halfwarp import ChunkScalarStats, chunk_scalar_stats
@@ -7,13 +11,27 @@ from repro.analysis.similarity import (
     AccessDistribution,
     access_distribution,
 )
+from repro.analysis.static_ import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    StaticScalarClass,
+    analyze_uniformity,
+    lint_kernel,
+)
 
 __all__ = [
     "CATEGORIES",
     "AccessDistribution",
     "ChunkScalarStats",
+    "Diagnostic",
     "DivergenceStats",
+    "LintReport",
+    "Severity",
+    "StaticScalarClass",
     "access_distribution",
+    "analyze_uniformity",
     "chunk_scalar_stats",
     "divergence_stats",
+    "lint_kernel",
 ]

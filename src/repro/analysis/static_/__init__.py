@@ -1,0 +1,72 @@
+"""Static kernel analysis: lint passes, diagnostics, divergence prediction.
+
+The subsystem has three layers:
+
+* :mod:`~repro.analysis.static_.diagnostics` — the stable rule-code
+  vocabulary (``GS-E001``...) and machine-readable reports;
+* :mod:`~repro.analysis.static_.framework` — the pass manager running
+  ordered :class:`LintPass` pipelines over a shared
+  :class:`AnalysisContext` of cached CFG analyses;
+* the passes — uninitialized reads (reaching definitions), dead writes
+  (liveness), compile-time scalarization (uniformity lattice), register
+  pressure, and CFG structure.
+
+``repro lint`` (see :mod:`repro.cli`) exposes the default pipeline over
+the workload registry; :mod:`repro.experiments.staticdyn` scores the
+uniformity pass against the dynamic tracker.
+"""
+
+from repro.analysis.static_.cfg import CfgStructurePass
+from repro.analysis.static_.deadwrite import DeadWritePass
+from repro.analysis.static_.diagnostics import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+from repro.analysis.static_.framework import (
+    AnalysisContext,
+    LintPass,
+    PassManager,
+    default_manager,
+    default_passes,
+    lint_kernel,
+)
+from repro.analysis.static_.pressure import RegisterPressurePass, block_pressure
+from repro.analysis.static_.uninit import (
+    UninitializedReadPass,
+    definite_assignment,
+    uninitialized_reads,
+)
+from repro.analysis.static_.uniformity import (
+    StaticScalarClass,
+    StaticScalarizationPass,
+    Uniformity,
+    UniformityResult,
+    analyze_uniformity,
+)
+
+__all__ = [
+    "RULES",
+    "AnalysisContext",
+    "CfgStructurePass",
+    "DeadWritePass",
+    "Diagnostic",
+    "LintPass",
+    "LintReport",
+    "PassManager",
+    "RegisterPressurePass",
+    "Severity",
+    "StaticScalarClass",
+    "StaticScalarizationPass",
+    "Uniformity",
+    "UniformityResult",
+    "UninitializedReadPass",
+    "analyze_uniformity",
+    "block_pressure",
+    "default_manager",
+    "default_passes",
+    "definite_assignment",
+    "lint_kernel",
+    "uninitialized_reads",
+]

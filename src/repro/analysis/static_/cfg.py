@@ -1,0 +1,82 @@
+"""CFG structural lint: reachability and reconvergence shape.
+
+:class:`repro.isa.kernel.Kernel` refuses outright-broken graphs at
+construction, but shapes that are *legal* can still be performance or
+correctness hazards for a SIMT machine:
+
+* a branch whose immediate post-dominator is the virtual exit never
+  reconverges — a divergent warp stays split for the rest of the
+  kernel, the §1 worst case (``GS-W102``);
+* a two-way branch whose arms are the same block is a conditional that
+  cannot diverge and should be a jump (``GS-I203``);
+* unreachable blocks (possible when a CFG is mutated after validation)
+  silently skew static statistics (``GS-W103``).
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import EXIT_NODE, Branch
+
+from repro.analysis.static_.diagnostics import Diagnostic
+from repro.analysis.static_.framework import AnalysisContext, LintPass
+
+
+class CfgStructurePass(LintPass):
+    """Structural checks over the block graph (GS-W102/GS-W103/GS-I203)."""
+
+    name = "cfg-structure"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        kernel = ctx.kernel
+        findings: list[Diagnostic] = []
+
+        reachable = {0}
+        worklist = [0]
+        while worklist:
+            node = worklist.pop()
+            for successor in kernel.blocks[node].successors():
+                if successor != EXIT_NODE and successor not in reachable:
+                    reachable.add(successor)
+                    worklist.append(successor)
+        for block in kernel.blocks:
+            if block.block_id not in reachable:
+                findings.append(
+                    Diagnostic(
+                        rule="GS-W103",
+                        kernel=kernel.name,
+                        message="block is unreachable from the entry block",
+                        block_id=block.block_id,
+                    )
+                )
+
+        for block in kernel.blocks:
+            terminator = block.terminator
+            if not isinstance(terminator, Branch):
+                continue
+            if terminator.taken == terminator.not_taken:
+                findings.append(
+                    Diagnostic(
+                        rule="GS-I203",
+                        kernel=kernel.name,
+                        message=(
+                            "branch arms are identical "
+                            f"(both target block {terminator.taken}); "
+                            "cannot diverge, could be a jump"
+                        ),
+                        block_id=block.block_id,
+                    )
+                )
+                continue
+            if block.block_id in reachable and ctx.ipdom[block.block_id] == EXIT_NODE:
+                findings.append(
+                    Diagnostic(
+                        rule="GS-W102",
+                        kernel=kernel.name,
+                        message=(
+                            "branch arms never reconverge before kernel exit; "
+                            "a divergent warp stays split to the end"
+                        ),
+                        block_id=block.block_id,
+                    )
+                )
+        return findings

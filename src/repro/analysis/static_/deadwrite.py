@@ -1,0 +1,58 @@
+"""Dead-write detection over block liveness (§3.3's dead values).
+
+A write is dead when the produced value can never be observed: no later
+read in the same block before a redefinition, and the register is not
+live out of the block.  These are exactly the "registers [that] will
+store dead values" the paper's §3.3 compiler-assisted technique hunts —
+a decompress-move (and on real silicon, the write itself) spent on them
+is wasted energy.  Emitted as ``GS-W101`` warnings.
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import Branch
+
+from repro.analysis.static_.diagnostics import Diagnostic
+from repro.analysis.static_.framework import AnalysisContext, LintPass
+
+
+class DeadWritePass(LintPass):
+    """Flags writes whose value is never live afterwards (GS-W101)."""
+
+    name = "dead-write"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        kernel = ctx.kernel
+        liveness = ctx.liveness
+        findings: list[Diagnostic] = []
+        for block in kernel.blocks:
+            # Registers live just after each instruction, walked backward
+            # from the block's live-out plus the terminator's own read.
+            live = set(liveness.live_out[block.block_id])
+            terminator = block.terminator
+            if isinstance(terminator, Branch):
+                live.add(terminator.cond.index)
+            dead_sites: list[tuple[int, int]] = []
+            for index in range(len(block.instructions) - 1, -1, -1):
+                inst = block.instructions[index]
+                if inst.dst is not None:
+                    if inst.dst.index not in live:
+                        dead_sites.append((index, inst.dst.index))
+                    live.discard(inst.dst.index)
+                for src in inst.source_registers:
+                    live.add(src.index)
+            for index, register in reversed(dead_sites):
+                opcode = block.instructions[index].opcode.value
+                findings.append(
+                    Diagnostic(
+                        rule="GS-W101",
+                        kernel=kernel.name,
+                        message=(
+                            f"{opcode} writes r{register} but the value is "
+                            "never read before being overwritten or dropped"
+                        ),
+                        block_id=block.block_id,
+                        inst_index=index,
+                    )
+                )
+        return findings

@@ -1,0 +1,82 @@
+"""Register pressure and encoding-width reporting.
+
+The paper's Table 3 argues G-Scalar's cost in sidecar state: per
+architectural register, 4 enc bits, a D bit, an FS flag and a 32-bit
+BVR (§3.2/§4.2).  That bill scales with the register file's occupancy,
+so this pass reports the kernel's worst-case *simultaneous* liveness
+per block (the pressure an allocator actually pays) alongside the raw
+register count, and enforces the per-thread budget (64 on Fermi-class
+hardware) as a hard ``GS-E003`` error.
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import Branch, Kernel
+
+from repro.analysis.static_.diagnostics import Diagnostic
+from repro.analysis.static_.framework import AnalysisContext, LintPass
+
+#: Sidecar bits per register per warp: 4 enc + 1 D + 1 FS + 32 BVR.
+SIDECAR_BITS_PER_REGISTER = 38
+
+
+def block_pressure(kernel: Kernel, liveness) -> dict[int, int]:
+    """Maximum simultaneously-live register count inside each block."""
+    pressure: dict[int, int] = {}
+    for block in kernel.blocks:
+        live = set(liveness.live_out[block.block_id])
+        terminator = block.terminator
+        if isinstance(terminator, Branch):
+            live.add(terminator.cond.index)
+        peak = len(live)
+        for inst in reversed(block.instructions):
+            if inst.dst is not None:
+                live.discard(inst.dst.index)
+            for src in inst.source_registers:
+                live.add(src.index)
+            peak = max(peak, len(live))
+        peak = max(peak, len(liveness.live_in[block.block_id]))
+        pressure[block.block_id] = peak
+    return pressure
+
+
+class RegisterPressurePass(LintPass):
+    """Budget enforcement (GS-E003) + pressure report (GS-I202)."""
+
+    name = "register-pressure"
+
+    def __init__(self, max_registers: int = 64):
+        self.max_registers = max_registers
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        kernel = ctx.kernel
+        findings: list[Diagnostic] = []
+        if kernel.num_registers > self.max_registers:
+            findings.append(
+                Diagnostic(
+                    rule="GS-E003",
+                    kernel=kernel.name,
+                    message=(
+                        f"kernel uses {kernel.num_registers} registers, "
+                        f"exceeding the per-thread budget of {self.max_registers}"
+                    ),
+                )
+            )
+        pressure = block_pressure(kernel, ctx.liveness)
+        worst_block = max(pressure, key=pressure.get) if pressure else 0
+        peak = pressure.get(worst_block, 0)
+        encoding_bits = max(1, (max(kernel.num_registers, 1) - 1).bit_length())
+        sidecar_bits = kernel.num_registers * SIDECAR_BITS_PER_REGISTER
+        findings.append(
+            Diagnostic(
+                rule="GS-I202",
+                kernel=kernel.name,
+                message=(
+                    f"{kernel.num_registers} registers, peak pressure {peak} "
+                    f"(block {worst_block}); operand encoding {encoding_bits} "
+                    f"bits, sidecar state {sidecar_bits} bits/warp"
+                ),
+                block_id=worst_block,
+            )
+        )
+        return findings

@@ -1,0 +1,118 @@
+"""Path-sensitive uninitialized-read detection (reaching definitions).
+
+The whole-kernel set check this replaces (``read - written``) misses a
+classic bug: a register written only inside one branch arm but read
+unconditionally after the join is "written somewhere", yet on the other
+path the read observes garbage.  The definite-assignment dataflow here
+is a *must* analysis — a register is definitely assigned at a point
+only when every path from the entry defines it first — so that case is
+flagged precisely, at the offending read site.
+
+Rule codes: ``GS-E001`` for reads of registers no block ever writes
+(the old check, now localized per read), ``GS-E002`` for reads that are
+unprotected on at least one path.
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import Branch, Kernel
+
+from repro.analysis.static_.diagnostics import Diagnostic
+from repro.analysis.static_.framework import AnalysisContext, LintPass
+
+
+def definite_assignment(kernel: Kernel) -> dict[int, set[int]]:
+    """Registers definitely assigned on entry to each block.
+
+    Forward *must* dataflow: ``IN[b] = intersection(OUT[p] for p in
+    preds(b))`` with ``OUT[b] = IN[b] | defs(b)``; the entry block
+    starts empty, everything else starts at TOP (all registers) so the
+    intersection over a loop's back edge converges from above.
+    """
+    universe = set(range(kernel.num_registers))
+    defs: dict[int, set[int]] = {}
+    for block in kernel.blocks:
+        defined: set[int] = set()
+        for inst in block.instructions:
+            if inst.dst is not None:
+                defined.add(inst.dst.index)
+        defs[block.block_id] = defined
+
+    preds = kernel.predecessors()
+    entry_in: dict[int, set[int]] = {b.block_id: set(universe) for b in kernel.blocks}
+    entry_in[0] = set()
+    out_state: dict[int, set[int]] = {
+        b.block_id: (set(universe) if b.block_id != 0 else defs[0] | set())
+        for b in kernel.blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in kernel.blocks:
+            block_id = block.block_id
+            if block_id == 0:
+                new_in: set[int] = set()
+            else:
+                new_in = set(universe)
+                for pred in preds[block_id]:
+                    new_in &= out_state[pred]
+            new_out = new_in | defs[block_id]
+            if new_in != entry_in[block_id] or new_out != out_state[block_id]:
+                entry_in[block_id] = new_in
+                out_state[block_id] = new_out
+                changed = True
+    return entry_in
+
+
+def uninitialized_reads(kernel: Kernel) -> list[Diagnostic]:
+    """All reads of maybe-uninitialized registers, in program order."""
+    ever_written: set[int] = set()
+    for block in kernel.blocks:
+        for inst in block.instructions:
+            if inst.dst is not None:
+                ever_written.add(inst.dst.index)
+
+    entry_in = definite_assignment(kernel)
+    findings: list[Diagnostic] = []
+
+    def flag(register: int, block_id: int, inst_index: int | None, what: str) -> None:
+        if register in ever_written:
+            rule = "GS-E002"
+            detail = (
+                f"r{register} read by {what} may be uninitialized: no "
+                "definition reaches it on at least one path from entry"
+            )
+        else:
+            rule = "GS-E001"
+            detail = f"r{register} read by {what} but never written by any block"
+        findings.append(
+            Diagnostic(
+                rule=rule,
+                kernel=kernel.name,
+                message=detail,
+                block_id=block_id,
+                inst_index=inst_index,
+            )
+        )
+
+    for block in kernel.blocks:
+        assigned = set(entry_in[block.block_id])
+        for index, inst in enumerate(block.instructions):
+            for src in inst.source_registers:
+                if src.index not in assigned:
+                    flag(src.index, block.block_id, index, inst.opcode.value)
+            if inst.dst is not None:
+                assigned.add(inst.dst.index)
+        terminator = block.terminator
+        if isinstance(terminator, Branch) and terminator.cond.index not in assigned:
+            flag(terminator.cond.index, block.block_id, None, "branch condition")
+    return findings
+
+
+class UninitializedReadPass(LintPass):
+    """Reaching-definitions lint pass (GS-E001 / GS-E002)."""
+
+    name = "uninitialized-read"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        return uninitialized_reads(ctx.kernel)

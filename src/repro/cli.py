@@ -24,6 +24,7 @@ from repro.experiments import (
     fig11,
     fig12,
     scorecard,
+    staticdyn,
     suite,
     table1,
     table2,
@@ -34,7 +35,7 @@ from repro.workloads.registry import SCALES
 
 _TRACE_EXPERIMENTS = (
     "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "extras", "scorecard",
-    "suite",
+    "suite", "staticdyn",
 )
 _STATIC_EXPERIMENTS = ("table1", "table2", "table3")
 EXPERIMENTS = _TRACE_EXPERIMENTS + _STATIC_EXPERIMENTS
@@ -63,6 +64,7 @@ def _run_one(name: str, runner: ExperimentRunner | None) -> str:
         "extras": extras,
         "scorecard": scorecard,
         "suite": suite,
+        "staticdyn": staticdyn,
     }[name]
     return module.render(module.compute(runner))
 
@@ -94,11 +96,96 @@ def _bars_for(name: str, runner: ExperimentRunner) -> str:
     )
 
 
+def _lint_main(argv: list[str]) -> int:
+    """``repro lint``: run the static analyzer over workload kernels.
+
+    Exit status is 1 when any kernel has a diagnostic at or above the
+    ``--fail-on`` severity (default: error), making the command directly
+    usable as a CI gate.
+    """
+    from repro.analysis.static_ import PassManager, Severity, default_passes
+    from repro.workloads.registry import all_workloads, build_workload, workload_by_name
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Lint workload kernels with the static analyzer.",
+    )
+    parser.add_argument(
+        "kernels",
+        nargs="*",
+        metavar="KERNEL",
+        help="workload abbreviations or names (default: all 17)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="workload problem size (default: default)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report array instead of text",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="error",
+        help="lowest severity that fails the run (default: error)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        help="lowest severity to print in text mode (default: info)",
+    )
+    parser.add_argument(
+        "--max-registers",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-thread register budget for GS-E003 (default: 64)",
+    )
+    args = parser.parse_args(argv)
+
+    specs = (
+        [workload_by_name(name) for name in args.kernels]
+        if args.kernels
+        else all_workloads()
+    )
+    manager = PassManager(default_passes(max_registers=args.max_registers))
+    threshold = Severity.parse(args.fail_on)
+    min_shown = Severity.parse(args.min_severity)
+    reports = []
+    for spec in specs:
+        kernel = build_workload(spec.abbr, args.scale).kernel
+        reports.append(manager.run(kernel))
+
+    failing = sum(1 for report in reports if report.at_least(threshold))
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render(min_severity=min_shown))
+        print(
+            f"[linted {len(reports)} kernel(s): {failing} at or above "
+            f"{threshold.value}]",
+            file=sys.stderr,
+        )
+    return 1 if failing else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["lint"]:
+        # The lint subcommand has its own flags; dispatch before the
+        # experiment parser sees (and rejects) them.
+        return _lint_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the G-Scalar paper's figures and tables.",
+        epilog="'repro lint --help' describes the static-analysis gate.",
     )
     parser.add_argument(
         "experiment",
@@ -144,7 +231,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write cache/stage statistics (hits, misses, timings) to PATH",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 

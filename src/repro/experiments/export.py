@@ -14,7 +14,7 @@ from pathlib import Path
 
 from repro.analysis.similarity import CATEGORIES
 from repro.experiments import extras as extras_mod
-from repro.experiments import fig1, fig8, fig9, fig10, fig11, fig12
+from repro.experiments import fig1, fig8, fig9, fig10, fig11, fig12, staticdyn
 
 
 def fig1_to_dict(data: "fig1.Fig1Data") -> dict:
@@ -126,6 +126,33 @@ def extras_to_dict(data: "extras_mod.ExtrasData") -> dict:
     }
 
 
+def staticdyn_to_dict(data: "staticdyn.StaticDynData") -> dict:
+    return {
+        "benchmarks": {
+            row.abbr: {
+                "static_sites": {
+                    "provably_scalar": row.static_provable,
+                    "possibly_scalar": row.static_possible,
+                    "divergent": row.static_divergent,
+                },
+                "total_events": row.total_events,
+                "predicted_events": row.predicted_events,
+                "dynamic_full_scalar_events": row.dynamic_full_scalar_events,
+                "precision": row.precision,
+                "recall": row.recall,
+                "coverage": row.coverage,
+                "soundness_violations": row.soundness_violations,
+            }
+            for row in data.rows
+        },
+        "average_precision": data.average_precision,
+        "average_recall": data.average_recall,
+        "average_coverage": data.average_coverage,
+        "total_soundness_violations": data.total_soundness_violations,
+        "paper": {"note": "section 6: compile-time scalarization finds far fewer"},
+    }
+
+
 _EXPORTERS = {
     "fig1": (fig1, fig1_to_dict),
     "fig8": (fig8, fig8_to_dict),
@@ -134,6 +161,7 @@ _EXPORTERS = {
     "fig11": (fig11, fig11_to_dict),
     "fig12": (fig12, fig12_to_dict),
     "extras": (extras_mod, extras_to_dict),
+    "staticdyn": (staticdyn, staticdyn_to_dict),
 }
 
 

@@ -1,0 +1,245 @@
+"""Static vs. dynamic scalarization — the paper's §6 comparison, quantified.
+
+The paper argues (§6, citing Lee et al. [CGO 2013]) that compile-time
+scalarization finds far fewer scalar instructions than G-Scalar's
+dynamic detection, because a compiler must *prove* warp-uniformity
+while the hardware merely *observes* it.  This experiment measures that
+gap directly: run the static divergence analysis
+(:mod:`repro.analysis.static_.uniformity`) over every workload kernel,
+join each dynamic trace event back to its static instruction site, and
+score the predictor against the tracker's ground truth:
+
+* **precision** — of the dynamic events at PROVABLY_SCALAR sites, the
+  fraction the tracker indeed found scalar.  The prediction is sound,
+  so this measures only the detector's value granularity (e.g. a
+  uniform 64-bit pair the byte-level comparator still certifies).
+* **recall** — of the dynamically *full-scalar* events (ALU/SFU/MEM
+  buckets, the ones a compile-time scalarizer targets), the fraction
+  that occurred at PROVABLY_SCALAR sites.  The shortfall is G-Scalar's
+  headroom over static scalarization.
+* **coverage** — PROVABLY_SCALAR events over all dynamic events.
+
+Soundness invariant (tested): a PROVABLY_SCALAR site never executes
+under a mask narrower than its warp's entry mask, so the static
+analysis can never promise a scalar pipe to a lane-divergent
+instruction.  Tail warps launch with partial masks; all comparisons are
+therefore relative to each warp's *entry* mask, not the full-warp mask,
+and a DIVERGENT_SCALAR event at the entry mask counts as a correct
+prediction (the §4.2 mask-equality rule certifies it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.static_.uniformity import (
+    StaticScalarClass,
+    analyze_uniformity,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import render_table
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import Opcode
+from repro.scalar.eligibility import ScalarClass
+from repro.scalar.tracker import ClassifiedEvent
+from repro.simt.trace import WarpTrace
+
+
+def annotate_sites(
+    kernel: Kernel, warp: WarpTrace
+) -> Iterator[tuple[int, tuple[int, int] | None]]:
+    """Yield ``(event_index, (block_id, inst_index) | None)`` per event.
+
+    Recovers each dynamic event's *static site* — which the trace does
+    not record — by replaying the warp's event stream against the CFG:
+    events of one block body arrive in program order, so a counter per
+    current block suffices.  The counter resets when the block id
+    changes, after a ``BRA`` event (a terminator: the next event starts
+    a new body, possibly of the *same* block for a self-loop), and on
+    overflow (the same block re-entered back-to-back by both arms of a
+    degenerate branch).  ``BRA`` terminators have no body index and map
+    to ``None``.
+    """
+    current_block: int | None = None
+    index = 0
+    for event_index, event in enumerate(warp.events):
+        if event.opcode is Opcode.BRA:
+            yield event_index, None
+            current_block = None
+            continue
+        body = kernel.blocks[event.block_id].instructions
+        if event.block_id != current_block or index >= len(body):
+            current_block = event.block_id
+            index = 0
+        inst = body[index]
+        if inst.opcode is not event.opcode:
+            raise ValueError(
+                f"trace desynchronized from kernel {kernel.name!r}: event "
+                f"{event_index} is {event.opcode.name} but static site "
+                f"b{event.block_id}:i{index} is {inst.opcode.name}"
+            )
+        yield event_index, (event.block_id, index)
+        index += 1
+
+
+@dataclass
+class StaticDynRow:
+    """Per-benchmark join of static predictions and dynamic outcomes."""
+
+    abbr: str
+    #: Static-site counts from the uniformity analysis.
+    static_provable: int
+    static_possible: int
+    static_divergent: int
+    #: Dynamic event counts.
+    total_events: int
+    predicted_events: int  # events at PROVABLY_SCALAR sites
+    true_positive_events: int  # ...that the tracker found scalar
+    dynamic_full_scalar_events: int  # tracker's ALU/SFU/MEM buckets
+    recalled_events: int  # ...that sit at PROVABLY_SCALAR sites
+    soundness_violations: int  # predicted events under a narrowed mask
+
+    @property
+    def precision(self) -> float:
+        if self.predicted_events == 0:
+            return 1.0
+        return self.true_positive_events / self.predicted_events
+
+    @property
+    def recall(self) -> float:
+        if self.dynamic_full_scalar_events == 0:
+            return 1.0
+        return self.recalled_events / self.dynamic_full_scalar_events
+
+    @property
+    def coverage(self) -> float:
+        if self.total_events == 0:
+            return 0.0
+        return self.predicted_events / self.total_events
+
+
+@dataclass
+class StaticDynData:
+    rows: list[StaticDynRow]
+
+    def _average(self, getter) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(getter(r) for r in self.rows) / len(self.rows)
+
+    @property
+    def average_precision(self) -> float:
+        return self._average(lambda r: r.precision)
+
+    @property
+    def average_recall(self) -> float:
+        return self._average(lambda r: r.recall)
+
+    @property
+    def average_coverage(self) -> float:
+        return self._average(lambda r: r.coverage)
+
+    @property
+    def total_soundness_violations(self) -> int:
+        return sum(r.soundness_violations for r in self.rows)
+
+
+def score_benchmark(
+    abbr: str,
+    kernel: Kernel,
+    warps: list[WarpTrace],
+    classified: list[list[ClassifiedEvent]],
+) -> StaticDynRow:
+    """Join one benchmark's static predictions against its trace."""
+    result = analyze_uniformity(kernel)
+    counts = result.counts()
+
+    total = predicted = true_positive = 0
+    dynamic_full = recalled = violations = 0
+    for warp, events in zip(warps, classified):
+        if not warp.events:
+            continue
+        entry_mask = warp.events[0].active_mask
+        for event_index, site in annotate_sites(kernel, warp):
+            ce = events[event_index]
+            total += 1
+            is_full = ce.scalar_class.is_full_scalar
+            if is_full:
+                dynamic_full += 1
+            if site is None:
+                continue  # BRA terminators are not classified statically
+            if result.class_of(*site) is not StaticScalarClass.PROVABLY_SCALAR:
+                continue
+            predicted += 1
+            if ce.event.active_mask != entry_mask:
+                violations += 1
+            if is_full:
+                recalled += 1
+                true_positive += 1
+            elif (
+                ce.scalar_class is ScalarClass.DIVERGENT_SCALAR
+                and ce.event.active_mask == entry_mask
+            ):
+                true_positive += 1  # partial-launch tail warp, still scalar
+    return StaticDynRow(
+        abbr=abbr,
+        static_provable=counts[StaticScalarClass.PROVABLY_SCALAR],
+        static_possible=counts[StaticScalarClass.POSSIBLY_SCALAR],
+        static_divergent=counts[StaticScalarClass.DIVERGENT],
+        total_events=total,
+        predicted_events=predicted,
+        true_positive_events=true_positive,
+        dynamic_full_scalar_events=dynamic_full,
+        recalled_events=recalled,
+        soundness_violations=violations,
+    )
+
+
+def compute(runner: ExperimentRunner) -> StaticDynData:
+    """Score the static predictor against every benchmark's trace."""
+    rows = []
+    for abbr in runner.benchmark_names():
+        run = runner.run(abbr)
+        rows.append(
+            score_benchmark(
+                abbr, run.built.kernel, run.trace.warps, run.classified
+            )
+        )
+    return StaticDynData(rows=rows)
+
+
+def render(data: StaticDynData) -> str:
+    """The comparison as a text table."""
+    table_rows = [
+        (
+            row.abbr,
+            f"{row.static_provable}/{row.static_possible}/{row.static_divergent}",
+            f"{100 * row.coverage:.1f}",
+            f"{100 * row.precision:.1f}",
+            f"{100 * row.recall:.1f}",
+            str(row.soundness_violations),
+        )
+        for row in data.rows
+    ]
+    table_rows.append(
+        (
+            "AVG",
+            "-",
+            f"{100 * data.average_coverage:.1f}",
+            f"{100 * data.average_precision:.1f}",
+            f"{100 * data.average_recall:.1f}",
+            str(data.total_soundness_violations),
+        )
+    )
+    body = render_table(
+        ["bench", "static p/m/d", "coverage", "precision", "recall", "unsound"],
+        table_rows,
+        title="Static vs dynamic scalarization (% of dynamic instructions)",
+    )
+    return (
+        body
+        + "\nstatic p/m/d = provably/possibly-scalar/divergent static sites"
+        + "\nrecall shortfall = dynamic G-Scalar's headroom over a"
+        + "\ncompile-time scalarizer [Lee et al., CGO 2013] (paper, section 6)"
+    )

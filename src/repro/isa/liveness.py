@@ -86,17 +86,22 @@ class BranchRegion:
         return self.not_taken_head if arm_head == self.taken_head else self.taken_head
 
 
-def branch_regions(kernel: Kernel) -> dict[int, BranchRegion]:
-    """Map each block to its *innermost* enclosing branch region.
+def branch_region_members(
+    kernel: Kernel,
+) -> list[tuple[BranchRegion, frozenset[int]]]:
+    """Every conditional region with its full member-block set.
 
-    A block belongs to a branch's region when it is reachable from one
-    of the branch's arms without passing through the branch's immediate
-    post-dominator.  Innermost = the smallest such region.  Blocks
-    outside every conditional (straight-line or loop-header code) are
-    absent from the map.
+    One entry per two-way :class:`Branch` terminator (degenerate
+    branches whose arms coincide create no region).  A block is a member
+    when it is reachable from one of the branch's arms without passing
+    through the branch's immediate post-dominator; nested regions
+    overlap, so a block may appear in several entries.  An arm that is
+    empty (its head *is* the reconvergence point) contributes no
+    members, and a branch whose post-dominator is :data:`EXIT_NODE`
+    spans everything reachable from its arms.
     """
     ipdom = immediate_postdominators(kernel)
-    regions: list[tuple[BranchRegion, set[int]]] = []
+    regions: list[tuple[BranchRegion, frozenset[int]]] = []
     for block in kernel.blocks:
         terminator = block.terminator
         if not isinstance(terminator, Branch):
@@ -120,13 +125,24 @@ def branch_regions(kernel: Kernel) -> dict[int, BranchRegion]:
                     not_taken_head=terminator.not_taken,
                     reconvergence=reconvergence,
                 ),
-                members,
+                frozenset(members),
             )
         )
+    return regions
 
+
+def branch_regions(kernel: Kernel) -> dict[int, BranchRegion]:
+    """Map each block to its *innermost* enclosing branch region.
+
+    A block belongs to a branch's region when it is reachable from one
+    of the branch's arms without passing through the branch's immediate
+    post-dominator.  Innermost = the smallest such region.  Blocks
+    outside every conditional (straight-line or loop-header code) are
+    absent from the map.
+    """
     innermost: dict[int, BranchRegion] = {}
     best_size: dict[int, int] = {}
-    for region, members in regions:
+    for region, members in branch_region_members(kernel):
         for member in members:
             if member not in best_size or len(members) < best_size[member]:
                 best_size[member] = len(members)

@@ -1,10 +1,13 @@
 """Extra structural validation passes over kernels.
 
 :class:`repro.isa.kernel.Kernel` already checks CFG integrity on
-construction.  The passes here catch programming mistakes in workload
-kernels that would otherwise surface as confusing runtime behaviour:
-reads of registers no block ever writes, branch conditions that are
-never defined, and unusually high register pressure.
+construction.  The checks here catch programming mistakes in workload
+kernels that would otherwise surface as confusing runtime behaviour.
+The read-before-write check delegates to the path-sensitive
+reaching-definitions pass of the static analyzer
+(:mod:`repro.analysis.static_.uninit`), so a register written only in
+one branch arm but read unconditionally after the join is rejected —
+the whole-kernel set comparison this replaces could not see it.
 """
 
 from __future__ import annotations
@@ -17,7 +20,14 @@ from repro.isa.kernel import Branch, Kernel
 
 @dataclass
 class KernelReport:
-    """Summary statistics produced by :func:`validate_kernel`."""
+    """Summary statistics produced by :func:`validate_kernel`.
+
+    A validated kernel has no maybe-uninitialized reads (that is an
+    error, not a statistic), so the sets here describe only legitimate
+    register traffic; the full per-site diagnostics — including the
+    uninitialized reads that :func:`validate_kernel` raises on — come
+    from ``repro.analysis.static_.lint_kernel``.
+    """
 
     name: str
     num_blocks: int
@@ -26,11 +36,6 @@ class KernelReport:
     written_registers: set[int] = field(default_factory=set)
     read_registers: set[int] = field(default_factory=set)
 
-    @property
-    def never_written(self) -> set[int]:
-        """Registers read somewhere but written nowhere."""
-        return self.read_registers - self.written_registers
-
 
 def validate_kernel(kernel: Kernel, max_registers: int = 64) -> KernelReport:
     """Run all extra validation passes; raise on definite errors.
@@ -38,6 +43,24 @@ def validate_kernel(kernel: Kernel, max_registers: int = 64) -> KernelReport:
     ``max_registers`` mirrors the per-thread register budget a compiler
     would enforce (64 on Fermi-class hardware).
     """
+    # Imported here: repro.analysis depends on repro.isa, so a module-
+    # level import would be circular through the package __init__s.
+    from repro.analysis.static_.uninit import uninitialized_reads
+
+    findings = uninitialized_reads(kernel)
+    if findings:
+        first = findings[0]
+        raise KernelValidationError(
+            f"kernel {kernel.name!r}: {len(findings)} maybe-uninitialized "
+            f"read(s); first ({first.rule} at {first.location()}): "
+            f"{first.message}"
+        )
+    if kernel.num_registers > max_registers:
+        raise KernelValidationError(
+            f"kernel {kernel.name!r} uses {kernel.num_registers} registers, "
+            f"exceeding the per-thread budget of {max_registers}"
+        )
+
     written: set[int] = set()
     read: set[int] = set()
     for block in kernel.blocks:
@@ -48,18 +71,6 @@ def validate_kernel(kernel: Kernel, max_registers: int = 64) -> KernelReport:
                 read.add(src.index)
         if isinstance(block.terminator, Branch):
             read.add(block.terminator.cond.index)
-
-    undefined = read - written
-    if undefined:
-        raise KernelValidationError(
-            f"kernel {kernel.name!r}: registers {sorted(undefined)} are read "
-            "but never written by any block"
-        )
-    if kernel.num_registers > max_registers:
-        raise KernelValidationError(
-            f"kernel {kernel.name!r} uses {kernel.num_registers} registers, "
-            f"exceeding the per-thread budget of {max_registers}"
-        )
     return KernelReport(
         name=kernel.name,
         num_blocks=len(kernel.blocks),

@@ -27,11 +27,62 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12",
             "table1", "table2", "table3", "extras", "scorecard", "suite",
+            "staticdyn",
         }
 
     def test_zero_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig1", "--jobs", "0"])
+
+
+class TestLintCommand:
+    def test_all_workloads_lint_clean_at_error(self, capsys):
+        assert main(["lint", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "GS-I201" in out  # scalarization summary per kernel
+
+    def test_single_kernel_selection(self, capsys):
+        assert main(["lint", "BP", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "backprop" in out
+        assert "sgemm" not in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["lint", "MM", "--scale", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        report = payload[0]
+        assert report["kernel"] == "sgemm"
+        assert report["counts"]["error"] == 0
+        assert all("rule" in d for d in report["diagnostics"])
+
+    def test_fail_on_warning_escalates(self, capsys):
+        # LBM carries structural warnings; gating on warnings fails it.
+        assert main(["lint", "LBM", "--scale", "tiny"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "LBM", "--scale", "tiny",
+                     "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_tight_register_budget_fails(self, capsys):
+        assert main(["lint", "ST", "--scale", "tiny",
+                     "--max-registers", "8"]) == 1
+        assert "GS-E003" in capsys.readouterr().out
+
+    def test_min_severity_hides_info(self, capsys):
+        assert main(["lint", "MM", "--scale", "tiny",
+                     "--min-severity", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "GS-I" not in out
+        assert "clean" in out
+
+    def test_unknown_kernel_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["lint", "NOPE"])
 
 
 class TestCacheAndJobs:

@@ -21,7 +21,18 @@ class TestExport:
     def test_every_figure_is_exportable(self):
         assert set(exportable_experiments()) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "extras",
+            "staticdyn",
         }
+
+    def test_staticdyn_envelope(self, runner):
+        data = export_experiment("staticdyn", runner, "tiny")["data"]
+        assert len(data["benchmarks"]) == 17
+        assert data["total_soundness_violations"] == 0
+        for payload in data["benchmarks"].values():
+            assert 0.0 <= payload["precision"] <= 1.0
+            assert set(payload["static_sites"]) == {
+                "provably_scalar", "possibly_scalar", "divergent",
+            }
 
     def test_fig1_envelope(self, runner):
         envelope = export_experiment("fig1", runner, "tiny")

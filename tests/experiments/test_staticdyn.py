@@ -1,0 +1,150 @@
+"""Tests for the static-vs-dynamic scalarization experiment.
+
+The headline property is *soundness*: the uniformity analysis must
+never label a site provably-scalar if any dynamic instance of it runs
+under a mask narrower than its warp's entry mask.
+"""
+
+import pytest
+
+from repro.analysis.static_ import StaticScalarClass, analyze_uniformity
+from repro.experiments import staticdyn
+from repro.experiments.runner import ExperimentRunner
+from repro.isa import KernelBuilder
+from repro.isa.opcodes import Opcode
+from repro.scalar.tracker import classify_trace
+from repro.simt import LaunchConfig, MemoryImage, run_kernel
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def data(runner):
+    return staticdyn.compute(runner)
+
+
+class TestAnnotateSites:
+    def test_straight_line_sites_are_sequential(self, runner):
+        run = runner.run("MM")
+        kernel = run.built.kernel
+        warp = run.trace.warps[0]
+        for event_index, site in staticdyn.annotate_sites(kernel, warp):
+            event = warp.events[event_index]
+            if event.opcode is Opcode.BRA:
+                assert site is None
+            else:
+                block_id, inst_index = site
+                assert block_id == event.block_id
+                inst = kernel.blocks[block_id].instructions[inst_index]
+                assert inst.opcode is event.opcode
+
+    def test_loop_reexecution_resets_the_counter(self):
+        b = KernelBuilder("loop")
+        tid = b.tid()
+        acc = b.mov(0)
+        with b.for_range(0, 4):
+            acc = b.iadd(acc, 1, dst=acc)
+        b.st_global(b.imad(tid, 4, 0x100), acc)
+        kernel = b.finish()
+        trace = run_kernel(kernel, LaunchConfig(1, 32), MemoryImage())
+        warp = trace.warps[0]
+        sites = dict(staticdyn.annotate_sites(kernel, warp))
+        # The body block's two IADDs (accumulator + loop counter) are
+        # each hit once per iteration, always at the same static site.
+        body_sites = [
+            site
+            for event_index, site in sites.items()
+            if site is not None
+            and warp.events[event_index].opcode is Opcode.IADD
+            and site[0] != 0
+        ]
+        assert len(body_sites) == 8  # 2 static IADDs x 4 iterations
+        unique = set(body_sites)
+        assert len(unique) == 2
+        for site in unique:
+            assert body_sites.count(site) == 4
+
+    def test_desync_raises(self):
+        b = KernelBuilder("tiny")
+        b.st_global(b.mov(0x100), b.mov(7))
+        kernel = b.finish()
+        trace = run_kernel(kernel, LaunchConfig(1, 32), MemoryImage())
+        other = KernelBuilder("other")
+        other.iadd(other.mov(1), 2)
+        with pytest.raises(ValueError, match="desynchronized"):
+            list(staticdyn.annotate_sites(other.finish(), trace.warps[0]))
+
+
+class TestSoundness:
+    def test_no_benchmark_has_soundness_violations(self, data):
+        assert len(data.rows) == 17
+        for row in data.rows:
+            assert row.soundness_violations == 0, row.abbr
+        assert data.total_soundness_violations == 0
+
+    def test_provably_scalar_sites_never_run_divergent(self, runner):
+        # Event-level restatement over one divergent benchmark: every
+        # dynamic instance of a PROVABLY_SCALAR site keeps its warp's
+        # entry mask.
+        run = runner.run("BT")
+        kernel = run.built.kernel
+        result = analyze_uniformity(kernel)
+        checked = 0
+        for warp in run.trace.warps:
+            if not warp.events:
+                continue
+            entry_mask = warp.events[0].active_mask
+            for event_index, site in staticdyn.annotate_sites(kernel, warp):
+                if site is None:
+                    continue
+                if result.class_of(*site) is StaticScalarClass.PROVABLY_SCALAR:
+                    assert warp.events[event_index].active_mask == entry_mask
+                    checked += 1
+        assert checked > 0
+
+
+class TestMetrics:
+    def test_metric_ranges(self, data):
+        for row in data.rows:
+            assert 0.0 <= row.precision <= 1.0
+            assert 0.0 <= row.recall <= 1.0
+            assert 0.0 <= row.coverage <= 1.0
+            assert row.true_positive_events <= row.predicted_events
+            assert row.predicted_events <= row.total_events
+
+    def test_static_recall_below_dynamic_detection(self, data):
+        # The paper's section 6 point: static scalarization is a lower
+        # bound on what dynamic detection finds — recall can hit 1.0 on
+        # uniform kernels but must fall short somewhere.
+        assert any(row.recall < 1.0 for row in data.rows)
+        assert 0.0 < data.average_coverage < 1.0
+
+    def test_score_benchmark_on_uniform_kernel(self):
+        # A kernel with only warp-uniform work: every non-BRA event is
+        # predicted and detected scalar -> perfect precision and recall.
+        b = KernelBuilder("uniform")
+        base = b.ctaid()
+        value = b.iadd(b.imul(base, 3), 1)
+        b.st_global(b.mov(0x100), value)
+        kernel = b.finish()
+        trace = run_kernel(kernel, LaunchConfig(1, 32), MemoryImage())
+        classified = classify_trace(trace, kernel.num_registers)
+        row = staticdyn.score_benchmark(
+            "U", kernel, trace.warps, classified
+        )
+        assert row.static_provable == kernel.static_instruction_count()
+        assert row.soundness_violations == 0
+        assert row.precision == 1.0
+        assert row.recall == 1.0
+
+
+class TestRender:
+    def test_render_has_all_rows_and_average(self, data):
+        text = staticdyn.render(data)
+        assert "AVG" in text
+        for row in data.rows:
+            assert row.abbr in text
+        assert "precision" in text and "recall" in text

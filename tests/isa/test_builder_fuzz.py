@@ -91,6 +91,28 @@ def test_random_programs_validate(description):
 
 @settings(max_examples=60, deadline=None)
 @given(description=structured_programs())
+def test_random_programs_lint_clean(description):
+    # Builder-generated programs define every register before use and
+    # keep the CFG structured, so the full lint pipeline must find no
+    # errors and no structural warnings — and the uniformity analysis
+    # must classify every static instruction exactly once.
+    from repro.analysis.static_ import (
+        Severity,
+        StaticScalarClass,
+        analyze_uniformity,
+        lint_kernel,
+    )
+
+    kernel = build_program(description)
+    report = lint_kernel(kernel, max_registers=256)
+    assert report.at_least(Severity.WARNING) == []
+    result = analyze_uniformity(kernel)
+    assert len(result.classes) == kernel.static_instruction_count()
+    assert all(isinstance(v, StaticScalarClass) for v in result.classes.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(description=structured_programs())
 def test_postdominators_match_networkx(description):
     kernel = build_program(description)
     assert immediate_postdominators(kernel) == networkx_ipdom(kernel)

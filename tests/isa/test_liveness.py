@@ -1,8 +1,10 @@
 """Tests for liveness and branch-region analysis."""
 
 from repro.isa import KernelBuilder
-from repro.isa.kernel import EXIT_NODE, Branch
-from repro.isa.liveness import block_liveness, branch_regions
+from repro.isa.instructions import Imm, Instruction, Reg
+from repro.isa.kernel import EXIT_NODE, BasicBlock, Branch, Exit, Jump, Kernel
+from repro.isa.liveness import block_liveness, branch_region_members, branch_regions
+from repro.isa.opcodes import Opcode
 
 
 def diamond():
@@ -112,3 +114,93 @@ class TestBranchRegions:
         regions = branch_regions(kernel)
         # The loop header's branch creates a region containing the body.
         assert any(r.branch_block == 1 for r in regions.values())
+
+
+class TestBranchRegionMembers:
+    def test_nested_regions_overlap(self):
+        b = KernelBuilder("nested")
+        tid = b.tid()
+        c1 = b.setlt(tid, 16)
+        c2 = b.setlt(tid, 8)
+        with b.if_(c1):
+            with b.if_(c2):
+                b.iadd(tid, 1)
+        kernel = b.finish()
+        by_branch = {
+            region.branch_block: (region, members)
+            for region, members in branch_region_members(kernel)
+        }
+        outer_region, outer_members = by_branch[0]
+        inner_id = next(bid for bid in by_branch if bid != 0)
+        inner_region, inner_members = by_branch[inner_id]
+        # The outer region contains the inner branch block and every
+        # inner member; the inner region is a strict subset.
+        assert inner_id in outer_members
+        assert inner_members < outer_members
+        assert inner_region.reconvergence in outer_members
+        assert outer_region.reconvergence not in outer_members
+
+    def test_builder_empty_else_arm_is_still_a_member(self):
+        # if-without-else: the builder materializes an instruction-less
+        # not-taken block, which is still a region member.
+        b = KernelBuilder("no_else")
+        tid = b.tid()
+        cond = b.setlt(tid, 16)
+        with b.if_(cond):
+            b.iadd(tid, 1)
+        b.st_global(b.mov(0x100), tid)
+        kernel = b.finish()
+        [(region, members)] = branch_region_members(kernel)
+        assert members == {region.taken_head, region.not_taken_head}
+        assert kernel.blocks[region.not_taken_head].instructions == []
+        assert region.reconvergence not in members
+
+    def test_arm_head_at_reconvergence_contributes_no_members(self):
+        # A hand-built CFG whose not-taken edge goes straight to the
+        # join: that arm is empty and adds nothing to the region.
+        cond_def = Instruction(opcode=Opcode.MOV, dst=Reg(0), srcs=(Imm(1),))
+        body = Instruction(opcode=Opcode.IADD, dst=Reg(1), srcs=(Reg(0), Imm(1)))
+        kernel = Kernel(
+            name="fallthrough_arm",
+            blocks=[
+                BasicBlock(0, [cond_def], Branch(cond=Reg(0), taken=1, not_taken=2)),
+                BasicBlock(1, [body], Jump(target=2)),
+                BasicBlock(2, [], Exit()),
+            ],
+        )
+        [(region, members)] = branch_region_members(kernel)
+        assert region.not_taken_head == region.reconvergence == 2
+        assert members == {1}
+
+    def test_exit_postdominator_spans_to_kernel_end(self):
+        # Both arms exit without reconverging: ipdom(branch) is the
+        # virtual EXIT_NODE and the region spans every arm block.
+        cond_def = Instruction(opcode=Opcode.MOV, dst=Reg(0), srcs=(Imm(1),))
+        kernel = Kernel(
+            name="never_reconverges",
+            blocks=[
+                BasicBlock(0, [cond_def], Branch(cond=Reg(0), taken=1, not_taken=2)),
+                BasicBlock(1, [], Exit()),
+                BasicBlock(2, [], Exit()),
+            ],
+        )
+        [(region, members)] = branch_region_members(kernel)
+        assert region.reconvergence == EXIT_NODE
+        assert members == {1, 2}
+        # Both arm blocks map to this region as their innermost one.
+        innermost = branch_regions(kernel)
+        assert innermost[1] == region
+        assert innermost[2] == region
+        assert 0 not in innermost
+
+    def test_degenerate_branch_creates_no_region(self):
+        cond_def = Instruction(opcode=Opcode.MOV, dst=Reg(0), srcs=(Imm(1),))
+        kernel = Kernel(
+            name="degenerate",
+            blocks=[
+                BasicBlock(0, [cond_def], Branch(cond=Reg(0), taken=1, not_taken=1)),
+                BasicBlock(1, [], Exit()),
+            ],
+        )
+        assert branch_region_members(kernel) == []
+        assert branch_regions(kernel) == {}

@@ -16,7 +16,7 @@ def test_clean_kernel_passes():
     b.iadd(x, 2)
     report = validate_kernel(b.finish())
     assert report.num_instructions == 2
-    assert report.never_written == set()
+    assert report.read_registers <= report.written_registers
 
 
 def test_undefined_read_rejected():
@@ -32,6 +32,35 @@ def test_undefined_read_rejected():
     )
     with pytest.raises(KernelValidationError, match="read"):
         validate_kernel(kernel)
+
+
+def test_branch_local_write_read_after_join_rejected():
+    # The known-bad shape the old whole-kernel set check missed: x is
+    # written *somewhere* (one branch arm) but not on the fall-through
+    # path, and read unconditionally after the join.
+    b = KernelBuilder("maybe_uninit")
+    tid = b.tid()
+    cond = b.setlt(tid, 16)
+    with b.if_(cond):
+        x = b.mov(5)
+    b.iadd(x, 1)
+    with pytest.raises(KernelValidationError, match="GS-E002"):
+        validate_kernel(b.finish())
+
+
+def test_write_in_both_arms_accepted():
+    # Same shape, but the else-arm also defines x: initialized on every
+    # path, so the path-sensitive check must NOT fire.
+    b = KernelBuilder("both_arms")
+    tid = b.tid()
+    cond = b.setlt(tid, 16)
+    with b.if_(cond) as branch:
+        x = b.mov(5)
+        with branch.else_():
+            b.mov(6, dst=x)
+    b.iadd(x, 1)
+    report = validate_kernel(b.finish())
+    assert x.index in report.read_registers
 
 
 def test_register_budget_enforced():
