@@ -5,11 +5,14 @@ Examples::
     python -m repro table2
     python -m repro fig9 --scale small
     python -m repro all --scale default --jobs 4 --cache-dir .repro-cache
+    python -m repro profile bp --scale small
+    python -m repro suite --trace-out suite.trace.json --metrics-out suite.prom
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import tempfile
@@ -146,6 +149,13 @@ def _lint_main(argv: list[str]) -> int:
         metavar="N",
         help="per-thread register budget for GS-E003 (default: 64)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write per-rule diagnostic counts (GS-E/GS-W/GS-I) as a "
+        "Prometheus text exposition to PATH",
+    )
     args = parser.parse_args(argv)
 
     specs = (
@@ -162,6 +172,23 @@ def _lint_main(argv: list[str]) -> int:
         reports.append(manager.run(kernel))
 
     failing = sum(1 for report in reports if report.at_least(threshold))
+    if args.metrics_out is not None:
+        # Static-analysis results flow through the same metrics
+        # exposition as the dynamic pipeline: one counter per rule
+        # (GS-I informational reports included) plus severity totals.
+        from repro.obs import Telemetry, write_prometheus
+
+        registry = Telemetry()
+        registry.count("lint_kernels", len(reports))
+        for report in reports:
+            for diagnostic in report.diagnostics:
+                registry.count(
+                    "lint_diagnostics",
+                    rule=diagnostic.rule,
+                    severity=diagnostic.severity.value,
+                )
+        write_prometheus(registry, args.metrics_out)
+        print(f"[wrote lint metrics to {args.metrics_out}]", file=sys.stderr)
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
     else:
@@ -175,6 +202,97 @@ def _lint_main(argv: list[str]) -> int:
     return 1 if failing else 0
 
 
+def _profile_main(argv: list[str]) -> int:
+    """``repro profile``: run one benchmark fully instrumented.
+
+    Executes the pipeline (trace -> classify -> per-architecture
+    process/timing/power) for one benchmark with the telemetry registry
+    enabled, then writes a Chrome trace-event file (open it at
+    https://ui.perfetto.dev), a Prometheus text exposition, optionally
+    a JSONL event stream, and prints a human-readable summary.
+    """
+    from repro.experiments.runner import ExperimentRunner, paper_architectures
+    from repro.obs import (
+        JsonlSink,
+        Telemetry,
+        summary_table,
+        telemetry_session,
+        write_chrome_trace,
+        write_prometheus,
+    )
+
+    arch_names = [arch.name for arch in paper_architectures()]
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile one benchmark with full pipeline telemetry.",
+    )
+    parser.add_argument("benchmark", metavar="BENCHMARK",
+                        help="workload abbreviation (e.g. bp)")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="workload problem size (default: default)",
+    )
+    parser.add_argument(
+        "--arch",
+        choices=arch_names + ["all"],
+        default="all",
+        help="architecture(s) to run timing/power for (default: all)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="Chrome trace-event JSON path "
+        "(default: profile_<benchmark>.trace.json)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="Prometheus text exposition path "
+        "(default: profile_<benchmark>.prom)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="also stream span events as JSON Lines to PATH",
+    )
+    parser.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="skip the human-readable summary table",
+    )
+    args = parser.parse_args(argv)
+
+    bench = args.benchmark.strip().upper()
+    trace_out = args.trace_out or f"profile_{bench.lower()}.trace.json"
+    metrics_out = args.metrics_out or f"profile_{bench.lower()}.prom"
+    arches = (
+        paper_architectures()
+        if args.arch == "all"
+        else tuple(a for a in paper_architectures() if a.name == args.arch)
+    )
+    sink = JsonlSink(args.events_out) if args.events_out is not None else None
+    with telemetry_session(Telemetry(sink=sink)) as telemetry:
+        runner = ExperimentRunner(scale=args.scale)
+        with runner.stats.timer("profile", benchmark=bench):
+            runner.run(bench)
+            for arch in arches:
+                runner.power(bench, arch)
+        write_chrome_trace(telemetry, trace_out)
+        write_prometheus(telemetry, metrics_out)
+        if not args.no_summary:
+            print(summary_table(telemetry))
+    print(f"[wrote Chrome trace to {trace_out}]", file=sys.stderr)
+    print(f"[wrote metrics to {metrics_out}]", file=sys.stderr)
+    if args.events_out is not None:
+        print(f"[wrote event stream to {args.events_out}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -182,6 +300,8 @@ def main(argv: list[str] | None = None) -> int:
         # The lint subcommand has its own flags; dispatch before the
         # experiment parser sees (and rejects) them.
         return _lint_main(arguments[1:])
+    if arguments[:1] == ["profile"]:
+        return _profile_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the G-Scalar paper's figures and tables.",
@@ -231,12 +351,53 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write cache/stage statistics (hits, misses, timings) to PATH",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and write a Chrome trace-event file to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and write Prometheus text metrics to PATH",
+    )
     args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
     wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     needs_runner = any(name in _TRACE_EXPERIMENTS for name in wanted)
+    telemetry = None
+    with contextlib.ExitStack() as stack:
+        if args.trace_out is not None or args.metrics_out is not None:
+            # Either export flag turns the pipeline instrumentation on
+            # for the whole invocation; the session scope restores the
+            # previous (null) registry when main() returns, so repeated
+            # in-process calls stay independent.
+            from repro.obs import Telemetry, telemetry_session
+
+            telemetry = stack.enter_context(telemetry_session(Telemetry()))
+        exit_code = _experiment_main(args, wanted, needs_runner)
+        if telemetry is not None:
+            if args.trace_out is not None:
+                from repro.obs import write_chrome_trace
+
+                write_chrome_trace(telemetry, args.trace_out)
+                print(f"[wrote Chrome trace to {args.trace_out}]", file=sys.stderr)
+            if args.metrics_out is not None:
+                from repro.obs import write_prometheus
+
+                write_prometheus(telemetry, args.metrics_out)
+                print(f"[wrote metrics to {args.metrics_out}]", file=sys.stderr)
+    return exit_code
+
+
+def _experiment_main(
+    args: argparse.Namespace, wanted: list[str], needs_runner: bool
+) -> int:
+    """Run the selected experiments and write any requested outputs."""
     cache_dir = args.cache_dir
     if needs_runner and args.jobs > 1 and cache_dir is None:
         # Workers communicate through the on-disk cache; give them one.

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import CompressionError
 from repro.compression.encoding import SCALAR_PREFIX
+from repro.obs.telemetry import get_telemetry
 
 
 def common_prefix_bytes(values: np.ndarray, mask: np.ndarray | None = None) -> int:
@@ -99,6 +100,15 @@ def compress(values: np.ndarray, mask: np.ndarray | None = None) -> CompressedRe
     lanes_bytes = np.empty((warp_size, keep), dtype=np.uint8)
     for byte_index in range(keep):
         lanes_bytes[:, byte_index] = (words >> (8 * byte_index)) & 0xFF
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        # Every compression updates both sidecar entries: the base
+        # value register and the 4-bit encoding bits (§3.1).
+        telemetry.count("gscalar_compressions", enc=enc)
+        telemetry.count("bvr_accesses", op="write")
+        telemetry.count("ebr_accesses", op="write")
+        if enc:
+            telemetry.count("compressor_bytes_saved", enc * warp_size, enc=enc)
     return CompressedRegister(enc=enc, base=base, warp_size=warp_size, low_bytes=lanes_bytes)
 
 
@@ -109,6 +119,14 @@ def decompress(compressed: CompressedRegister) -> np.ndarray:
     the data arrays, prefix bytes are broadcast from the base value
     register.
     """
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        # Decompression reads the encoding bits and (for enc > 0) the
+        # base value feeding the Figure 5 broadcast network.
+        telemetry.count("gscalar_decompressions", enc=compressed.enc)
+        telemetry.count("ebr_accesses", op="read")
+        if compressed.enc:
+            telemetry.count("bvr_accesses", op="read")
     enc = compressed.enc
     base = np.uint32(compressed.base)
     prefix_mask = np.uint32(0) if enc == 0 else np.uint32((0xFFFFFFFF << (8 * (4 - enc))) & 0xFFFFFFFF)

@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.experiments.runner import ExperimentRunner, RunnerStats, paper_architectures
+from repro.obs.telemetry import telemetry_session
 from repro.power.energy import EnergyParams
 
 
@@ -35,6 +36,8 @@ class MatrixTask:
 
     All fields are plain (frozen) dataclasses or builtins, so a task
     pickles cleanly under both the ``fork`` and ``spawn`` start methods.
+    ``telemetry`` asks the worker to run with an enabled telemetry
+    registry and ship its snapshot back in the return payload.
     """
 
     abbr: str
@@ -44,15 +47,10 @@ class MatrixTask:
     arches: tuple[ArchitectureConfig, ...]
     config: GpuConfig | None
     params: EnergyParams | None
+    telemetry: bool = False
 
 
-def execute_task(task: MatrixTask) -> dict:
-    """Worker entry point: warm every stage for one benchmark.
-
-    Returns the worker runner's stats snapshot; results themselves
-    travel through the on-disk cache, not the process boundary, so the
-    return payload stays tiny regardless of scale.
-    """
+def _run_task(task: MatrixTask) -> dict:
     runner = ExperimentRunner(
         scale=task.scale,
         config=task.config,
@@ -64,7 +62,26 @@ def execute_task(task: MatrixTask) -> dict:
         runner.trace_with_warp_size(task.abbr, warp_size)
     for arch in task.arches:
         runner.power(task.abbr, arch)
-    return runner.stats.to_dict()
+    return runner.stats.to_payload()
+
+
+def execute_task(task: MatrixTask) -> dict:
+    """Worker entry point: warm every stage for one benchmark.
+
+    Returns the worker runner's stats payload (counters, stage seconds
+    and the telemetry registry snapshot); results themselves travel
+    through the on-disk cache, not the process boundary, so the return
+    payload stays small regardless of scale.  With ``task.telemetry``
+    set, the whole task runs under an enabled process-global registry
+    — scoped with :class:`~repro.obs.telemetry.telemetry_session` so a
+    reused pool worker starts the next task with a clean slate — and
+    the runner binds its stats to it, so the payload also carries the
+    instrumented pipeline's counters, histograms and per-warp spans.
+    """
+    if task.telemetry:
+        with telemetry_session():
+            return _run_task(task)
+    return _run_task(task)
 
 
 def run_matrix(
@@ -77,12 +94,15 @@ def run_matrix(
     config: GpuConfig | None = None,
     params: EnergyParams | None = None,
     progress: Callable[[str, int, int], None] | None = None,
+    telemetry: bool = False,
 ) -> RunnerStats:
     """Execute the benchmark × architecture matrix across processes.
 
     ``progress`` (optional) is called in the parent as ``progress(abbr,
     completed, total)`` each time a benchmark finishes, in completion
-    order.  Returns the stats aggregated over every worker.
+    order.  With ``telemetry`` set, every worker records into an
+    enabled registry whose snapshot merges into the returned stats.
+    Returns the stats aggregated over every worker.
     """
     arch_list = tuple(arches) if arches is not None else paper_architectures()
     tasks = [
@@ -94,6 +114,7 @@ def run_matrix(
             arches=arch_list,
             config=config,
             params=params,
+            telemetry=telemetry,
         )
         for abbr in names
     ]

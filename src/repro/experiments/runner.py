@@ -41,6 +41,7 @@ from typing import Callable, Iterator, Sequence
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.errors import TraceError
 from repro.experiments import cachekey
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.power.accounting import PowerAccountant
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import PowerReport
@@ -69,7 +70,6 @@ def paper_architectures() -> tuple[ArchitectureConfig, ...]:
     )
 
 
-@dataclass
 class RunnerStats:
     """Cache and stage observability counters for one runner.
 
@@ -79,35 +79,81 @@ class RunnerStats:
     ``stage_seconds`` accumulates wall time per pipeline stage.  Stats
     merge across processes, so a parallel prefetch reports the totals
     over all workers.
+
+    The storage is a :class:`~repro.obs.telemetry.Telemetry` registry
+    (``runner_events`` / ``runner_stage_seconds`` counter families plus
+    one ``cat="stage"`` span per :meth:`timer` scope, carrying the
+    recording process's pid).  When the process-global telemetry is
+    enabled — ``repro profile`` or ``--trace-out``/``--metrics-out`` —
+    the runner binds its stats to that shared registry, so stage spans
+    land on the same timeline as the pipeline's own spans and the
+    Chrome trace shows the true per-worker concurrency; otherwise each
+    stats object owns a private registry, exactly as independent as the
+    old plain-dict implementation.
     """
 
-    counters: dict[str, int] = field(default_factory=dict)
-    stage_seconds: dict[str, float] = field(default_factory=dict)
+    _EVENTS = "runner_events"
+    _STAGES = "runner_stage_seconds"
+
+    def __init__(self, telemetry: Telemetry | None = None):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Cache-outcome counters as a plain name -> count dict."""
+        return {
+            dict(labels)["event"]: value
+            for labels, value in sorted(
+                self.telemetry.counters_named(self._EVENTS).items()
+            )
+        }
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Accumulated wall seconds per pipeline stage."""
+        return {
+            dict(labels)["stage"]: value
+            for labels, value in sorted(
+                self.telemetry.counters_named(self._STAGES).items()
+            )
+        }
 
     def bump(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.telemetry.count(self._EVENTS, amount, event=name)
 
     def add_time(self, stage: str, seconds: float) -> None:
-        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.telemetry.count(self._STAGES, seconds, stage=stage)
 
     @contextmanager
-    def timer(self, stage: str) -> Iterator[None]:
+    def timer(self, stage: str, **span_args) -> Iterator[None]:
+        """Time a stage: accumulates seconds and records one span."""
         started = time.perf_counter()
         try:
-            yield
+            with self.telemetry.span(stage, cat="stage", **span_args):
+                yield
         finally:
             self.add_time(stage, time.perf_counter() - started)
 
     def merge(self, other: "RunnerStats | dict") -> None:
-        """Fold another stats object (or its :meth:`to_dict`) into this one."""
+        """Fold another stats object (or a worker payload) into this one.
+
+        Accepts another :class:`RunnerStats`, a full :meth:`to_payload`
+        dict (merged registry-to-registry, spans included), or the
+        legacy ``{"counters", "stage_seconds"}`` shape of
+        :meth:`to_dict`.
+        """
         if isinstance(other, RunnerStats):
-            counters, seconds = other.counters, other.stage_seconds
-        else:
-            counters = other.get("counters", {})
-            seconds = other.get("stage_seconds", {})
-        for name, amount in counters.items():
+            self.telemetry.merge(other.telemetry)
+            return
+        snapshot = other.get("telemetry")
+        if snapshot is not None:
+            # Full payload: counters/stage_seconds are already inside
+            # the registry snapshot; folding both would double-count.
+            self.telemetry.merge(snapshot)
+            return
+        for name, amount in other.get("counters", {}).items():
             self.bump(name, amount)
-        for stage, value in seconds.items():
+        for stage, value in other.get("stage_seconds", {}).items():
             self.add_time(stage, value)
 
     @property
@@ -116,7 +162,7 @@ class RunnerStats:
         return self.counters.get("trace_executions", 0)
 
     def to_dict(self) -> dict:
-        """JSON-serializable snapshot (``--stats-json``, worker returns)."""
+        """JSON-serializable snapshot (``--stats-json`` output shape)."""
         return {
             "counters": dict(sorted(self.counters.items())),
             "stage_seconds": {
@@ -124,6 +170,18 @@ class RunnerStats:
                 for stage, value in sorted(self.stage_seconds.items())
             },
         }
+
+    def to_payload(self) -> dict:
+        """Worker-return payload: :meth:`to_dict` plus the registry.
+
+        The ``telemetry`` snapshot carries every counter, histogram and
+        span the worker recorded (stage spans keep the worker's pid),
+        so a parent merging payloads reassembles the full multi-process
+        timeline; the legacy keys stay for direct consumers.
+        """
+        payload = self.to_dict()
+        payload["telemetry"] = self.telemetry.snapshot()
+        return payload
 
 
 @dataclass
@@ -159,7 +217,11 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.stats = RunnerStats()
+        # With profiling on, stage spans and cache counters go straight
+        # into the shared registry (one timeline with the pipeline's
+        # own spans); otherwise the stats own a private registry.
+        telemetry = get_telemetry()
+        self.stats = RunnerStats(telemetry=telemetry if telemetry.enabled else None)
         self._runs: dict[str, BenchmarkRun] = {}
         self._warp_traces: dict[tuple[str, int], KernelTrace] = {}
         self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
@@ -225,7 +287,7 @@ class ExperimentRunner:
             path = self._trace_path(key, warp_size)
             if path.exists():
                 try:
-                    with self.stats.timer("trace_load"):
+                    with self.stats.timer("trace_load", benchmark=key, warp_size=warp_size):
                         trace = load_trace(path, expected_fingerprint=fingerprint)
                 except TraceError as exc:
                     self._log(f"discarding cached trace {path.name}: {exc}")
@@ -237,7 +299,7 @@ class ExperimentRunner:
             self.stats.bump("trace_cache_misses")
         self._log(f"executing {key} at scale {self.scale.name!r} warp {warp_size}")
         self.stats.bump("trace_executions")
-        with self.stats.timer("trace_execute"):
+        with self.stats.timer("trace_execute", benchmark=key, warp_size=warp_size):
             trace = run_kernel(
                 built.kernel, built.launch, built.memory, warp_size=warp_size
             )
@@ -246,7 +308,7 @@ class ExperimentRunner:
             # half-written archive (np.savez only appends ".npz" to
             # names lacking it, so the temp name must keep the suffix).
             tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
-            with self.stats.timer("trace_save"):
+            with self.stats.timer("trace_save", benchmark=key, warp_size=warp_size):
                 save_trace(trace, tmp, fingerprint=fingerprint)
                 self._replace_into(tmp, path)
         return trace, fingerprint
@@ -263,7 +325,7 @@ class ExperimentRunner:
                 self.stats.bump("classified_cache_hits")
                 return payload["classified"]
             self.stats.bump("classified_cache_misses")
-        with self.stats.timer("classify"):
+        with self.stats.timer("classify", benchmark=key):
             classified = classify_trace(trace, built.kernel.num_registers)
         if path is not None:
             self._store_sidecar(
@@ -324,7 +386,7 @@ class ExperimentRunner:
         key = (self._normalize(abbr), arch.name)
         if key not in self._processed:
             run = self.run(key[0])
-            with self.stats.timer("process"):
+            with self.stats.timer("process", benchmark=key[0], arch=arch.name):
                 self._processed[key] = process_classified(
                     run.classified, arch, run.trace.warp_size
                 )
@@ -367,7 +429,7 @@ class ExperimentRunner:
         self._log(f"timing {key} on {arch.name}")
         run = self.run(key)
         warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
-        with self.stats.timer("timing"):
+        with self.stats.timer("timing", benchmark=key, arch=arch.name):
             self._timing[(key, arch.name)] = simulate_architecture(
                 self.processed(key, arch),
                 arch,
@@ -388,7 +450,7 @@ class ExperimentRunner:
         if (key, arch.name) not in self._power and not self._load_results(key, arch):
             timing = self.timing(key, arch)
             accountant = PowerAccountant(arch, self.params, self.config)
-            with self.stats.timer("power"):
+            with self.stats.timer("power", benchmark=key, arch=arch.name):
                 self._power[(key, arch.name)] = accountant.account(
                     self.processed(key, arch), timing
                 )
@@ -450,6 +512,7 @@ class ExperimentRunner:
                     config=self.config,
                     params=self.params,
                     progress=progress,
+                    telemetry=get_telemetry().enabled,
                 )
                 self.stats.merge(worker_stats)
         return self.stats

@@ -1,0 +1,87 @@
+"""Chrome trace-event export of recorded spans.
+
+Produces the JSON object format consumed by Perfetto
+(https://ui.perfetto.dev) and the legacy ``chrome://tracing`` viewer:
+every recorded span becomes one complete (``"ph": "X"``) event with
+microsecond timestamps, and metadata events name each process row after
+its role (parent vs. pool worker), so a parallel run renders as one
+row per worker with the per-stage spans showing true concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.telemetry import Telemetry
+
+#: Trace-viewer sort hint: the parent process row first.
+_PARENT_SORT_INDEX = 0
+_WORKER_SORT_INDEX = 1
+
+
+def chrome_trace(telemetry: Telemetry, parent_pid: int | None = None) -> dict:
+    """Render recorded spans as a Chrome trace-event JSON object.
+
+    Timestamps are rebased to the earliest span so the viewer opens at
+    t=0 rather than at the Unix epoch.  ``parent_pid`` (default: the
+    calling process, which is where pool-worker snapshots merge) labels
+    that process "parent" and every other pid "worker".
+    """
+    spans = telemetry.spans
+    origin = min((span.ts_us for span in spans), default=0)
+    if parent_pid is None:
+        parent_pid = os.getpid()
+    events: list[dict] = []
+    seen_pids: set[int] = set()
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids.add(span.pid)
+            role = "parent" if span.pid == parent_pid else "worker"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": f"repro {role} (pid {span.pid})"},
+                }
+            )
+            events.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {
+                        "sort_index": _PARENT_SORT_INDEX
+                        if span.pid == parent_pid
+                        else _WORKER_SORT_INDEX
+                    },
+                }
+            )
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat or "default",
+                "ph": "X",
+                "ts": span.ts_us - origin,
+                "dur": span.dur_us,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": span.args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    telemetry: Telemetry, path: str | Path, parent_pid: int | None = None
+) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(telemetry, parent_pid=parent_pid), handle)
+        handle.write("\n")
+    return path

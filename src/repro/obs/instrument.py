@@ -1,0 +1,156 @@
+"""Aggregation helpers bridging the pipeline to the telemetry registry.
+
+Each helper takes a whole batch (one warp's trace, one warp's classified
+events, one event's register accesses, one benchmark's energy
+breakdown), folds it into compact per-metric aggregates, and records
+those — so the instrumented modules pay one ``enabled`` check plus one
+aggregation pass per batch, never per-instruction telemetry calls in
+their hot loops.  Everything here is duck-typed against the trace /
+classified-event / access objects, which keeps :mod:`repro.obs` free of
+imports from the simulation packages (no import cycles).
+
+Metric vocabulary (all exported under the ``repro_`` prefix by
+:mod:`repro.obs.prometheus`):
+
+===============================================  =============================
+``instructions_total{category,opcode}``          dynamic opcode mix
+``warp_instructions`` (histogram)                instructions retired per warp
+``reconvergence_stack_depth`` (histogram)        max SIMT-stack depth per warp
+``scalar_class_total{class}``                    Figure 9 bucket counts
+``scalar_class_transitions_total{from,to}``      consecutive-class transitions
+``enc_prefix_total{enc}``                        enc-prefix distribution
+``compression_bytes_saved_total{enc}``           data-array bytes elided
+``divergent_mask_checks_total{result}``          §4.2 BVR mask match/miss
+``decompress_moves_total``                       §3.3 inserted moves
+``rf_accesses_total{kind}``                      register-file access shapes
+``sidecar_accesses_total``                       BVR/EBR sidecar touches
+``regfile_bank_activations_total{bank}``         per-bank activation counts
+``energy_pj_total{component,arch}``              component energy counters
+===============================================  =============================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.obs.telemetry import Telemetry
+
+
+def record_warp_trace(
+    telemetry: Telemetry, warp: Any, max_stack_depth: int
+) -> None:
+    """Roll one executed warp's trace into the registry.
+
+    Records the dynamic opcode mix, the instructions retired by this
+    warp (histogram over warps) and the deepest reconvergence-stack
+    nesting the warp reached.
+    """
+    mix: dict[tuple[str, str], int] = {}
+    for event in warp.events:
+        key = (event.category.value, event.opcode.value)
+        mix[key] = mix.get(key, 0) + 1
+    for (category, opcode), count in mix.items():
+        telemetry.count(
+            "instructions", count, category=category, opcode=opcode
+        )
+    telemetry.observe("warp_instructions", len(warp.events))
+    telemetry.observe("reconvergence_stack_depth", max_stack_depth)
+
+
+def record_classified_warp(
+    telemetry: Telemetry, events: Iterable[Any], warp_size: int
+) -> None:
+    """Roll one warp's classified event stream into the registry.
+
+    Covers the tracker-level distributions the paper's figures are
+    built from: ScalarClass counts and consecutive-class transitions,
+    the enc-prefix distribution of full register writes (byte-wise
+    compressor output, comparable with
+    :func:`repro.compression.stats.compare_trace`), the data-array
+    bytes the prefix elides, the §4.2 divergent-mask match/miss rate,
+    and the §3.3 decompress-move count.
+    """
+    classes: dict[str, int] = {}
+    transitions: dict[tuple[str, str], int] = {}
+    enc_counts: dict[int, int] = {}
+    mask_checks = {"match": 0, "miss": 0}
+    decompress_moves = 0
+    previous_class: str | None = None
+
+    for item in events:
+        name = item.scalar_class.value
+        classes[name] = classes.get(name, 0) + 1
+        if previous_class is not None:
+            key = (previous_class, name)
+            transitions[key] = transitions.get(key, 0) + 1
+        previous_class = name
+        if item.needs_decompress_move:
+            decompress_moves += 1
+        for source in item.sources:
+            if source.encoding.divergent:
+                mask_checks["match" if source.scalar_for_read else "miss"] += 1
+        encoding = item.dst_encoding
+        if encoding is not None and not encoding.divergent:
+            enc_counts[encoding.enc] = enc_counts.get(encoding.enc, 0) + 1
+
+    for name, count in classes.items():
+        telemetry.count("scalar_class", count, **{"class": name})
+    for (source, target), count in transitions.items():
+        telemetry.count(
+            "scalar_class_transitions", count, **{"from": source, "to": target}
+        )
+    for enc, count in enc_counts.items():
+        telemetry.count("enc_prefix", count, enc=enc)
+        if enc:
+            telemetry.count(
+                "compression_bytes_saved", count * enc * warp_size, enc=enc
+            )
+    for result, count in mask_checks.items():
+        if count:
+            telemetry.count("divergent_mask_checks", count, result=result)
+    if decompress_moves:
+        telemetry.count("decompress_moves", decompress_moves)
+
+
+def record_rf_accesses(
+    telemetry: Telemetry,
+    accesses: Iterable[Any],
+    warp_index: int,
+    num_banks: int,
+) -> None:
+    """Roll one event's register-file accesses into the registry.
+
+    Bank attribution uses the file's standard interleaved mapping —
+    architectural register *r* of warp *w* lands in bank
+    ``(r + w) % num_banks`` (:mod:`repro.regfile.registerfile`).
+    """
+    for access in accesses:
+        kind = access.kind.value
+        telemetry.count("rf_accesses", kind=kind)
+        if access.sidecar:
+            telemetry.count("sidecar_accesses")
+        telemetry.count(
+            "regfile_bank_activations",
+            bank=(access.register + warp_index) % num_banks,
+            op="read" if "read" in kind else "write",
+        )
+
+
+def record_power_breakdown(
+    telemetry: Telemetry, arch_name: str, breakdown: Any
+) -> None:
+    """Record one benchmark x architecture energy breakdown."""
+    components = {
+        "exec_alu": breakdown.exec_alu_pj,
+        "exec_sfu": breakdown.exec_sfu_pj,
+        "exec_mem": breakdown.exec_mem_pj,
+        "rf": breakdown.rf_pj,
+        "crossbar": breakdown.crossbar_pj,
+        "compression": breakdown.compression_pj,
+        "fds": breakdown.fds_pj,
+        "memory": breakdown.memory_pj,
+    }
+    for component, picojoules in components.items():
+        telemetry.count(
+            "energy_pj", picojoules, component=component, arch=arch_name
+        )

@@ -1,0 +1,97 @@
+"""Prometheus text-format exposition of a telemetry registry.
+
+Renders counters and histograms in the plain-text exposition format
+(``# TYPE`` comments, ``name{label="value"} number`` samples).  Metric
+names are prefixed ``repro_`` and sanitized; counter names get the
+conventional ``_total`` suffix when they lack one.  Histograms are
+discrete value -> count maps in the registry and are exported with the
+standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``, one ``le`` boundary per distinct observed value (exact, no
+binning loss — the pipeline's histograms have small discrete domains).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.telemetry import LabelKey, Telemetry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _metric_name(name: str, *, counter: bool) -> str:
+    clean = _NAME_OK.sub("_", name)
+    if not clean.startswith("repro_"):
+        clean = f"repro_{clean}"
+    if counter and not clean.endswith("_total"):
+        clean = f"{clean}_total"
+    return clean
+
+
+def _escape(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _labels_text(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _number(value: float) -> str:
+    if isinstance(value, bool):  # guard: bools are ints in python
+        value = int(value)
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(telemetry: Telemetry) -> str:
+    """The registry as one Prometheus text-exposition document."""
+    lines: list[str] = []
+
+    by_counter: dict[str, list[tuple[LabelKey, float]]] = {}
+    for (name, labels), value in telemetry.counters.items():
+        by_counter.setdefault(name, []).append((labels, value))
+    for name in sorted(by_counter):
+        metric = _metric_name(name, counter=True)
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in sorted(by_counter[name]):
+            lines.append(f"{metric}{_labels_text(labels)} {_number(value)}")
+
+    by_histogram: dict[str, list[tuple[LabelKey, dict[float, int]]]] = {}
+    for (name, labels), bucket in telemetry.histograms.items():
+        by_histogram.setdefault(name, []).append((labels, bucket))
+    for name in sorted(by_histogram):
+        metric = _metric_name(name, counter=False)
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, bucket in sorted(by_histogram[name]):
+            cumulative = 0
+            total = 0.0
+            for value in sorted(bucket):
+                count = bucket[value]
+                cumulative += count
+                total += value * count
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_labels_text(labels, (('le', _number(value)),))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{metric}_bucket{_labels_text(labels, (('le', '+Inf'),))} {cumulative}"
+            )
+            lines.append(f"{metric}_sum{_labels_text(labels)} {_number(total)}")
+            lines.append(f"{metric}_count{_labels_text(labels)} {cumulative}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(telemetry: Telemetry, path: str | Path) -> Path:
+    """Write the text exposition to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(prometheus_text(telemetry), encoding="utf-8")
+    return path

@@ -1,0 +1,103 @@
+"""Human-readable summary of a telemetry registry.
+
+Renders the counters, histogram digests and span roll-ups as aligned
+text tables — what ``repro profile`` prints to the terminal after
+writing the machine-readable Chrome-trace and Prometheus files.
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import LabelKey, Telemetry
+
+
+def _format_labels(labels: LabelKey) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{key}={value}" for key, value in labels)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"
+
+
+def _table(title: str, headers: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    rule = "-" * len(line(headers))
+    body = [title, rule, line(headers), rule]
+    body.extend(line(row) for row in rows)
+    body.append(rule)
+    return "\n".join(body)
+
+
+def summary_table(telemetry: Telemetry, max_rows_per_metric: int = 24) -> str:
+    """Render the whole registry as readable text."""
+    sections: list[str] = []
+
+    by_counter: dict[str, list[tuple[LabelKey, float]]] = {}
+    for (name, labels), value in telemetry.counters.items():
+        by_counter.setdefault(name, []).append((labels, value))
+    if by_counter:
+        rows: list[tuple[str, str, str]] = []
+        for name in sorted(by_counter):
+            series = sorted(by_counter[name], key=lambda item: -item[1])
+            shown = series[:max_rows_per_metric]
+            rows.extend(
+                (name, _format_labels(labels), _format_value(value))
+                for labels, value in shown
+            )
+            hidden = len(series) - len(shown)
+            if hidden > 0:
+                remainder = sum(value for _, value in series[len(shown):])
+                rows.append((name, f"... {hidden} more series", _format_value(remainder)))
+        sections.append(_table("Counters", ("metric", "labels", "value"), rows))
+
+    if telemetry.histograms:
+        rows = []
+        for (name, labels), bucket in sorted(telemetry.histograms.items()):
+            count = sum(bucket.values())
+            total = sum(value * n for value, n in bucket.items())
+            mean = total / count if count else 0.0
+            rows.append(
+                (
+                    name,
+                    _format_labels(labels),
+                    f"{count:,}",
+                    f"{mean:,.2f}",
+                    _format_value(min(bucket)),
+                    _format_value(max(bucket)),
+                )
+            )
+        sections.append(
+            _table(
+                "Histograms",
+                ("metric", "labels", "count", "mean", "min", "max"),
+                rows,
+            )
+        )
+
+    if telemetry.spans:
+        rollup: dict[tuple[str, str], tuple[int, int]] = {}
+        for span in telemetry.spans:
+            key = (span.cat or "default", span.name)
+            count, dur = rollup.get(key, (0, 0))
+            rollup[key] = (count + 1, dur + span.dur_us)
+        rows = [
+            (cat, name, f"{count:,}", f"{dur / 1e6:,.3f}")
+            for (cat, name), (count, dur) in sorted(
+                rollup.items(), key=lambda item: -item[1][1]
+            )
+        ]
+        sections.append(
+            _table("Spans", ("category", "name", "count", "total s"), rows)
+        )
+
+    if not sections:
+        return "telemetry registry is empty"
+    return "\n\n".join(sections)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.isa.opcodes import OpCategory
+from repro.obs.instrument import record_power_breakdown, record_rf_accesses
+from repro.obs.telemetry import get_telemetry
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import EnergyBreakdown, PowerReport
 from repro.power.rf_energy import RegisterFileEnergyModel
@@ -51,9 +53,16 @@ class PowerAccountant:
         """Produce the power report for one benchmark run."""
         params = self.params
         breakdown = EnergyBreakdown()
+        telemetry = get_telemetry()
+        observe = telemetry.enabled
+        num_banks = self.config.register_file_banks
 
-        for warp_events in processed:
+        for warp_index, warp_events in enumerate(processed):
             for item in warp_events:
+                if observe:
+                    record_rf_accesses(
+                        telemetry, item.rf_accesses, warp_index, num_banks
+                    )
                 event = item.classified.event
                 category = event.category
 
@@ -92,6 +101,9 @@ class PowerAccountant:
         breakdown.memory_pj += counts.l2_accesses * params.l2_access_pj
         breakdown.memory_pj += counts.dram_accesses * params.dram_access_pj
         breakdown.memory_pj += counts.shared_accesses * params.shared_access_pj
+
+        if observe:
+            record_power_breakdown(telemetry, self.arch.name, breakdown)
 
         static_w = params.sm_static_w + params.uncore_share_static_w
         return PowerReport(

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.telemetry import get_telemetry
 from repro.regfile.bank import AccessRecord, RegisterBank
 from repro.regfile.layout import BankGeometry
 
@@ -82,11 +83,17 @@ class RegisterFile:
             raise ConfigError("register file capacity exceeded")
         return RegisterLocation(bank=bank, row=row)
 
+    def _observe_activation(self, bank: int, op: str) -> None:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("regfile_bank_activations", bank=bank, op=op)
+
     # ------------------------------------------------------------------
     def write(self, warp: int, register: int, values: np.ndarray) -> AccessRecord:
         """Full (compressing) write of one warp register."""
         location = self.locate(warp, register)
         self.writes += 1
+        self._observe_activation(location.bank, "write")
         return self._banks[location.bank].write_compressed(location.row, values)
 
     def write_divergent(
@@ -95,17 +102,20 @@ class RegisterFile:
         """Divergent partial write (destination must be uncompressed)."""
         location = self.locate(warp, register)
         self.writes += 1
+        self._observe_activation(location.bank, "write")
         return self._banks[location.bank].write_divergent(location.row, values, mask)
 
     def decompress_in_place(self, warp: int, register: int) -> AccessRecord:
         """The §3.3 special move, at file scope."""
         location = self.locate(warp, register)
+        self._observe_activation(location.bank, "decompress")
         return self._banks[location.bank].decompress_in_place(location.row)
 
     def read(self, warp: int, register: int) -> tuple[np.ndarray, AccessRecord]:
         """Read one warp register (decompressing as needed)."""
         location = self.locate(warp, register)
         self.reads += 1
+        self._observe_activation(location.bank, "read")
         return self._banks[location.bank].read(location.row)
 
     def is_scalar(self, warp: int, register: int) -> bool:

@@ -24,6 +24,8 @@ from repro.compression.gscalar import common_prefix_bytes
 from repro.compression.half import compress_halves
 from repro.errors import TraceError
 from repro.isa.opcodes import OpCategory
+from repro.obs.instrument import record_classified_warp
+from repro.obs.telemetry import get_telemetry
 from repro.scalar.eligibility import (
     ScalarClass,
     SourceRead,
@@ -178,10 +180,17 @@ class RegisterStateTracker:
 
 def classify_trace(trace: KernelTrace, num_registers: int) -> list[list[ClassifiedEvent]]:
     """Classify every warp of a kernel trace (fresh tracker per warp)."""
+    telemetry = get_telemetry()
     classified: list[list[ClassifiedEvent]] = []
-    for warp in trace.warps:
-        tracker = RegisterStateTracker(num_registers, trace.warp_size)
-        classified.append([tracker.classify(e) for e in warp.events])
+    with telemetry.span(
+        f"classify:{trace.kernel_name}", cat="kernel", kernel=trace.kernel_name
+    ):
+        for warp in trace.warps:
+            tracker = RegisterStateTracker(num_registers, trace.warp_size)
+            events = [tracker.classify(e) for e in warp.events]
+            classified.append(events)
+            if telemetry.enabled:
+                record_classified_warp(telemetry, events, trace.warp_size)
     return classified
 
 

@@ -23,6 +23,8 @@ from repro.errors import ExecutionError
 from repro.isa.instructions import Imm, Instruction, Operand, Reg, SpecialReg
 from repro.isa.kernel import EXIT_NODE, Branch, Exit, Jump, Kernel, immediate_postdominators
 from repro.isa.opcodes import Opcode
+from repro.obs.instrument import record_warp_trace
+from repro.obs.telemetry import get_telemetry
 from repro.simt.grid import LaunchConfig, WarpIdentity, enumerate_warps, mask_to_int
 from repro.simt.memory_state import MemoryImage
 from repro.simt.special import UNARY_SFU, sfu_fdiv
@@ -85,6 +87,8 @@ class WarpExecutor:
         self.trace = WarpTrace(warp_id=identity.warp_id, warp_size=self.warp_size)
         self._stack: list[_StackEntry] | None = None
         self._executed = 0
+        #: Deepest reconvergence-stack nesting reached (telemetry).
+        self.max_stack_depth = 1
 
     # ------------------------------------------------------------------
     # Operand evaluation.
@@ -330,6 +334,8 @@ class WarpExecutor:
                     stack.append(
                         _StackEntry(pc=terminator.taken, rpc=reconvergence, mask=taken_mask)
                     )
+                    if len(stack) > self.max_stack_depth:
+                        self.max_stack_depth = len(stack)
             else:
                 raise ExecutionError(f"unknown terminator {terminator!r}")
         return "done"
@@ -414,21 +420,44 @@ def run_kernel(
             max_instructions=max_warp_instructions,
         )
         shared.append(executor)
-    for cta_id, executors in by_cta.items():
-        cta_shared = MemoryImage()
-        for executor in executors:
-            executor.shared_memory = cta_shared
-        _run_cta(kernel, cta_id, executors)
-        for executor in executors:
-            trace.warps.append(executor.trace)
+    telemetry = get_telemetry()
+    with telemetry.span(
+        f"execute:{kernel.name}", cat="kernel", kernel=kernel.name, warp_size=warp_size
+    ):
+        for cta_id, executors in by_cta.items():
+            cta_shared = MemoryImage()
+            for executor in executors:
+                executor.shared_memory = cta_shared
+            _run_cta(kernel, cta_id, executors)
+            for executor in executors:
+                trace.warps.append(executor.trace)
+                if telemetry.enabled:
+                    record_warp_trace(
+                        telemetry, executor.trace, executor.max_stack_depth
+                    )
     return trace
 
 
 def _run_cta(kernel: Kernel, cta_id: int, executors: list["WarpExecutor"]) -> None:
     """Drive one CTA's warps with barrier coordination."""
+    telemetry = get_telemetry()
     pending = list(executors)
     while pending:
-        statuses = [executor.run_until_barrier() for executor in pending]
+        if telemetry.enabled:
+            # One span per barrier-to-barrier execution segment of each
+            # warp: the Chrome trace shows the CTA's warps on their own
+            # rows (tid = warp id), one box per segment.
+            statuses = []
+            for executor in pending:
+                with telemetry.span(
+                    f"warp{executor.identity.warp_id}",
+                    cat="warp",
+                    tid=executor.identity.warp_id + 1,
+                    cta=cta_id,
+                ):
+                    statuses.append(executor.run_until_barrier())
+        else:
+            statuses = [executor.run_until_barrier() for executor in pending]
         at_barrier = [
             executor
             for executor, status in zip(pending, statuses)
