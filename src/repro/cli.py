@@ -34,6 +34,7 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.scalar.batch import CLASSIFIER_CHOICES, DEFAULT_CLASSIFIER
 from repro.workloads.registry import SCALES
 
 _TRACE_EXPERIMENTS = (
@@ -261,6 +262,13 @@ def _profile_main(argv: list[str]) -> int:
         help="also stream span events as JSON Lines to PATH",
     )
     parser.add_argument(
+        "--classifier",
+        choices=CLASSIFIER_CHOICES,
+        default=DEFAULT_CLASSIFIER,
+        help="classification engine: 'batch' (vectorized, default) or "
+        "'event' (per-event reference path)",
+    )
+    parser.add_argument(
         "--no-summary",
         action="store_true",
         help="skip the human-readable summary table",
@@ -277,7 +285,7 @@ def _profile_main(argv: list[str]) -> int:
     )
     sink = JsonlSink(args.events_out) if args.events_out is not None else None
     with telemetry_session(Telemetry(sink=sink)) as telemetry:
-        runner = ExperimentRunner(scale=args.scale)
+        runner = ExperimentRunner(scale=args.scale, classifier=args.classifier)
         with runner.stats.timer("profile", benchmark=bench):
             runner.run(bench)
             for arch in arches:
@@ -363,6 +371,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="enable telemetry and write Prometheus text metrics to PATH",
     )
+    parser.add_argument(
+        "--classifier",
+        choices=CLASSIFIER_CHOICES,
+        default=DEFAULT_CLASSIFIER,
+        help="classification engine: 'batch' (vectorized, default) or "
+        "'event' (per-event reference path)",
+    )
     args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -405,7 +420,12 @@ def _experiment_main(
         print(f"[--jobs {args.jobs}: using temporary cache {cache_dir}]",
               file=sys.stderr)
     runner = (
-        ExperimentRunner(scale=args.scale, verbose=args.verbose, cache_dir=cache_dir)
+        ExperimentRunner(
+            scale=args.scale,
+            verbose=args.verbose,
+            cache_dir=cache_dir,
+            classifier=args.classifier,
+        )
         if needs_runner
         else None
     )

@@ -21,6 +21,12 @@ from repro.errors import CompressionError
 from repro.compression.encoding import SCALAR_PREFIX
 from repro.obs.telemetry import get_telemetry
 
+#: On-wire word order of the byte-rotated data arrays.  The byte-view
+#: tricks in :func:`compress`/:func:`decompress` index byte ``j`` of a
+#: word as view column ``j``, which requires little-endian layout; the
+#: explicit dtype makes them correct on big-endian hosts too.
+_LE_U32 = np.dtype("<u4")
+
 
 def common_prefix_bytes(values: np.ndarray, mask: np.ndarray | None = None) -> int:
     """Number of identical most-significant bytes across active lanes.
@@ -45,6 +51,68 @@ def common_prefix_bytes(values: np.ndarray, mask: np.ndarray | None = None) -> i
     if diff & 0x0000FF00:
         return 2
     return 3
+
+
+def _enc_from_diff(diff: np.ndarray) -> np.ndarray:
+    """Lane-axis XOR/OR residue -> per-row prefix length (vectorized).
+
+    ``diff`` holds, per register, the OR over lanes of ``lane ^ lane0``:
+    a byte position is part of the common prefix exactly when its diff
+    byte is zero, and the encoding is the count of zero bytes from the
+    MSB down (a prefix code, so one set byte kills everything below it).
+    """
+    enc = np.full(diff.shape, 3, dtype=np.int64)
+    enc[(diff & np.uint32(0x0000FF00)) != 0] = 2
+    enc[(diff & np.uint32(0x00FF0000)) != 0] = 1
+    enc[(diff & np.uint32(0xFF000000)) != 0] = 0
+    enc[diff == 0] = SCALAR_PREFIX
+    return enc
+
+
+def prefix_bytes_batch(values: np.ndarray) -> np.ndarray:
+    """Per-row :func:`common_prefix_bytes` over a ``(n, lanes)`` matrix.
+
+    The whole-trace equivalent of the Figure 3 comparison tree: one XOR
+    against lane 0 plus one OR-reduce across the lane axis replaces
+    *n* per-event calls.  Bit-identical to the scalar function.
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    if words.ndim != 2:
+        raise CompressionError(
+            f"expected a (rows, lanes) matrix, got shape {words.shape}"
+        )
+    if words.shape[1] <= 1:
+        return np.full(words.shape[0], SCALAR_PREFIX, dtype=np.int64)
+    diff = np.bitwise_or.reduce(words ^ words[:, :1], axis=1)
+    return _enc_from_diff(diff)
+
+
+def masked_prefix_bytes_batch(
+    values: np.ndarray, lane_masks: np.ndarray
+) -> np.ndarray:
+    """Per-row masked prefix lengths over a ``(n, lanes)`` matrix.
+
+    ``lane_masks`` is a boolean matrix of the same shape; row *i*'s
+    encoding is computed over its active lanes only (the Figure 7(a)
+    divergent-compare), with the base lane being the first active one.
+    Rows with zero or one active lane are trivially scalar.
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    masks = np.asarray(lane_masks, dtype=bool)
+    if words.shape != masks.shape or words.ndim != 2:
+        raise CompressionError(
+            f"values shape {words.shape} != lane-mask shape {masks.shape}"
+        )
+    rows = words.shape[0]
+    active_counts = masks.sum(axis=1)
+    first_active = np.where(active_counts > 0, masks.argmax(axis=1), 0)
+    base = words[np.arange(rows), first_active]
+    diff = np.bitwise_or.reduce(
+        np.where(masks, words ^ base[:, None], np.uint32(0)), axis=1
+    )
+    enc = _enc_from_diff(diff)
+    enc[active_counts <= 1] = SCALAR_PREFIX
+    return enc
 
 
 @dataclass(frozen=True)
@@ -97,9 +165,14 @@ def compress(values: np.ndarray, mask: np.ndarray | None = None) -> CompressedRe
     else:
         base = int(words[0])
     keep = 4 - enc
-    lanes_bytes = np.empty((warp_size, keep), dtype=np.uint8)
-    for byte_index in range(keep):
-        lanes_bytes[:, byte_index] = (words >> (8 * byte_index)) & 0xFF
+    # Little-endian byte view: column j is byte j (LSB first) of every
+    # lane, so the kept low bytes are one strided slice, no byte loop.
+    lanes_bytes = (
+        np.ascontiguousarray(words.astype(_LE_U32, copy=False))
+        .view(np.uint8)
+        .reshape(warp_size, 4)[:, :keep]
+        .copy()
+    )
     telemetry = get_telemetry()
     if telemetry.enabled:
         # Every compression updates both sidecar entries: the base
@@ -131,8 +204,11 @@ def decompress(compressed: CompressedRegister) -> np.ndarray:
     base = np.uint32(compressed.base)
     prefix_mask = np.uint32(0) if enc == 0 else np.uint32((0xFFFFFFFF << (8 * (4 - enc))) & 0xFFFFFFFF)
     values = np.full(compressed.warp_size, base & prefix_mask, dtype=np.uint32)
-    for byte_index in range(4 - enc):
-        values |= compressed.low_bytes[:, byte_index].astype(np.uint32) << np.uint32(8 * byte_index)
+    # Inverse of the compress-side byte view: pad each lane's kept low
+    # bytes back to 4 and reinterpret as little-endian words.
+    padded = np.zeros((compressed.warp_size, 4), dtype=np.uint8)
+    padded[:, : 4 - enc] = compressed.low_bytes
+    values |= padded.view(_LE_U32).ravel().astype(np.uint32, copy=False)
     return values
 
 

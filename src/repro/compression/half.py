@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import CompressionError
 from repro.compression.encoding import SCALAR_PREFIX
-from repro.compression.gscalar import common_prefix_bytes
+from repro.compression.gscalar import _enc_from_diff, common_prefix_bytes
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,84 @@ def _encode_half(half_words: np.ndarray, granularity: int) -> tuple[int, int]:
         if not bool(np.all(firsts == firsts[0])):
             enc = common_prefix_bytes(half_words)
     return enc, int(half_words[0])
+
+
+@dataclass(frozen=True)
+class HalfBatch:
+    """Per-row half-register encodings over a register matrix.
+
+    The array counterpart of :class:`HalfRegisterEncoding`: element *i*
+    of each field is the value :func:`compress_halves` would compute
+    for row *i*.
+    """
+
+    enc_lo: np.ndarray
+    enc_hi: np.ndarray
+    base_lo: np.ndarray
+    base_hi: np.ndarray
+    full_scalar: np.ndarray  # bool
+
+
+def compress_halves_batch(
+    values: np.ndarray, granularity: int | None = None
+) -> HalfBatch:
+    """Per-half encodings of every row of a ``(n, warp_size)`` matrix.
+
+    Bit-identical to mapping :func:`compress_halves` over the rows, but
+    runs as whole-matrix array kernels: one XOR + OR-reduce per
+    granularity chunk instead of several tiny numpy calls per register.
+    """
+    words = np.ascontiguousarray(values, dtype=np.uint32)
+    if words.ndim != 2:
+        raise CompressionError(
+            f"expected a (rows, lanes) matrix, got shape {words.shape}"
+        )
+    warp_size = words.shape[1]
+    if warp_size % 2 != 0:
+        raise CompressionError(f"warp size must be even, got {warp_size}")
+    half = warp_size // 2
+    if granularity is None:
+        granularity = half
+    if granularity < 1 or half % granularity != 0:
+        raise CompressionError(
+            f"granularity {granularity} must divide the half size {half}"
+        )
+    enc_lo, base_lo = _encode_half_batch(words[:, :half], granularity)
+    enc_hi, base_hi = _encode_half_batch(words[:, half:], granularity)
+    full_scalar = (
+        (enc_lo == SCALAR_PREFIX)
+        & (enc_hi == SCALAR_PREFIX)
+        & (base_lo == base_hi)
+    )
+    return HalfBatch(
+        enc_lo=enc_lo,
+        enc_hi=enc_hi,
+        base_lo=base_lo,
+        base_hi=base_hi,
+        full_scalar=full_scalar,
+    )
+
+
+def _encode_half_batch(
+    half_words: np.ndarray, granularity: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_encode_half` over the rows of one half."""
+    chunks = half_words.reshape(half_words.shape[0], -1, granularity)
+    chunk_diff = np.bitwise_or.reduce(chunks ^ chunks[:, :, :1], axis=2)
+    enc = _enc_from_diff(chunk_diff).min(axis=1)
+    if chunks.shape[1] > 1:
+        # Rows whose chunks are each scalar but disagree with one
+        # another fall back to the whole-half prefix, as the scalar
+        # path does.
+        firsts = chunks[:, :, 0]
+        disagree = ~np.all(firsts == firsts[:, :1], axis=1)
+        fix = (enc == SCALAR_PREFIX) & disagree
+        if fix.any():
+            whole_diff = np.bitwise_or.reduce(
+                half_words ^ half_words[:, :1], axis=1
+            )
+            enc = np.where(fix, _enc_from_diff(whole_diff), enc)
+    return enc, half_words[:, 0]
 
 
 def scalar_chunks(values: np.ndarray, granularity: int) -> list[bool]:

@@ -12,7 +12,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compression.bdi import BdiMode, bdi_compress
-from repro.compression.gscalar import common_prefix_bytes, compressed_bits
+from repro.compression.gscalar import (
+    common_prefix_bytes,
+    compressed_bits,
+    prefix_bytes_batch,
+)
 
 
 @dataclass
@@ -59,9 +63,39 @@ class CompressionComparison:
         total = max(1, self.registers_seen)
         return {n: count / total for n, count in self.enc_histogram.items()}
 
+    def observe_batch(self, values: np.ndarray) -> None:
+        """Account a ``(n, warp_size)`` matrix of full register values.
+
+        Bit-identical to calling :meth:`observe` per row; the byte-wise
+        side runs as one whole-matrix enc computation
+        (:func:`prefix_bytes_batch`), BDI (whose mode search is
+        per-register) stays a row loop.
+        """
+        if values.shape[0] == 0:
+            return
+        encs = prefix_bytes_batch(values)
+        self.registers_seen += values.shape[0]
+        for enc, count in zip(*np.unique(encs, return_counts=True)):
+            self.enc_histogram[int(enc)] += int(count)
+            self.ours_total_bits += int(count) * compressed_bits(
+                int(enc), self.warp_size
+            )
+        self.uncompressed_total_bits += values.shape[0] * self.warp_size * 32
+        for row in values:
+            bdi = bdi_compress(row)
+            self.bdi_histogram[bdi.mode] += 1
+            self.bdi_total_bits += bdi.total_bits
+
 
 def compare_trace(trace, warp_size: int | None = None) -> CompressionComparison:
     """Run the ours-vs-BDI comparison over every register write in a trace.
+
+    Accepts either trace representation: the event form
+    (:class:`~repro.simt.trace.KernelTrace`) walks events, the columnar
+    form (:class:`~repro.simt.trace.ColumnarTrace`) selects the
+    full-mask write rows with array ops and aggregates them in one
+    :meth:`~CompressionComparison.observe_batch` call — same counters
+    either way.
 
     Divergent writes are skipped — neither scheme compresses them
     (Section 3.3 for ours; Warped-Compression similarly disables
@@ -70,6 +104,14 @@ def compare_trace(trace, warp_size: int | None = None) -> CompressionComparison:
     size = warp_size if warp_size is not None else trace.warp_size
     comparison = CompressionComparison(warp_size=size)
     full_mask = (1 << size) - 1
+    if hasattr(trace, "values_index"):  # columnar form
+        rows = trace.values_index[
+            (trace.values_index >= 0) & (trace.masks == np.uint64(full_mask))
+        ]
+        comparison.observe_batch(
+            np.ascontiguousarray(trace.values[rows], dtype=np.uint32)
+        )
+        return comparison
     for event in trace.all_events():
         if event.dst_values is None:
             continue

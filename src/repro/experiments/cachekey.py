@@ -19,6 +19,14 @@ Fingerprints are embedded *inside* the cached file (not in its name),
 so a stale artifact is detected at load time and transparently
 re-executed and overwritten rather than replayed.
 
+Version-bump note: the columnar trace format
+(:data:`repro.simt.serialize._FORMAT_VERSION` = 3) and the batch
+classifier (``STAGE_VERSION`` = 2 in :mod:`repro.experiments.runner`)
+each invalidate the corresponding cached artifacts — v2 ``.npz`` traces
+and v1 pickle sidecars from older checkouts fail their fingerprint or
+version check on load and are transparently re-executed, never
+misread.
+
 Everything is canonicalized to JSON before hashing: dataclasses become
 ``{type, fields}`` maps, enums become ``{type, name}`` maps, and dict
 keys are sorted, so the fingerprint is stable across processes and
@@ -109,9 +117,18 @@ def trace_fingerprint(kernel: Kernel, scale: ScaleConfig, warp_size: int) -> str
     )
 
 
-def classified_fingerprint(trace_fp: str, stage_version: int) -> str:
-    """Fingerprint identifying one classified event stream."""
-    return fingerprint("classified", stage_version, trace_fp)
+def classified_fingerprint(
+    trace_fp: str, stage_version: int, classifier: str = "batch"
+) -> str:
+    """Fingerprint identifying one classified event stream.
+
+    ``classifier`` names the engine that produced the stream (``batch``
+    or ``event``).  The engines are differentially tested to emit
+    identical streams, but keying the sidecar on the engine keeps a
+    ``--classifier=event`` differential run from silently replaying the
+    other engine's cache — each engine's output is provably its own.
+    """
+    return fingerprint("classified", stage_version, classifier, trace_fp)
 
 
 def stage_fingerprint(

@@ -48,6 +48,7 @@ class MatrixTask:
     config: GpuConfig | None
     params: EnergyParams | None
     telemetry: bool = False
+    classifier: str = "batch"
 
 
 def _run_task(task: MatrixTask) -> dict:
@@ -56,6 +57,7 @@ def _run_task(task: MatrixTask) -> dict:
         config=task.config,
         params=task.params,
         cache_dir=task.cache_dir,
+        classifier=task.classifier,
     )
     runner.run(task.abbr)
     for warp_size in task.warp_sizes:
@@ -95,6 +97,7 @@ def run_matrix(
     params: EnergyParams | None = None,
     progress: Callable[[str, int, int], None] | None = None,
     telemetry: bool = False,
+    classifier: str = "batch",
 ) -> RunnerStats:
     """Execute the benchmark × architecture matrix across processes.
 
@@ -115,6 +118,7 @@ def run_matrix(
             config=config,
             params=params,
             telemetry=telemetry,
+            classifier=classifier,
         )
         for abbr in names
     ]

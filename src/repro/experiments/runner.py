@@ -41,15 +41,22 @@ from typing import Callable, Iterator, Sequence
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.errors import TraceError
 from repro.experiments import cachekey
+from repro.obs.instrument import record_columnar_warps
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.power.accounting import PowerAccountant
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import PowerReport
 from repro.scalar.architectures import ProcessedEvent, process_classified
-from repro.scalar.tracker import ClassifiedEvent, classify_trace
+from repro.scalar.batch import (
+    CLASSIFIER_CHOICES,
+    DEFAULT_CLASSIFIER,
+    classify_columnar_batch,
+    classify_trace_with,
+)
+from repro.scalar.tracker import ClassifiedEvent
 from repro.simt.executor import run_kernel
-from repro.simt.serialize import load_trace, save_trace
-from repro.simt.trace import KernelTrace
+from repro.simt.serialize import load_columnar, save_trace
+from repro.simt.trace import ColumnarTrace, KernelTrace, opcode_labels
 from repro.timing.gpu import simulate_architecture
 from repro.timing.sm import TimingResult
 from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workload_by_name
@@ -57,7 +64,9 @@ from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workl
 #: Version of the pickled stage sidecars (classified streams and
 #: timing/power results).  Bump to invalidate all of them at once,
 #: e.g. when a classifier or timing-model change alters their meaning.
-STAGE_VERSION = 1
+#: Version 2: the batch classification engine became the default and
+#: the classified-stream fingerprint gained the engine name.
+STAGE_VERSION = 2
 
 
 def paper_architectures() -> tuple[ArchitectureConfig, ...]:
@@ -207,9 +216,16 @@ class ExperimentRunner:
         params: EnergyParams | None = None,
         verbose: bool = False,
         cache_dir: str | Path | None = None,
+        classifier: str = DEFAULT_CLASSIFIER,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
+        if classifier not in CLASSIFIER_CHOICES:
+            raise ValueError(
+                f"unknown classifier {classifier!r}; known: "
+                f"{', '.join(CLASSIFIER_CHOICES)}"
+            )
+        self.classifier = classifier
         self.scale = SCALES[scale]
         self.config = config or GpuConfig()
         self.params = params or DEFAULT_ENERGY
@@ -279,8 +295,16 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def _obtain_trace(
         self, key: str, built: BuiltWorkload, warp_size: int
-    ) -> tuple[KernelTrace, str]:
-        """Load a fingerprint-matching cached trace or execute and cache."""
+    ) -> tuple[KernelTrace | ColumnarTrace, str]:
+        """Load a fingerprint-matching cached trace or execute and cache.
+
+        A cache hit returns the :class:`ColumnarTrace` exactly as it
+        lies on disk — no per-event reconstruction.  Callers that need
+        the event form either hand it to the batch classifier (which
+        materializes events once, during classification) or call
+        ``.to_trace()`` themselves.  A cache miss executes and returns
+        the event-form :class:`KernelTrace` directly.
+        """
         fingerprint = cachekey.trace_fingerprint(built.kernel, self.scale, warp_size)
         path = None
         if self.cache_dir is not None:
@@ -288,14 +312,20 @@ class ExperimentRunner:
             if path.exists():
                 try:
                     with self.stats.timer("trace_load", benchmark=key, warp_size=warp_size):
-                        trace = load_trace(path, expected_fingerprint=fingerprint)
+                        columnar = load_columnar(path, expected_fingerprint=fingerprint)
                 except TraceError as exc:
                     self._log(f"discarding cached trace {path.name}: {exc}")
                     self.stats.bump("trace_cache_invalid")
                 else:
                     self.stats.bump("trace_cache_hits")
                     self._log(f"loaded cached trace for {key} (warp {warp_size})")
-                    return trace, fingerprint
+                    telemetry = get_telemetry()
+                    if telemetry.enabled:
+                        # Cache hits skip the executor, so feed the
+                        # instruction-mix counters from the columnar
+                        # arrays instead — same numbers either way.
+                        record_columnar_warps(telemetry, columnar, opcode_labels())
+                    return columnar, fingerprint
             self.stats.bump("trace_cache_misses")
         self._log(f"executing {key} at scale {self.scale.name!r} warp {warp_size}")
         self.stats.bump("trace_executions")
@@ -314,24 +344,53 @@ class ExperimentRunner:
         return trace, fingerprint
 
     def _obtain_classified(
-        self, key: str, built: BuiltWorkload, trace_fingerprint: str, trace: KernelTrace
-    ) -> list[list[ClassifiedEvent]]:
-        fingerprint = cachekey.classified_fingerprint(trace_fingerprint, STAGE_VERSION)
+        self,
+        key: str,
+        built: BuiltWorkload,
+        trace_fingerprint: str,
+        trace: KernelTrace | ColumnarTrace,
+    ) -> tuple[KernelTrace, list[list[ClassifiedEvent]]]:
+        """Classified stream (cached or computed) plus the event-form trace.
+
+        When the trace arrived columnar (a cache hit) and the batch
+        engine is selected, classification runs straight off the
+        columnar arrays and materializes the event form as a by-product
+        — one object per event total, shared between the returned trace
+        and the classified stream.
+        """
+        fingerprint = cachekey.classified_fingerprint(
+            trace_fingerprint, STAGE_VERSION, self.classifier
+        )
         path = None
         if self.cache_dir is not None:
             path = self._sidecar_path(key, "classified")
             payload = self._load_sidecar(path, fingerprint)
             if payload is not None:
                 self.stats.bump("classified_cache_hits")
-                return payload["classified"]
+                if isinstance(trace, ColumnarTrace):
+                    trace = trace.to_trace()
+                return trace, payload["classified"]
             self.stats.bump("classified_cache_misses")
         with self.stats.timer("classify", benchmark=key):
-            classified = classify_trace(trace, built.kernel.num_registers)
+            if isinstance(trace, ColumnarTrace):
+                if self.classifier == "batch":
+                    trace, classified = classify_columnar_batch(
+                        trace, built.kernel.num_registers
+                    )
+                else:
+                    trace = trace.to_trace()
+                    classified = classify_trace_with(
+                        trace, built.kernel.num_registers, self.classifier
+                    )
+            else:
+                classified = classify_trace_with(
+                    trace, built.kernel.num_registers, self.classifier
+                )
         if path is not None:
             self._store_sidecar(
                 path, {"fingerprint": fingerprint, "classified": classified}
             )
-        return classified
+        return trace, classified
 
     # ------------------------------------------------------------------
     def benchmark_names(self) -> list[str]:
@@ -350,7 +409,7 @@ class ExperimentRunner:
             spec = workload_by_name(key)
             built = spec.builder(self.scale)
             trace, fingerprint = self._obtain_trace(key, built, 32)
-            classified = self._obtain_classified(key, built, fingerprint, trace)
+            trace, classified = self._obtain_classified(key, built, fingerprint, trace)
             self._runs[key] = BenchmarkRun(
                 abbr=key,
                 built=built,
@@ -375,6 +434,8 @@ class ExperimentRunner:
             spec = workload_by_name(key)
             built = spec.builder(self.scale)
             trace, _ = self._obtain_trace(key, built, warp_size)
+            if isinstance(trace, ColumnarTrace):
+                trace = trace.to_trace()
             self._warp_traces[token] = trace
         return self._warp_traces[token]
 
@@ -513,6 +574,7 @@ class ExperimentRunner:
                     params=self.params,
                     progress=progress,
                     telemetry=get_telemetry().enabled,
+                    classifier=self.classifier,
                 )
                 self.stats.merge(worker_stats)
         return self.stats

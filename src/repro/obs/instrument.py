@@ -57,6 +57,32 @@ def record_warp_trace(
     telemetry.observe("reconvergence_stack_depth", max_stack_depth)
 
 
+def record_columnar_warps(
+    telemetry: Telemetry, columnar: Any, opcode_labels: dict[int, tuple[str, str]]
+) -> None:
+    """Roll a columnar trace's warps into the registry (cache-hit path).
+
+    The array-side counterpart of :func:`record_warp_trace`: the
+    dynamic opcode mix comes from one ``np.unique`` over the stored
+    opcode ids and the per-warp instruction histogram from the warp
+    length table, so a trace loaded from cache reports the same
+    ``instructions_total`` / ``warp_instructions`` numbers as the run
+    that executed it.  ``opcode_labels`` maps stored opcode ids to
+    ``(category, opcode)`` label pairs (see
+    :func:`repro.simt.trace.opcode_labels`), keeping this module free
+    of simulation-package imports.  The reconvergence-stack depth is an
+    executor-side observable and is not recorded here.
+    """
+    import numpy as np
+
+    ids, counts = np.unique(columnar.opcode_ids, return_counts=True)
+    for opcode_id, count in zip(ids.tolist(), counts.tolist()):
+        category, opcode = opcode_labels[opcode_id]
+        telemetry.count("instructions", count, category=category, opcode=opcode)
+    for length in columnar.warp_lengths.tolist():
+        telemetry.observe("warp_instructions", length)
+
+
 def record_classified_warp(
     telemetry: Telemetry, events: Iterable[Any], warp_size: int
 ) -> None:

@@ -102,7 +102,7 @@ class RegisterFileEnergyModel:
             )
 
         if kind is AccessKind.PARTIAL_WRITE:
-            active_bytes = bin(access.active_mask).count("1") * 4
+            active_bytes = int(access.active_mask).bit_count() * 4
             if self.arch.register_compression:
                 # Byte rotation scatters every lane's bytes over all
                 # arrays: the whole bank lights up (§3.3).

@@ -121,4 +121,4 @@ class BaselineLayout:
         """Bytes moved: all lanes for reads, active lanes for writes."""
         if active_mask is None:
             return self.geometry.warp_size * 4
-        return bin(active_mask).count("1") * 4
+        return int(active_mask).bit_count() * 4

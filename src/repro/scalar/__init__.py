@@ -8,6 +8,13 @@ from repro.scalar.architectures import (
     process_trace,
     processed_statistics,
 )
+from repro.scalar.batch import (
+    CLASSIFIER_CHOICES,
+    DEFAULT_CLASSIFIER,
+    classify_columnar_batch,
+    classify_trace_batch,
+    classify_trace_with,
+)
 from repro.scalar.compiler import (
     MoveElisionAnalysis,
     StaticScalarization,
@@ -30,6 +37,8 @@ from repro.scalar.tracker import (
 )
 
 __all__ = [
+    "CLASSIFIER_CHOICES",
+    "DEFAULT_CLASSIFIER",
     "HALF_GRANULARITY",
     "ArchitectureView",
     "ClassifiedEvent",
@@ -42,9 +51,12 @@ __all__ = [
     "SourceRead",
     "TrackerStatistics",
     "ValueKind",
+    "classify_columnar_batch",
     "classify_instruction",
     "classify_source_read",
     "classify_trace",
+    "classify_trace_batch",
+    "classify_trace_with",
     "classify_warp",
     "process_classified",
     "process_trace",

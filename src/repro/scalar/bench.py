@@ -1,0 +1,150 @@
+"""Classification-engine microbenchmark: batch vs per-event.
+
+Executes each requested benchmark once (the trace is reused across
+timed repetitions), then times the classification stage under both
+engines — :func:`repro.scalar.tracker.classify_trace` (the per-event
+reference path) and :func:`repro.scalar.batch.classify_trace_batch`
+(the vectorized engine) — and reports median seconds plus the speedup
+ratio.  Before timing, the two engines' outputs are checked for
+equality on every benchmark, so a reported speedup can never come from
+a divergent result.
+
+Prints a JSON object (also written to ``--json`` when given; the
+committed ``BENCH_classify.json`` at the repo root is this output) and
+exits non-zero when any benchmark's speedup falls below
+``--min-speedup`` — which makes the command directly usable as the CI
+perf-smoke gate.  Usage::
+
+    PYTHONPATH=src python -m repro.scalar.bench BP LC --scale default \
+        --min-speedup 2.0 --json BENCH_classify.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Callable
+
+from repro.scalar.batch import classify_trace_batch
+from repro.scalar.tracker import classify_trace, trace_statistics
+from repro.simt.executor import run_kernel
+from repro.simt.trace import KernelTrace
+from repro.workloads.registry import SCALES, build_workload
+
+DEFAULT_BENCHMARKS = ("BP", "LC")
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings)
+
+
+def measure(benchmark: str, scale: str, repeats: int) -> dict:
+    """Median classify seconds per engine for one benchmark."""
+    built = build_workload(benchmark, scale)
+    trace: KernelTrace = run_kernel(built.kernel, built.launch, built.memory)
+    num_registers = built.kernel.num_registers
+
+    # Equivalence gate: identical statistics (class counts, divergence,
+    # decompress-moves) or the timing numbers are meaningless.
+    event_stats = trace_statistics(classify_trace(trace, num_registers))
+    batch_stats = trace_statistics(classify_trace_batch(trace, num_registers))
+    if event_stats != batch_stats:
+        raise AssertionError(
+            f"{benchmark}: engines disagree — event {event_stats} "
+            f"!= batch {batch_stats}"
+        )
+
+    event_seconds = _median_seconds(
+        lambda: classify_trace(trace, num_registers), repeats
+    )
+    batch_seconds = _median_seconds(
+        lambda: classify_trace_batch(trace, num_registers), repeats
+    )
+    return {
+        "benchmark": benchmark,
+        "scale": scale,
+        "repeats": repeats,
+        "events": trace.total_instructions,
+        "event_seconds": round(event_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "speedup": round(event_seconds / batch_seconds, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.scalar.bench",
+        description="Benchmark batch vs per-event classification.",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="BENCHMARK",
+        default=list(DEFAULT_BENCHMARKS),
+        help=f"workload abbreviations (default: {' '.join(DEFAULT_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="workload problem size (default: default)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        metavar="N",
+        help="timed repetitions per engine; medians are reported (default: 5)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless every benchmark's batch speedup is >= X",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report to PATH",
+    )
+    args = parser.parse_args(argv)
+    benchmarks = [name.strip().upper() for name in args.benchmarks]
+
+    results = [measure(name, args.scale, args.repeats) for name in benchmarks]
+    worst = min(result["speedup"] for result in results)
+    report = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "min_speedup_required": args.min_speedup,
+        "worst_speedup": worst,
+        "results": results,
+    }
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"[wrote report to {args.json}]", file=sys.stderr)
+    if args.min_speedup is not None and worst < args.min_speedup:
+        print(
+            f"FAIL: worst speedup {worst:.2f}x < required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ class ScalarClass(enum.Enum):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SourceRead:
     """State of one source register at the moment it was read.
 

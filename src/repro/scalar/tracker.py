@@ -40,7 +40,7 @@ from repro.simt.trace import KernelTrace, TraceEvent, WarpTrace
 HALF_GRANULARITY = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClassifiedEvent:
     """One dynamic instruction with its scalar/compression analysis."""
 

@@ -409,13 +409,15 @@ def run_kernel(
     ipdom = immediate_postdominators(kernel)
     trace = KernelTrace(kernel_name=kernel.name, warp_size=warp_size)
     by_cta: dict[int, list[WarpExecutor]] = {}
+    shared_by_cta: dict[int, MemoryImage] = {}
     for identity in enumerate_warps(launch, warp_size):
         shared = by_cta.setdefault(identity.cta_id, [])
+        cta_shared = shared_by_cta.setdefault(identity.cta_id, MemoryImage())
         executor = WarpExecutor(
             kernel=kernel,
             identity=identity,
             global_memory=memory,
-            shared_memory=MemoryImage(),  # placeholder, fixed below
+            shared_memory=cta_shared,
             ipdom=ipdom,
             max_instructions=max_warp_instructions,
         )
@@ -425,9 +427,6 @@ def run_kernel(
         f"execute:{kernel.name}", cat="kernel", kernel=kernel.name, warp_size=warp_size
     ):
         for cta_id, executors in by_cta.items():
-            cta_shared = MemoryImage()
-            for executor in executors:
-                executor.shared_memory = cta_shared
             _run_cta(kernel, cta_id, executors)
             for executor in executors:
                 trace.warps.append(executor.trace)

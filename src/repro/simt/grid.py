@@ -106,4 +106,4 @@ def int_to_mask(bits: int, warp_size: int) -> np.ndarray:
 
 def popcount(bits: int) -> int:
     """Number of set bits in an integer mask."""
-    return bin(bits).count("1")
+    return int(bits).bit_count()

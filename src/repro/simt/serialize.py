@@ -1,12 +1,15 @@
 """Trace serialization: save/load dynamic traces as compressed ``.npz``.
 
 Functional execution is the most expensive stage of the pipeline for
-large launches; persisting :class:`~repro.simt.trace.KernelTrace`
-objects lets analysis runs (figures, architecture sweeps) reuse traces
-across processes.  The format packs the per-event fields into flat
-numpy arrays with offset tables for the ragged ones (source registers,
-destination snapshots, addresses), so a 100k-event trace round-trips in
-milliseconds and compresses well.
+large launches; persisting traces lets analysis runs (figures,
+architecture sweeps) reuse them across processes.  The on-disk layout
+*is* the columnar form (:class:`~repro.simt.trace.ColumnarTrace`): flat
+per-event arrays with offset tables for the ragged fields and one
+``(n_rows, warp_size)`` matrix of destination snapshots.  A cache hit
+therefore needs no per-event reconstruction — :func:`load_columnar`
+hands the arrays straight to the batch classifier; the event form is
+only materialized (:func:`load_trace`) for consumers that walk
+:class:`~repro.simt.trace.TraceEvent` objects.
 """
 
 from __future__ import annotations
@@ -17,92 +20,78 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import TraceError
-from repro.isa.opcodes import Opcode
-from repro.simt.trace import KernelTrace, TraceEvent, WarpTrace
+from repro.simt.trace import (
+    ID_TO_OPCODE,
+    OPCODE_TO_ID,
+    ColumnarTrace,
+    KernelTrace,
+)
 
-#: Stable opcode numbering for the on-disk format (enum order would
-#: silently re-map if opcodes were ever reordered).
-_OPCODE_TO_ID = {opcode: index for index, opcode in enumerate(sorted(Opcode, key=lambda o: o.value))}
-_ID_TO_OPCODE = {index: opcode for opcode, index in _OPCODE_TO_ID.items()}
+#: Backwards-compatible aliases for the stable opcode numbering, which
+#: now lives beside the columnar form in :mod:`repro.simt.trace`.
+_OPCODE_TO_ID = OPCODE_TO_ID
+_ID_TO_OPCODE = ID_TO_OPCODE
 
 #: Bump whenever the archive layout or header schema changes; cached
 #: traces with a different version are re-executed, never re-interpreted.
 #: Version 2 added the embedded content ``fingerprint`` header field.
-_FORMAT_VERSION = 2
+#: Version 3 stores the columnar form directly: warp ids/lengths moved
+#: from the JSON header into proper integer arrays, so the header stays
+#: O(1) regardless of warp count and a load is array-copy only.
+_FORMAT_VERSION = 3
+
+#: Array fields of :class:`ColumnarTrace`, in archive order.
+_ARRAY_FIELDS = (
+    "warp_ids",
+    "warp_lengths",
+    "opcode_ids",
+    "dst",
+    "masks",
+    "blocks",
+    "varying",
+    "scalar_nonreg",
+    "src_offsets",
+    "src_flat",
+    "values_index",
+    "values",
+    "addr_index",
+    "addresses",
+)
+
+
+def save_columnar(
+    columnar: ColumnarTrace, path: str | Path, fingerprint: str | None = None
+) -> None:
+    """Write a columnar trace to ``path`` (``.npz``, compressed).
+
+    ``fingerprint`` (see :mod:`repro.experiments.cachekey`) is stored in
+    the header so :func:`load_columnar` can reject stale caches whose
+    source kernel, scale or warp size has since changed.
+    """
+    header = {
+        "version": _FORMAT_VERSION,
+        "fingerprint": fingerprint,
+        "kernel_name": columnar.kernel_name,
+        "warp_size": columnar.warp_size,
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **{name: getattr(columnar, name) for name in _ARRAY_FIELDS},
+    )
 
 
 def save_trace(
     trace: KernelTrace, path: str | Path, fingerprint: str | None = None
 ) -> None:
-    """Write a trace to ``path`` (``.npz``, compressed).
-
-    ``fingerprint`` (see :mod:`repro.experiments.cachekey`) is stored in
-    the header so :func:`load_trace` can reject stale caches whose
-    source kernel, scale or warp size has since changed.
-    """
-    events = [event for warp in trace.warps for event in warp.events]
-    count = len(events)
-
-    opcode_ids = np.empty(count, dtype=np.uint16)
-    dst = np.empty(count, dtype=np.int32)
-    masks = np.empty(count, dtype=np.uint64)
-    blocks = np.empty(count, dtype=np.int32)
-    varying = np.empty(count, dtype=bool)
-    scalar_nonreg = np.empty(count, dtype=np.uint8)
-
-    src_offsets = np.zeros(count + 1, dtype=np.int64)
-    src_flat: list[int] = []
-    values_index = np.full(count, -1, dtype=np.int64)
-    values_rows: list[np.ndarray] = []
-    addr_index = np.full(count, -1, dtype=np.int64)
-    addr_rows: list[np.ndarray] = []
-
-    for position, event in enumerate(events):
-        opcode_ids[position] = _OPCODE_TO_ID[event.opcode]
-        dst[position] = -1 if event.dst is None else event.dst
-        masks[position] = event.active_mask
-        blocks[position] = event.block_id
-        varying[position] = event.varying_special_src
-        scalar_nonreg[position] = event.scalar_nonreg_srcs
-        src_flat.extend(event.src_regs)
-        src_offsets[position + 1] = len(src_flat)
-        if event.dst_values is not None:
-            values_index[position] = len(values_rows)
-            values_rows.append(event.dst_values)
-        if event.addresses is not None:
-            addr_index[position] = len(addr_rows)
-            addr_rows.append(event.addresses)
-
-    header = {
-        "version": _FORMAT_VERSION,
-        "fingerprint": fingerprint,
-        "kernel_name": trace.kernel_name,
-        "warp_size": trace.warp_size,
-        "warp_ids": [warp.warp_id for warp in trace.warps],
-        "warp_lengths": [len(warp) for warp in trace.warps],
-    }
-    np.savez_compressed(
-        Path(path),
-        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        opcode_ids=opcode_ids,
-        dst=dst,
-        masks=masks,
-        blocks=blocks,
-        varying=varying,
-        scalar_nonreg=scalar_nonreg,
-        src_offsets=src_offsets,
-        src_flat=np.array(src_flat, dtype=np.int32),
-        values_index=values_index,
-        values=np.stack(values_rows) if values_rows else np.empty((0, trace.warp_size), dtype=np.uint32),
-        addr_index=addr_index,
-        addresses=np.stack(addr_rows) if addr_rows else np.empty((0, trace.warp_size), dtype=np.uint32),
-    )
+    """Write an event-form trace to ``path`` (packs to columnar first)."""
+    save_columnar(trace.to_columnar(), path, fingerprint=fingerprint)
 
 
-def load_trace(
+def load_columnar(
     path: str | Path, expected_fingerprint: str | None = None
-) -> KernelTrace:
-    """Read a trace previously written by :func:`save_trace`.
+) -> ColumnarTrace:
+    """Read the columnar trace previously written to ``path``.
 
     Raises :class:`~repro.errors.TraceError` when the file is corrupt,
     written by a different format version, or — with
@@ -112,16 +101,23 @@ def load_trace(
     overwriting; nothing here is fatal to an experiment run.
     """
     try:
-        return _load_trace_strict(Path(path), expected_fingerprint)
+        return _load_columnar_strict(Path(path), expected_fingerprint)
     except TraceError:
         raise
     except Exception as exc:  # zip/json/array damage of any shape
         raise TraceError(f"corrupt or unreadable trace file {path}: {exc}") from exc
 
 
-def _load_trace_strict(
-    path: Path, expected_fingerprint: str | None
+def load_trace(
+    path: str | Path, expected_fingerprint: str | None = None
 ) -> KernelTrace:
+    """Read a trace and materialize the event form."""
+    return load_columnar(path, expected_fingerprint).to_trace()
+
+
+def _load_columnar_strict(
+    path: Path, expected_fingerprint: str | None
+) -> ColumnarTrace:
     with np.load(path) as archive:
         header = json.loads(bytes(archive["header"]).decode())
         if header.get("version") != _FORMAT_VERSION:
@@ -136,42 +132,17 @@ def _load_trace_strict(
                 f"stale trace cache {path}: fingerprint "
                 f"{header.get('fingerprint')!r} != expected {expected_fingerprint!r}"
             )
-        opcode_ids = archive["opcode_ids"]
-        dst = archive["dst"]
-        masks = archive["masks"]
-        blocks = archive["blocks"]
-        varying = archive["varying"]
-        scalar_nonreg = archive["scalar_nonreg"]
-        src_offsets = archive["src_offsets"]
-        src_flat = archive["src_flat"]
-        values_index = archive["values_index"]
-        values = archive["values"]
-        addr_index = archive["addr_index"]
-        addresses = archive["addresses"]
+        arrays = {name: archive[name] for name in _ARRAY_FIELDS}
 
-    trace = KernelTrace(
-        kernel_name=header["kernel_name"], warp_size=header["warp_size"]
+    columnar = ColumnarTrace(
+        kernel_name=header["kernel_name"],
+        warp_size=header["warp_size"],
+        **arrays,
     )
-    position = 0
-    for warp_id, length in zip(header["warp_ids"], header["warp_lengths"]):
-        warp = WarpTrace(warp_id=warp_id, warp_size=trace.warp_size)
-        for _ in range(length):
-            lo, hi = int(src_offsets[position]), int(src_offsets[position + 1])
-            value_row = int(values_index[position])
-            addr_row = int(addr_index[position])
-            warp.append(
-                TraceEvent(
-                    opcode=_ID_TO_OPCODE[int(opcode_ids[position])],
-                    dst=None if dst[position] < 0 else int(dst[position]),
-                    src_regs=tuple(int(r) for r in src_flat[lo:hi]),
-                    active_mask=int(masks[position]),
-                    block_id=int(blocks[position]),
-                    dst_values=values[value_row].copy() if value_row >= 0 else None,
-                    addresses=addresses[addr_row].copy() if addr_row >= 0 else None,
-                    varying_special_src=bool(varying[position]),
-                    scalar_nonreg_srcs=int(scalar_nonreg[position]),
-                )
-            )
-            position += 1
-        trace.warps.append(warp)
-    return trace
+    if int(columnar.warp_lengths.sum()) != columnar.num_events:
+        raise TraceError(
+            f"corrupt trace file {path}: warp lengths sum to "
+            f"{int(columnar.warp_lengths.sum())}, have "
+            f"{columnar.num_events} events"
+        )
+    return columnar

@@ -6,6 +6,21 @@ instructions that write a register — a snapshot of the destination
 register's full contents *after* the write.  That snapshot is what the
 compression / scalar-eligibility machinery consumes, so a trace is
 self-contained: no re-execution is ever needed downstream.
+
+Two equivalent representations exist:
+
+* the *event* form (:class:`KernelTrace` of :class:`WarpTrace` of
+  :class:`TraceEvent`) — one Python object per dynamic instruction,
+  convenient for sequential consumers, and
+* the *columnar* form (:class:`ColumnarTrace`) — a struct-of-arrays
+  layout packing every per-event field into flat numpy arrays with
+  offset tables for the ragged ones, plus one ``(n_rows, warp_size)``
+  uint32 matrix of destination snapshots.  This is what the batch
+  classifier (:mod:`repro.scalar.batch`) and the on-disk format
+  (:mod:`repro.simt.serialize`) operate on.
+
+:meth:`KernelTrace.to_columnar` / :meth:`KernelTrace.from_columnar`
+convert losslessly in both directions.
 """
 
 from __future__ import annotations
@@ -16,6 +31,26 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.isa.opcodes import OpCategory, Opcode, category_of
+
+#: Stable opcode numbering shared by the columnar form and the on-disk
+#: format (enum order would silently re-map if opcodes were reordered).
+OPCODE_TO_ID = {
+    opcode: index
+    for index, opcode in enumerate(sorted(Opcode, key=lambda o: o.value))
+}
+ID_TO_OPCODE = {index: opcode for opcode, index in OPCODE_TO_ID.items()}
+
+
+def opcode_labels() -> dict[int, tuple[str, str]]:
+    """Stored opcode id -> ``(category, opcode)`` telemetry label pair.
+
+    Feeds :func:`repro.obs.instrument.record_columnar_warps`, which
+    must not import simulation packages itself.
+    """
+    return {
+        index: (category_of(opcode).value, opcode.value)
+        for index, opcode in ID_TO_OPCODE.items()
+    }
 
 
 @dataclass(slots=True)
@@ -48,7 +83,7 @@ class TraceEvent:
         return self.active_mask != (1 << warp_size) - 1
 
     def active_lane_count(self) -> int:
-        return bin(self.active_mask).count("1")
+        return int(self.active_mask).bit_count()
 
 
 @dataclass
@@ -107,3 +142,186 @@ class KernelTrace:
             1 for e in self.all_events() if e.is_divergent(self.warp_size)
         )
         return divergent / total
+
+    def to_columnar(self) -> "ColumnarTrace":
+        """Pack this trace into the struct-of-arrays form (lossless)."""
+        return ColumnarTrace.from_trace(self)
+
+    @staticmethod
+    def from_columnar(columnar: "ColumnarTrace") -> "KernelTrace":
+        """Rebuild the event form from a columnar trace (lossless)."""
+        return columnar.to_trace()
+
+
+@dataclass
+class ColumnarTrace:
+    """Struct-of-arrays representation of one kernel trace.
+
+    Events of all warps are concatenated warp-major (warp 0's stream,
+    then warp 1's, ...); ``warp_ids``/``warp_lengths`` delimit the
+    per-warp segments.  Fixed-width per-event fields are flat arrays;
+    the ragged ones use offset/index tables:
+
+    * ``src_offsets``/``src_flat`` — event *i*'s source registers are
+      ``src_flat[src_offsets[i]:src_offsets[i + 1]]``,
+    * ``values_index`` — row of ``values`` holding event *i*'s
+      destination snapshot (``-1`` when the event writes no register),
+    * ``addr_index``/``addresses`` — ditto for per-lane addresses.
+
+    ``values`` is the ``(n_rows, warp_size)`` uint32 matrix the batch
+    classifier's whole-trace array kernels run over; ``dst`` encodes a
+    missing destination as ``-1``.  Opcodes are stored as
+    :data:`OPCODE_TO_ID` codes.
+    """
+
+    kernel_name: str
+    warp_size: int
+    warp_ids: np.ndarray  # (n_warps,) int32
+    warp_lengths: np.ndarray  # (n_warps,) int64
+    opcode_ids: np.ndarray  # (n,) uint16
+    dst: np.ndarray  # (n,) int32, -1 = no destination
+    masks: np.ndarray  # (n,) uint64
+    blocks: np.ndarray  # (n,) int32
+    varying: np.ndarray  # (n,) bool
+    scalar_nonreg: np.ndarray  # (n,) uint8
+    src_offsets: np.ndarray  # (n + 1,) int64
+    src_flat: np.ndarray  # int32
+    values_index: np.ndarray  # (n,) int64, -1 = no snapshot
+    values: np.ndarray  # (n_value_rows, warp_size) uint32
+    addr_index: np.ndarray  # (n,) int64, -1 = no addresses
+    addresses: np.ndarray  # (n_addr_rows, warp_size) uint32
+
+    @property
+    def num_events(self) -> int:
+        return int(self.opcode_ids.shape[0])
+
+    @property
+    def num_warps(self) -> int:
+        return int(self.warp_ids.shape[0])
+
+    @property
+    def total_instructions(self) -> int:
+        return self.num_events
+
+    def warp_slices(self) -> list[tuple[int, slice]]:
+        """``(warp_id, event-range slice)`` per warp, in stored order."""
+        slices: list[tuple[int, slice]] = []
+        position = 0
+        for warp_id, length in zip(
+            self.warp_ids.tolist(), self.warp_lengths.tolist()
+        ):
+            slices.append((warp_id, slice(position, position + length)))
+            position += length
+        return slices
+
+    @classmethod
+    def from_trace(cls, trace: KernelTrace) -> "ColumnarTrace":
+        """Pack an event-form trace (one pass, no event mutation)."""
+        events = [event for warp in trace.warps for event in warp.events]
+        count = len(events)
+
+        opcode_ids = np.empty(count, dtype=np.uint16)
+        dst = np.empty(count, dtype=np.int32)
+        masks = np.empty(count, dtype=np.uint64)
+        blocks = np.empty(count, dtype=np.int32)
+        varying = np.empty(count, dtype=bool)
+        scalar_nonreg = np.empty(count, dtype=np.uint8)
+        src_offsets = np.zeros(count + 1, dtype=np.int64)
+        src_flat: list[int] = []
+        values_index = np.full(count, -1, dtype=np.int64)
+        values_rows: list[np.ndarray] = []
+        addr_index = np.full(count, -1, dtype=np.int64)
+        addr_rows: list[np.ndarray] = []
+
+        for position, event in enumerate(events):
+            opcode_ids[position] = OPCODE_TO_ID[event.opcode]
+            dst[position] = -1 if event.dst is None else event.dst
+            masks[position] = event.active_mask
+            blocks[position] = event.block_id
+            varying[position] = event.varying_special_src
+            scalar_nonreg[position] = event.scalar_nonreg_srcs
+            src_flat.extend(event.src_regs)
+            src_offsets[position + 1] = len(src_flat)
+            if event.dst_values is not None:
+                values_index[position] = len(values_rows)
+                values_rows.append(event.dst_values)
+            if event.addresses is not None:
+                addr_index[position] = len(addr_rows)
+                addr_rows.append(event.addresses)
+
+        empty = np.empty((0, trace.warp_size), dtype=np.uint32)
+        return cls(
+            kernel_name=trace.kernel_name,
+            warp_size=trace.warp_size,
+            warp_ids=np.array(
+                [warp.warp_id for warp in trace.warps], dtype=np.int32
+            ),
+            warp_lengths=np.array(
+                [len(warp) for warp in trace.warps], dtype=np.int64
+            ),
+            opcode_ids=opcode_ids,
+            dst=dst,
+            masks=masks,
+            blocks=blocks,
+            varying=varying,
+            scalar_nonreg=scalar_nonreg,
+            src_offsets=src_offsets,
+            src_flat=np.array(src_flat, dtype=np.int32),
+            values_index=values_index,
+            values=np.stack(values_rows) if values_rows else empty,
+            addr_index=addr_index,
+            addresses=np.stack(addr_rows) if addr_rows else empty,
+        )
+
+    def to_trace(self) -> KernelTrace:
+        """Materialize the event form (each snapshot row copied out)."""
+        if int(self.warp_lengths.sum()) != self.num_events:
+            raise TraceError(
+                f"columnar trace {self.kernel_name!r}: warp lengths sum to "
+                f"{int(self.warp_lengths.sum())}, have "
+                f"{self.num_events} events"
+            )
+        trace = KernelTrace(
+            kernel_name=self.kernel_name, warp_size=self.warp_size
+        )
+        opcode_ids = self.opcode_ids.tolist()
+        dst = self.dst.tolist()
+        masks = self.masks.tolist()
+        blocks = self.blocks.tolist()
+        varying = self.varying.tolist()
+        scalar_nonreg = self.scalar_nonreg.tolist()
+        src_offsets = self.src_offsets.tolist()
+        src_flat = self.src_flat.tolist()
+        values_index = self.values_index.tolist()
+        addr_index = self.addr_index.tolist()
+
+        position = 0
+        for warp_id, length in zip(
+            self.warp_ids.tolist(), self.warp_lengths.tolist()
+        ):
+            warp = WarpTrace(warp_id=warp_id, warp_size=self.warp_size)
+            for _ in range(length):
+                value_row = values_index[position]
+                addr_row = addr_index[position]
+                warp.append(
+                    TraceEvent(
+                        opcode=ID_TO_OPCODE[opcode_ids[position]],
+                        dst=None if dst[position] < 0 else dst[position],
+                        src_regs=tuple(
+                            src_flat[src_offsets[position]:src_offsets[position + 1]]
+                        ),
+                        active_mask=masks[position],
+                        block_id=blocks[position],
+                        dst_values=self.values[value_row].copy()
+                        if value_row >= 0
+                        else None,
+                        addresses=self.addresses[addr_row].copy()
+                        if addr_row >= 0
+                        else None,
+                        varying_special_src=varying[position],
+                        scalar_nonreg_srcs=scalar_nonreg[position],
+                    )
+                )
+                position += 1
+            trace.warps.append(warp)
+        return trace

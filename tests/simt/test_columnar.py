@@ -1,0 +1,188 @@
+"""Tests for the columnar trace form and the v3 on-disk format.
+
+Covers the lossless ``to_columnar``/``from_columnar`` round trip, the
+columnar ``.npz`` archive (version gate, fingerprint gate, corruption),
+and the experiment runner's transparent recovery: a cache entry written
+by an older format version is silently re-executed, never
+re-interpreted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.simt import LaunchConfig, MemoryImage, run_kernel
+from repro.simt.serialize import (
+    _ARRAY_FIELDS,
+    _FORMAT_VERSION,
+    load_columnar,
+    load_trace,
+    save_columnar,
+    save_trace,
+)
+from repro.simt.trace import ColumnarTrace, KernelTrace
+
+from tests.conftest import run_one_warp
+from tests.simt.test_serialize import assert_traces_equal
+
+
+def _multi_warp_trace(kernel, memory=None):
+    memory = memory or MemoryImage()
+    return run_kernel(kernel, LaunchConfig(grid_dim=2, cta_dim=64), memory)
+
+
+class TestColumnarRoundTrip:
+    def test_divergent_multi_warp(self, divergent_kernel):
+        trace = _multi_warp_trace(divergent_kernel)
+        assert_traces_equal(trace, KernelTrace.from_columnar(trace.to_columnar()))
+
+    def test_memory_trace_keeps_addresses(self, saxpy_kernel, simple_memory):
+        trace = run_one_warp(saxpy_kernel, simple_memory)
+        columnar = trace.to_columnar()
+        assert columnar.addresses.shape[1] == trace.warp_size
+        assert np.any(columnar.addr_index >= 0)
+        assert_traces_equal(trace, columnar.to_trace())
+
+    def test_empty_trace(self):
+        trace = KernelTrace(kernel_name="empty", warp_size=32)
+        columnar = trace.to_columnar()
+        assert columnar.num_events == 0
+        assert columnar.values.shape == (0, 32)
+        assert columnar.to_trace().total_instructions == 0
+
+    def test_counts_and_slices(self, loop_kernel):
+        trace = _multi_warp_trace(loop_kernel)
+        columnar = trace.to_columnar()
+        assert columnar.total_instructions == trace.total_instructions
+        assert columnar.num_warps == len(trace.warps)
+        slices = columnar.warp_slices()
+        for (warp_id, segment), warp in zip(slices, trace.warps):
+            assert warp_id == warp.warp_id
+            assert segment.stop - segment.start == len(warp)
+        assert slices[-1][1].stop == columnar.num_events
+
+    def test_inconsistent_lengths_rejected(self, loop_kernel):
+        columnar = run_one_warp(loop_kernel).to_columnar()
+        columnar.warp_lengths = columnar.warp_lengths + 1
+        with pytest.raises(TraceError, match="warp lengths"):
+            columnar.to_trace()
+
+
+def _rewrite_header(path, **overrides):
+    """Rewrite the archive header in place (simulates other versions)."""
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode())
+        arrays = {name: archive[name] for name in _ARRAY_FIELDS}
+    header.update(overrides)
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+
+
+class TestColumnarSerialization:
+    def test_save_load_columnar(self, divergent_kernel, tmp_path):
+        trace = _multi_warp_trace(divergent_kernel)
+        columnar = trace.to_columnar()
+        path = tmp_path / "trace.npz"
+        save_columnar(columnar, path, fingerprint="fp-1")
+        loaded = load_columnar(path, expected_fingerprint="fp-1")
+        assert isinstance(loaded, ColumnarTrace)
+        assert loaded.kernel_name == columnar.kernel_name
+        assert loaded.warp_size == columnar.warp_size
+        for name in _ARRAY_FIELDS:
+            assert np.array_equal(
+                getattr(loaded, name), getattr(columnar, name)
+            ), name
+        assert_traces_equal(trace, loaded.to_trace())
+
+    def test_save_trace_load_trace_symmetry(self, saxpy_kernel, simple_memory, tmp_path):
+        trace = run_one_warp(saxpy_kernel, simple_memory)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        assert_traces_equal(trace, load_trace(path))
+
+    def test_stale_fingerprint_rejected(self, loop_kernel, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(run_one_warp(loop_kernel), path, fingerprint="fp-old")
+        with pytest.raises(TraceError, match="stale trace cache"):
+            load_columnar(path, expected_fingerprint="fp-new")
+        # Without an expectation the fingerprint is not checked.
+        load_columnar(path)
+
+    def test_legacy_version_rejected(self, loop_kernel, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(run_one_warp(loop_kernel), path)
+        _rewrite_header(path, version=_FORMAT_VERSION - 1)
+        with pytest.raises(TraceError, match="unsupported trace format"):
+            load_columnar(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        path.write_bytes(b"not an npz archive at all")
+        with pytest.raises(TraceError, match="corrupt or unreadable"):
+            load_columnar(path)
+
+    def test_truncated_arrays_rejected(self, loop_kernel, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(run_one_warp(loop_kernel), path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in _ARRAY_FIELDS}
+            header = archive["header"]
+        arrays["warp_lengths"] = arrays["warp_lengths"] + 5
+        np.savez_compressed(path, header=header, **arrays)
+        with pytest.raises(TraceError, match="corrupt trace file"):
+            load_columnar(path)
+
+
+class TestRunnerCacheRecovery:
+    def test_stale_format_version_reexecuted(self, tmp_path):
+        """A cache entry from an older format version is transparently
+        re-executed and overwritten, with identical downstream results."""
+        from repro.experiments.runner import ExperimentRunner
+        from repro.scalar.tracker import trace_statistics
+
+        cold = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        baseline_stats = trace_statistics(cold.run("BP").classified)
+        assert cold.stats.counters["trace_executions"] == 1
+
+        cached = list(tmp_path.glob("*.npz"))
+        assert len(cached) == 1
+        _rewrite_header(cached[0], version=_FORMAT_VERSION - 1)
+        for sidecar in tmp_path.glob("*.pkl"):
+            sidecar.unlink()
+
+        recovered = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        stats = trace_statistics(recovered.run("BP").classified)
+        counters = recovered.stats.counters
+        assert counters["trace_cache_invalid"] == 1
+        assert counters["trace_executions"] == 1
+        assert stats == baseline_stats
+
+        # The overwritten entry is a clean v3 file: a third runner hits.
+        warm = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        assert trace_statistics(warm.run("BP").classified) == baseline_stats
+        assert warm.stats.counters["trace_cache_hits"] == 1
+        assert warm.stats.counters.get("trace_executions", 0) == 0
+
+    def test_event_classifier_does_not_reuse_batch_sidecar(self, tmp_path):
+        """The classified sidecar is keyed on the engine name, so a
+        ``--classifier=event`` differential run never replays the batch
+        engine's cached stream (or vice versa)."""
+        from repro.experiments.runner import ExperimentRunner
+        from repro.scalar.tracker import trace_statistics
+
+        batch_runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        batch_stats = trace_statistics(batch_runner.run("BP").classified)
+
+        event_runner = ExperimentRunner(
+            scale="tiny", cache_dir=tmp_path, classifier="event"
+        )
+        event_stats = trace_statistics(event_runner.run("BP").classified)
+        counters = event_runner.stats.counters
+        assert counters["trace_cache_hits"] == 1
+        assert counters.get("classified_cache_hits", 0) == 0
+        assert event_stats == batch_stats
