@@ -34,6 +34,7 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.scalar.arch_batch import ARCH_ENGINE_CHOICES, DEFAULT_ARCH_ENGINE
 from repro.scalar.batch import CLASSIFIER_CHOICES, DEFAULT_CLASSIFIER
 from repro.workloads.registry import SCALES
 
@@ -269,6 +270,14 @@ def _profile_main(argv: list[str]) -> int:
         "'event' (per-event reference path)",
     )
     parser.add_argument(
+        "--arch-engine",
+        choices=ARCH_ENGINE_CHOICES,
+        default=DEFAULT_ARCH_ENGINE,
+        help="architecture interpretation + power engine: 'batch' "
+        "(columnar, default) or 'event' (per-event reference path; "
+        "bit-identical output)",
+    )
+    parser.add_argument(
         "--no-summary",
         action="store_true",
         help="skip the human-readable summary table",
@@ -285,7 +294,11 @@ def _profile_main(argv: list[str]) -> int:
     )
     sink = JsonlSink(args.events_out) if args.events_out is not None else None
     with telemetry_session(Telemetry(sink=sink)) as telemetry:
-        runner = ExperimentRunner(scale=args.scale, classifier=args.classifier)
+        runner = ExperimentRunner(
+            scale=args.scale,
+            classifier=args.classifier,
+            arch_engine=args.arch_engine,
+        )
         with runner.stats.timer("profile", benchmark=bench):
             runner.run(bench)
             for arch in arches:
@@ -378,6 +391,14 @@ def main(argv: list[str] | None = None) -> int:
         help="classification engine: 'batch' (vectorized, default) or "
         "'event' (per-event reference path)",
     )
+    parser.add_argument(
+        "--arch-engine",
+        choices=ARCH_ENGINE_CHOICES,
+        default=DEFAULT_ARCH_ENGINE,
+        help="architecture interpretation + power engine: 'batch' "
+        "(columnar, default) or 'event' (per-event reference path; "
+        "bit-identical output)",
+    )
     args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -425,6 +446,7 @@ def _experiment_main(
             verbose=args.verbose,
             cache_dir=cache_dir,
             classifier=args.classifier,
+            arch_engine=args.arch_engine,
         )
         if needs_runner
         else None

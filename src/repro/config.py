@@ -51,6 +51,14 @@ class GpuConfig:
     #: the most stable cycle counts in this model; greedy-then-oldest
     #: (GTO) is available for scheduler studies.
     scheduler_policy: SchedulerPolicy = SchedulerPolicy.LRR
+    #: Base write-back latencies in cycles after dispatch completes
+    #: (sweepable via experiments/sensitivity.py; the historical
+    #: module-level constants in timing/sm.py are deprecated aliases of
+    #: these defaults).
+    alu_latency: int = 18
+    long_alu_latency: int = 120
+    sfu_latency: int = 22
+    ctrl_latency: int = 10
 
     def __post_init__(self) -> None:
         if self.warp_size % 2 != 0 or self.warp_size < 2:
@@ -64,6 +72,9 @@ class GpuConfig:
                 f"threads_per_sm ({self.threads_per_sm}) must be a multiple of "
                 f"warp_size ({self.warp_size})"
             )
+        for name in ("alu_latency", "long_alu_latency", "sfu_latency", "ctrl_latency"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
 
     @property
     def max_warps_per_sm(self) -> int:

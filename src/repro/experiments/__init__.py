@@ -19,6 +19,7 @@ from repro.experiments.sensitivity import (
     SweepPoint,
     headline_is_robust,
     sweep_energy_parameter,
+    sweep_latency_parameter,
 )
 from repro.experiments.tables import render_table
 
@@ -38,6 +39,7 @@ __all__ = [
     "scorecard",
     "suite",
     "sweep_energy_parameter",
+    "sweep_latency_parameter",
     "table1",
     "table2",
     "table3",

@@ -49,6 +49,7 @@ class MatrixTask:
     params: EnergyParams | None
     telemetry: bool = False
     classifier: str = "batch"
+    arch_engine: str = "batch"
 
 
 def _run_task(task: MatrixTask) -> dict:
@@ -58,6 +59,7 @@ def _run_task(task: MatrixTask) -> dict:
         params=task.params,
         cache_dir=task.cache_dir,
         classifier=task.classifier,
+        arch_engine=task.arch_engine,
     )
     runner.run(task.abbr)
     for warp_size in task.warp_sizes:
@@ -98,6 +100,7 @@ def run_matrix(
     progress: Callable[[str, int, int], None] | None = None,
     telemetry: bool = False,
     classifier: str = "batch",
+    arch_engine: str = "batch",
 ) -> RunnerStats:
     """Execute the benchmark × architecture matrix across processes.
 
@@ -119,6 +122,7 @@ def run_matrix(
             params=params,
             telemetry=telemetry,
             classifier=classifier,
+            arch_engine=arch_engine,
         )
         for abbr in names
     ]

@@ -46,6 +46,11 @@ from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.power.accounting import PowerAccountant
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import PowerReport
+from repro.scalar.arch_batch import (
+    ARCH_ENGINE_CHOICES,
+    DEFAULT_ARCH_ENGINE,
+    process_columns,
+)
 from repro.scalar.architectures import ProcessedEvent, process_classified
 from repro.scalar.batch import (
     CLASSIFIER_CHOICES,
@@ -53,11 +58,12 @@ from repro.scalar.batch import (
     classify_columnar_batch,
     classify_trace_with,
 )
+from repro.scalar.columns import ClassifiedColumns, ProcessedColumns
 from repro.scalar.tracker import ClassifiedEvent
 from repro.simt.executor import run_kernel
 from repro.simt.serialize import load_columnar, save_trace
 from repro.simt.trace import ColumnarTrace, KernelTrace, opcode_labels
-from repro.timing.gpu import simulate_architecture
+from repro.timing.gpu import simulate_architecture, simulate_architecture_columns
 from repro.timing.sm import TimingResult
 from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workload_by_name
 
@@ -66,7 +72,10 @@ from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workl
 #: e.g. when a classifier or timing-model change alters their meaning.
 #: Version 2: the batch classification engine became the default and
 #: the classified-stream fingerprint gained the engine name.
-STAGE_VERSION = 2
+#: Version 4: the columnar architecture/power engine became the default
+#: and the results fingerprint gained the arch-engine name (so the
+#: batch and event engines never replay each other's sidecars).
+STAGE_VERSION = 4
 
 
 def paper_architectures() -> tuple[ArchitectureConfig, ...]:
@@ -204,6 +213,10 @@ class BenchmarkRun:
     #: Content fingerprint of the (kernel, scale, warp-size) combination
     #: that produced ``trace``; stage sidecars derive their keys from it.
     trace_fingerprint: str = ""
+    #: The columnar form of ``trace`` when it came from the .npz cache;
+    #: lets the columnar pipeline reuse its arrays instead of
+    #: re-extracting them from event objects.
+    columnar: ColumnarTrace | None = field(repr=False, default=None)
 
 
 class ExperimentRunner:
@@ -217,6 +230,7 @@ class ExperimentRunner:
         verbose: bool = False,
         cache_dir: str | Path | None = None,
         classifier: str = DEFAULT_CLASSIFIER,
+        arch_engine: str = DEFAULT_ARCH_ENGINE,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
@@ -225,7 +239,13 @@ class ExperimentRunner:
                 f"unknown classifier {classifier!r}; known: "
                 f"{', '.join(CLASSIFIER_CHOICES)}"
             )
+        if arch_engine not in ARCH_ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown arch engine {arch_engine!r}; known: "
+                f"{', '.join(ARCH_ENGINE_CHOICES)}"
+            )
         self.classifier = classifier
+        self.arch_engine = arch_engine
         self.scale = SCALES[scale]
         self.config = config or GpuConfig()
         self.params = params or DEFAULT_ENERGY
@@ -241,6 +261,8 @@ class ExperimentRunner:
         self._runs: dict[str, BenchmarkRun] = {}
         self._warp_traces: dict[tuple[str, int], KernelTrace] = {}
         self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
+        self._classified_columns: dict[str, ClassifiedColumns] = {}
+        self._processed_columns: dict[tuple[str, str], ProcessedColumns] = {}
         self._timing: dict[tuple[str, str], TimingResult] = {}
         self._power: dict[tuple[str, str], PowerReport] = {}
 
@@ -409,6 +431,7 @@ class ExperimentRunner:
             spec = workload_by_name(key)
             built = spec.builder(self.scale)
             trace, fingerprint = self._obtain_trace(key, built, 32)
+            columnar = trace if isinstance(trace, ColumnarTrace) else None
             trace, classified = self._obtain_classified(key, built, fingerprint, trace)
             self._runs[key] = BenchmarkRun(
                 abbr=key,
@@ -416,6 +439,7 @@ class ExperimentRunner:
                 trace=trace,
                 classified=classified,
                 trace_fingerprint=fingerprint,
+                columnar=columnar,
             )
         return self._runs[key]
 
@@ -453,9 +477,35 @@ class ExperimentRunner:
                 )
         return self._processed[key]
 
+    def classified_columns(self, abbr: str) -> ClassifiedColumns:
+        """Columnar classified stream (architecture-independent, shared
+        by every architecture's batch interpretation)."""
+        key = self._normalize(abbr)
+        if key not in self._classified_columns:
+            run = self.run(key)
+            with self.stats.timer("columns", benchmark=key):
+                self._classified_columns[key] = ClassifiedColumns.from_classified(
+                    run.classified, run.trace.warp_size, columnar=run.columnar
+                )
+        return self._classified_columns[key]
+
+    def processed_columns(self, abbr: str, arch: ArchitectureConfig) -> ProcessedColumns:
+        """Per-architecture columnar processed trace for one benchmark."""
+        key = (self._normalize(abbr), arch.name)
+        if key not in self._processed_columns:
+            ccols = self.classified_columns(key[0])
+            with self.stats.timer("process", benchmark=key[0], arch=arch.name):
+                self._processed_columns[key] = process_columns(ccols, arch)
+        return self._processed_columns[key]
+
     def _results_fingerprint(self, run: BenchmarkRun, arch: ArchitectureConfig) -> str:
         return cachekey.stage_fingerprint(
-            run.trace_fingerprint, arch, self.config, self.params, STAGE_VERSION
+            run.trace_fingerprint,
+            arch,
+            self.config,
+            self.params,
+            STAGE_VERSION,
+            engine=self.arch_engine,
         )
 
     def _load_results(self, key: str, arch: ArchitectureConfig) -> bool:
@@ -486,17 +536,31 @@ class ExperimentRunner:
             },
         )
 
+    def warps_per_cta(self, abbr: str) -> int | None:
+        """Warps per CTA of one benchmark's launch (barrier scope)."""
+        run = self.run(self._normalize(abbr))
+        return run.built.launch.warps_per_cta(run.trace.warp_size)
+
     def _compute_timing(self, key: str, arch: ArchitectureConfig) -> None:
         self._log(f"timing {key} on {arch.name}")
         run = self.run(key)
         warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
         with self.stats.timer("timing", benchmark=key, arch=arch.name):
-            self._timing[(key, arch.name)] = simulate_architecture(
-                self.processed(key, arch),
-                arch,
-                self.config,
-                warps_per_cta=warps_per_cta,
-            )
+            if self.arch_engine == "batch":
+                self._timing[(key, arch.name)] = simulate_architecture_columns(
+                    self.classified_columns(key),
+                    self.processed_columns(key, arch),
+                    arch,
+                    self.config,
+                    warps_per_cta=warps_per_cta,
+                )
+            else:
+                self._timing[(key, arch.name)] = simulate_architecture(
+                    self.processed(key, arch),
+                    arch,
+                    self.config,
+                    warps_per_cta=warps_per_cta,
+                )
 
     def timing(self, abbr: str, arch: ArchitectureConfig) -> TimingResult:
         """Cycle-level result for one (benchmark, architecture) pair."""
@@ -512,9 +576,14 @@ class ExperimentRunner:
             timing = self.timing(key, arch)
             accountant = PowerAccountant(arch, self.params, self.config)
             with self.stats.timer("power", benchmark=key, arch=arch.name):
-                self._power[(key, arch.name)] = accountant.account(
-                    self.processed(key, arch), timing
-                )
+                if self.arch_engine == "batch":
+                    self._power[(key, arch.name)] = accountant.account_columns(
+                        self.processed_columns(key, arch), timing
+                    )
+                else:
+                    self._power[(key, arch.name)] = accountant.account(
+                        self.processed(key, arch), timing
+                    )
             self._store_results(key, arch)
         return self._power[(key, arch.name)]
 
@@ -575,6 +644,7 @@ class ExperimentRunner:
                     progress=progress,
                     telemetry=get_telemetry().enabled,
                     classifier=self.classifier,
+                    arch_engine=self.arch_engine,
                 )
                 self.stats.merge(worker_stats)
         return self.stats

@@ -95,6 +95,78 @@ def sweep_energy_parameter(
     return points
 
 
+#: GpuConfig timing latencies that make sense to sweep (integer cycles).
+SWEEPABLE_LATENCIES = (
+    "alu_latency",
+    "long_alu_latency",
+    "sfu_latency",
+    "ctrl_latency",
+)
+
+
+def sweep_latency_parameter(
+    runner,
+    parameter: str,
+    scale_factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    benchmarks: tuple[str, ...] | None = None,
+) -> list[SweepPoint]:
+    """Sweep one GpuConfig write-back latency; headline gain per point.
+
+    Unlike the energy sweeps, a latency change alters cycle counts, so
+    each point re-simulates timing from the runner's cached processed
+    traces (the expensive trace/classify work is still reused).
+    Latencies are integers: each point uses ``max(1, round(base *
+    factor))`` cycles.
+    """
+    import repro.timing.gpu as timing_gpu
+
+    if parameter not in SWEEPABLE_LATENCIES:
+        raise ConfigError(
+            f"{parameter!r} is not a sweepable latency; choose from "
+            f"{', '.join(SWEEPABLE_LATENCIES)}"
+        )
+    names = list(benchmarks) if benchmarks else runner.benchmark_names()
+    baseline_arch = ArchitectureConfig.baseline()
+    alu_arch = ArchitectureConfig.alu_scalar()
+    gscalar_arch = ArchitectureConfig.gscalar()
+    base_value = getattr(runner.config, parameter)
+
+    points = []
+    for factor in scale_factors:
+        if factor <= 0:
+            raise ConfigError(f"scale factors must be positive, got {factor}")
+        value = max(1, round(base_value * factor))
+        config = dataclasses.replace(runner.config, **{parameter: value})
+        gscalar_gain = 0.0
+        alu_gain = 0.0
+        for abbr in names:
+            efficiencies = {}
+            for arch in (baseline_arch, alu_arch, gscalar_arch):
+                processed = runner.processed(abbr, arch)
+                timing = timing_gpu.simulate_architecture(
+                    processed,
+                    arch,
+                    config,
+                    warp_size=config.warp_size,
+                    warps_per_cta=runner.warps_per_cta(abbr),
+                )
+                accountant = PowerAccountant(arch, runner.params, config)
+                report = accountant.account(processed, timing)
+                efficiencies[arch.name] = report.ipc_per_watt
+            gscalar_gain += efficiencies["gscalar"] / efficiencies["baseline"]
+            alu_gain += efficiencies["alu_scalar"] / efficiencies["baseline"]
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                scale_factor=factor,
+                value=float(value),
+                mean_gscalar_gain=gscalar_gain / len(names),
+                mean_alu_scalar_gain=alu_gain / len(names),
+            )
+        )
+    return points
+
+
 def headline_is_robust(
     points: list[SweepPoint], floor: float = 1.0
 ) -> bool:

@@ -162,6 +162,58 @@ def record_rf_accesses(
         )
 
 
+def record_rf_accesses_columns(
+    telemetry: Telemetry,
+    columns: Any,
+    kind_labels: dict[int, str],
+    num_banks: int,
+) -> None:
+    """Roll a whole columnar access table into the registry.
+
+    The array-side counterpart of :func:`record_rf_accesses`: one pass
+    over the flat access table of a
+    ``repro.scalar.columns.ProcessedColumns`` produces the same
+    ``rf_accesses_total{kind}`` / ``sidecar_accesses_total`` /
+    ``regfile_bank_activations_total{bank,op}`` totals as recording
+    every event's accesses individually (the counters are additive).
+    ``kind_labels`` maps stored access-kind ids to their label strings,
+    keeping this module free of simulation-package imports.
+    """
+    import numpy as np
+
+    kind_ids = columns.acc_kind_ids
+    if kind_ids.size == 0:
+        return
+    ids, counts = np.unique(kind_ids, return_counts=True)
+    for kind_id, count in zip(ids.tolist(), counts.tolist()):
+        telemetry.count("rf_accesses", count, kind=kind_labels[kind_id])
+
+    sidecar_touches = int(np.count_nonzero(columns.acc_sidecar))
+    if sidecar_touches:
+        telemetry.count("sidecar_accesses", sidecar_touches)
+
+    # Bank attribution: register r of warp w -> bank (r + w) % num_banks.
+    warp_of_event = np.repeat(
+        np.arange(len(columns.warp_lengths), dtype=np.int64),
+        columns.warp_lengths,
+    )
+    warp_of_access = np.repeat(warp_of_event, np.diff(columns.acc_offsets))
+    banks = (columns.acc_registers.astype(np.int64) + warp_of_access) % num_banks
+    is_read = np.array(
+        ["read" in kind_labels[kind_id] for kind_id in range(len(kind_labels))],
+        dtype=bool,
+    )[kind_ids]
+    packed = banks * 2 + is_read
+    combos, combo_counts = np.unique(packed, return_counts=True)
+    for combo, count in zip(combos.tolist(), combo_counts.tolist()):
+        telemetry.count(
+            "regfile_bank_activations",
+            count,
+            bank=combo // 2,
+            op="read" if combo % 2 else "write",
+        )
+
+
 def record_power_breakdown(
     telemetry: Telemetry, arch_name: str, breakdown: Any
 ) -> None:

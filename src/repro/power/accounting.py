@@ -5,20 +5,61 @@ parameters; :meth:`account` consumes the per-event execution decisions
 (lanes active, register-file access shapes, compressor activity) and
 the timing result (cycles, memory traffic) and emits a
 :class:`~repro.power.report.PowerReport`.
+
+Two accounting engines share one evaluator.  Every energy component is
+linear in integer counts (exec-lane sums per opcode, access counts per
+energy-distinct shape, compressor/decompressor/instruction totals), so
+both :meth:`account` (the per-event reference walk) and
+:meth:`account_columns` (the vectorized columnar walk) first reduce
+their input to the same :class:`_PowerAggregates` and then evaluate it
+with the same float arithmetic in the same (sorted-key) order — two
+engines fed bit-identical processed streams produce bit-identical
+reports by construction.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
+import numpy as np
+
 from repro.config import ArchitectureConfig, GpuConfig
-from repro.isa.opcodes import OpCategory
-from repro.obs.instrument import record_power_breakdown, record_rf_accesses
+from repro.isa.opcodes import OpCategory, category_of
+from repro.obs.instrument import (
+    record_power_breakdown,
+    record_rf_accesses,
+    record_rf_accesses_columns,
+)
 from repro.obs.telemetry import get_telemetry
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import EnergyBreakdown, PowerReport
-from repro.power.rf_energy import RegisterFileEnergyModel
+from repro.power.rf_energy import RegisterFileEnergyModel, TallyKey
+from repro.regfile.access import ID_TO_ACCESS_KIND
 from repro.regfile.layout import BankGeometry
 from repro.scalar.architectures import ProcessedEvent
+from repro.scalar.columns import PARTIAL_WRITE_ID, ProcessedColumns
+from repro.simt.trace import ID_TO_OPCODE, OPCODE_TO_ID
 from repro.timing.sm import TimingResult
+
+
+@dataclass
+class _PowerAggregates:
+    """Integer reduction of one processed stream (engine-independent).
+
+    Everything the dynamic-energy report depends on, as exact integer
+    counts: identical aggregates guarantee identical float output.
+    """
+
+    instructions: int = 0
+    extra_instructions: int = 0
+    extra_exec_lanes: int = 0  # sum of extra_instructions * active lanes
+    compressor_ops: int = 0
+    decompressor_ops: int = 0
+    #: opcode id -> summed exec lanes (key present for every opcode
+    #: that appears in the stream, even at zero lanes).
+    exec_lanes_by_opcode: dict[int, int] = field(default_factory=dict)
+    #: energy-distinct access shape -> count.
+    access_tally: dict[TallyKey, int] = field(default_factory=dict)
 
 
 class PowerAccountant:
@@ -50,13 +91,15 @@ class PowerAccountant:
         processed: list[list[ProcessedEvent]],
         timing: TimingResult,
     ) -> PowerReport:
-        """Produce the power report for one benchmark run."""
-        params = self.params
-        breakdown = EnergyBreakdown()
+        """Produce the power report for one benchmark run (per-event)."""
         telemetry = get_telemetry()
         observe = telemetry.enabled
         num_banks = self.config.register_file_banks
+        rf_model = self._rf_model
 
+        agg = _PowerAggregates()
+        lanes_by_opcode = agg.exec_lanes_by_opcode
+        tally = agg.access_tally
         for warp_index, warp_events in enumerate(processed):
             for item in warp_events:
                 if observe:
@@ -64,37 +107,162 @@ class PowerAccountant:
                         telemetry, item.rf_accesses, warp_index, num_banks
                     )
                 event = item.classified.event
-                category = event.category
-
-                lane_pj = params.exec_lane_pj(event.opcode)
-                exec_pj = item.exec_lanes * lane_pj
-                if category is OpCategory.SFU:
-                    breakdown.exec_sfu_pj += exec_pj
-                elif category is OpCategory.MEM:
-                    breakdown.exec_mem_pj += exec_pj
-                else:
-                    breakdown.exec_alu_pj += exec_pj
-
-                rf_energy = self._rf_model.total_energy(item.rf_accesses)
-                breakdown.rf_pj += rf_energy.rf_pj
-                breakdown.crossbar_pj += rf_energy.crossbar_pj
-
-                breakdown.compression_pj += (
-                    item.compressor_ops * params.compressor_op_pj
-                    + item.decompressor_ops * params.decompressor_op_pj
+                opcode_id = OPCODE_TO_ID[event.opcode]
+                lanes_by_opcode[opcode_id] = (
+                    lanes_by_opcode.get(opcode_id, 0) + item.exec_lanes
                 )
+                for access in item.rf_accesses:
+                    key = rf_model.tally_key(access)
+                    tally[key] = tally.get(key, 0) + 1
+                agg.instructions += 1
+                agg.extra_instructions += item.extra_instructions
+                agg.extra_exec_lanes += (
+                    item.extra_instructions * event.active_lane_count()
+                )
+                agg.compressor_ops += item.compressor_ops
+                agg.decompressor_ops += item.decompressor_ops
 
-                # Front-end energy for the instruction plus any inserted
-                # decompress-move/spill instructions.
-                breakdown.fds_pj += (1 + item.extra_instructions) * (
-                    params.fds_per_instruction_pj
+        return self._report_from_aggregates(agg, timing, telemetry)
+
+    # ------------------------------------------------------------------
+    def account_columns(
+        self,
+        columns: ProcessedColumns,
+        timing: TimingResult,
+    ) -> PowerReport:
+        """Produce the power report from a columnar processed trace.
+
+        Builds the same :class:`_PowerAggregates` as :meth:`account`
+        with array reductions, then shares its evaluator — the output
+        is bit-identical to the per-event engine for the same stream.
+        """
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            record_rf_accesses_columns(
+                telemetry,
+                columns,
+                {k: v.value for k, v in ID_TO_ACCESS_KIND.items()},
+                self.config.register_file_banks,
+            )
+
+        agg = _PowerAggregates()
+        agg.instructions = columns.num_events
+        extra = columns.extra_instructions.astype(np.int64)
+        agg.extra_instructions = int(extra.sum())
+        agg.extra_exec_lanes = int(
+            (extra * columns.active_lanes.astype(np.int64)).sum()
+        )
+        agg.compressor_ops = int(columns.compressor_ops.sum(dtype=np.int64))
+        agg.decompressor_ops = int(columns.decompressor_ops.sum(dtype=np.int64))
+
+        # Exec lanes per opcode: key set = opcodes that appear at all.
+        if columns.num_events:
+            lane_sums = np.zeros(len(ID_TO_OPCODE), dtype=np.int64)
+            np.add.at(lane_sums, columns.opcode_ids, columns.exec_lanes)
+            present = np.unique(columns.opcode_ids)
+            agg.exec_lanes_by_opcode = {
+                int(opcode_id): int(lane_sums[opcode_id])
+                for opcode_id in present
+            }
+
+        # Access tally: pack each row's energy-distinct fields into one
+        # int64 and count distinct packed values.  Partial writes carry
+        # (popcount, arrays-activated) instead of encodings; under the
+        # baseline layout, arrays depend on the full mask, so those are
+        # resolved per distinct mask through the model's memo.
+        kind_ids = columns.acc_kind_ids
+        if kind_ids.size:
+            rf_model = self._rf_model
+            partial = kind_ids == PARTIAL_WRITE_ID
+            enc = np.where(partial, 0, columns.acc_enc).astype(np.int64)
+            enc_lo = np.where(partial, 0, columns.acc_enc_lo).astype(np.int64)
+            enc_hi = np.where(partial, 0, columns.acc_enc_hi).astype(np.int64)
+            half = np.where(partial, False, columns.acc_half)
+            sidecar = columns.acc_sidecar
+
+            popcount = np.zeros(len(kind_ids), dtype=np.int64)
+            arrays = np.zeros(len(kind_ids), dtype=np.int64)
+            partial_idx = np.flatnonzero(partial)
+            if len(partial_idx):
+                partial_masks = columns.acc_masks[partial_idx]
+                distinct_masks, inverse = np.unique(
+                    partial_masks, return_inverse=True
                 )
-                # Inserted moves also execute (full-width register move).
-                breakdown.exec_alu_pj += (
-                    item.extra_instructions
-                    * event.active_lane_count()
-                    * params.alu_lane_pj
+                mask_pop = np.empty(len(distinct_masks), dtype=np.int64)
+                mask_arrays = np.empty(len(distinct_masks), dtype=np.int64)
+                for position, mask in enumerate(distinct_masks.tolist()):
+                    mask_pop[position] = int(mask).bit_count()
+                    mask_arrays[position] = rf_model.partial_arrays(int(mask))
+                popcount[partial_idx] = mask_pop[inverse]
+                arrays[partial_idx] = mask_arrays[inverse]
+
+            packed = (
+                (kind_ids.astype(np.int64) << 26)
+                | (enc << 23)
+                | (enc_lo << 20)
+                | (enc_hi << 17)
+                | (half.astype(np.int64) << 16)
+                | (sidecar.astype(np.int64) << 15)
+                | (popcount << 8)
+                | arrays
+            )
+            distinct, counts = np.unique(packed, return_counts=True)
+            tally = agg.access_tally
+            for value, count in zip(distinct.tolist(), counts.tolist()):
+                key: TallyKey = (
+                    (value >> 26) & 0xF,
+                    (value >> 23) & 0x7,
+                    (value >> 20) & 0x7,
+                    (value >> 17) & 0x7,
+                    bool((value >> 16) & 1),
+                    bool((value >> 15) & 1),
+                    (value >> 8) & 0x7F,
+                    value & 0xFF,
                 )
+                tally[key] = count
+
+        return self._report_from_aggregates(agg, timing, telemetry)
+
+    # ------------------------------------------------------------------
+    def _report_from_aggregates(
+        self,
+        agg: _PowerAggregates,
+        timing: TimingResult,
+        telemetry,
+    ) -> PowerReport:
+        """Shared aggregate -> report evaluation (both engines)."""
+        params = self.params
+        breakdown = EnergyBreakdown()
+
+        for opcode_id in sorted(agg.exec_lanes_by_opcode):
+            opcode = ID_TO_OPCODE[opcode_id]
+            exec_pj = agg.exec_lanes_by_opcode[opcode_id] * params.exec_lane_pj(
+                opcode
+            )
+            category = category_of(opcode)
+            if category is OpCategory.SFU:
+                breakdown.exec_sfu_pj += exec_pj
+            elif category is OpCategory.MEM:
+                breakdown.exec_mem_pj += exec_pj
+            else:
+                breakdown.exec_alu_pj += exec_pj
+
+        rf_energy = self._rf_model.tally_energy(agg.access_tally)
+        breakdown.rf_pj += rf_energy.rf_pj
+        breakdown.crossbar_pj += rf_energy.crossbar_pj
+
+        breakdown.compression_pj += (
+            agg.compressor_ops * params.compressor_op_pj
+            + agg.decompressor_ops * params.decompressor_op_pj
+        )
+
+        # Front-end energy for every instruction plus any inserted
+        # decompress-move/spill instructions.
+        breakdown.fds_pj += (agg.instructions + agg.extra_instructions) * (
+            params.fds_per_instruction_pj
+        )
+        # Inserted moves also execute (full-width register move).
+        breakdown.exec_alu_pj += agg.extra_exec_lanes * params.alu_lane_pj
 
         counts = timing.memory_counts
         breakdown.memory_pj += counts.l1_accesses * params.l1_access_pj
@@ -102,7 +270,7 @@ class PowerAccountant:
         breakdown.memory_pj += counts.dram_accesses * params.dram_access_pj
         breakdown.memory_pj += counts.shared_accesses * params.shared_access_pj
 
-        if observe:
+        if telemetry.enabled:
             record_power_breakdown(telemetry, self.arch.name, breakdown)
 
         static_w = params.sm_static_w + params.uncore_share_static_w

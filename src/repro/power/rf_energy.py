@@ -23,8 +23,21 @@ from dataclasses import dataclass
 from repro.config import ArchitectureConfig
 from repro.errors import ConfigError
 from repro.power.energy import EnergyParams
-from repro.regfile.access import AccessKind, RegisterAccess
+from repro.regfile.access import (
+    ACCESS_KIND_TO_ID,
+    ID_TO_ACCESS_KIND,
+    AccessKind,
+    RegisterAccess,
+)
 from repro.regfile.layout import BankGeometry, BaselineLayout, ByteRotatedLayout
+
+#: Tally keys: every field access energy depends on, with the
+#: mask-dependent PARTIAL_WRITE reduced to (popcount, arrays-activated).
+#: ``(kind_id, enc, enc_lo, enc_hi, half_compressed, sidecar, popcount,
+#: arrays)`` — the last two are zero except for partial writes.
+TallyKey = tuple[int, int, int, int, bool, bool, int, int]
+
+_PARTIAL_WRITE_ID = ACCESS_KIND_TO_ID[AccessKind.PARTIAL_WRITE]
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,7 @@ class RegisterFileEnergyModel:
         self.geometry = geometry or BankGeometry()
         self._rotated = ByteRotatedLayout(self.geometry)
         self._baseline = BaselineLayout(self.geometry)
+        self._partial_arrays_memo: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _arrays_for_compressed(self, access: RegisterAccess) -> int:
@@ -132,4 +146,93 @@ class RegisterFileEnergyModel:
             energy = self.energy_of(access)
             rf += energy.rf_pj
             crossbar += energy.crossbar_pj
+        return AccessEnergy(rf_pj=rf, crossbar_pj=crossbar)
+
+    # ------------------------------------------------------------------
+    # Tally evaluation: the aggregated form of energy_of used by both
+    # power-accounting engines.  Energy is a pure function of the tally
+    # key, so a whole access stream reduces to key -> count and one
+    # energy evaluation per distinct key.  Both engines route their
+    # totals through tally_energy so the summation order (sorted keys)
+    # is shared — bit-identical reports by construction.
+    # ------------------------------------------------------------------
+    def partial_arrays(self, active_mask: int) -> int:
+        """Arrays activated by a divergent partial write of this mask."""
+        if self.arch.register_compression:
+            return self._rotated.arrays_for_divergent_write()
+        memo = self._partial_arrays_memo
+        arrays = memo.get(active_mask)
+        if arrays is None:
+            arrays = self._baseline.arrays_for_partial_write(active_mask)
+            memo[active_mask] = arrays
+        return arrays
+
+    def tally_key(self, access: RegisterAccess) -> TallyKey:
+        """Reduce one access to the fields its energy depends on."""
+        kind_id = ACCESS_KIND_TO_ID[access.kind]
+        if kind_id == _PARTIAL_WRITE_ID:
+            mask = int(access.active_mask)
+            return (
+                kind_id,
+                0,
+                0,
+                0,
+                False,
+                bool(access.sidecar),
+                mask.bit_count(),
+                self.partial_arrays(mask),
+            )
+        return (
+            kind_id,
+            int(access.enc),
+            int(access.enc_lo),
+            int(access.enc_hi),
+            bool(access.half_compressed),
+            bool(access.sidecar),
+            0,
+            0,
+        )
+
+    def energy_of_key(self, key: TallyKey) -> AccessEnergy:
+        """Energy of one access identified by its tally key."""
+        kind_id, enc, enc_lo, enc_hi, half, sidecar, popcount, arrays = key
+        if kind_id == _PARTIAL_WRITE_ID:
+            params = self.params
+            # Mirrors the PARTIAL_WRITE branch of energy_of exactly,
+            # with the mask pre-reduced to (popcount, arrays).
+            if self.arch.register_compression:
+                rf = float(arrays) * params.rf_array_pj
+                if sidecar:
+                    rf += params.sidecar_pj
+            else:
+                rf = arrays * params.rf_array_pj
+            return AccessEnergy(
+                rf_pj=rf,
+                crossbar_pj=params.crossbar_per_byte_pj * (popcount * 4),
+            )
+        return self.energy_of(
+            RegisterAccess(
+                kind=ID_TO_ACCESS_KIND[kind_id],
+                register=0,
+                enc=enc,
+                enc_lo=enc_lo,
+                enc_hi=enc_hi,
+                half_compressed=half,
+                sidecar=sidecar,
+            )
+        )
+
+    def tally_energy(self, tally: dict[TallyKey, int]) -> AccessEnergy:
+        """Total energy of a key -> count access tally.
+
+        Keys are evaluated in sorted order so any two engines producing
+        the same tally get the same floating-point sum.
+        """
+        rf = 0.0
+        crossbar = 0.0
+        for key in sorted(tally):
+            energy = self.energy_of_key(key)
+            count = tally[key]
+            rf += count * energy.rf_pj
+            crossbar += count * energy.crossbar_pj
         return AccessEnergy(rf_pj=rf, crossbar_pj=crossbar)

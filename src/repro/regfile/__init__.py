@@ -1,6 +1,12 @@
 """The banked register file: layouts, structural bank, crossbar, scalar RF."""
 
-from repro.regfile.access import AccessKind, RegisterAccess
+from repro.regfile.access import (
+    ACCESS_KIND_TO_ID,
+    ID_TO_ACCESS_KIND,
+    WRITE_KIND_IDS,
+    AccessKind,
+    RegisterAccess,
+)
 from repro.regfile.bank import AccessRecord, RegisterBank
 from repro.regfile.crossbar import (
     CrossbarTraffic,
@@ -17,6 +23,8 @@ from repro.regfile.registerfile import RegisterFile, RegisterLocation
 from repro.regfile.scalar_rf import SCALAR_RF_ENERGY_FRACTION, ScalarRegisterFile
 
 __all__ = [
+    "ACCESS_KIND_TO_ID",
+    "ID_TO_ACCESS_KIND",
     "SCALAR_RF_ENERGY_FRACTION",
     "SIDECAR_ENERGY_FRACTION",
     "AccessKind",
@@ -30,6 +38,7 @@ __all__ = [
     "RegisterBank",
     "RegisterLocation",
     "ScalarRegisterFile",
+    "WRITE_KIND_IDS",
     "scalar_read_traffic",
     "traffic_for_access",
 ]

@@ -26,6 +26,30 @@ class AccessKind(enum.Enum):
     SCALAR_RF_WRITE = "scalar_rf_write"
 
 
+#: Stable integer coding of :class:`AccessKind` shared by the columnar
+#: processed form (:class:`repro.scalar.columns.ProcessedColumns`) and
+#: the vectorized energy model.  Keyed by the value string so reordering
+#: the enum members can never silently re-map stored ids.
+ACCESS_KIND_TO_ID = {
+    kind: index
+    for index, kind in enumerate(sorted(AccessKind, key=lambda k: k.value))
+}
+ID_TO_ACCESS_KIND = {index: kind for kind, index in ACCESS_KIND_TO_ID.items()}
+
+#: Kinds that write their register (integer-id domain of
+#: :attr:`RegisterAccess.is_write`, as a frozenset of ids).
+WRITE_KIND_IDS = frozenset(
+    ACCESS_KIND_TO_ID[kind]
+    for kind in (
+        AccessKind.FULL_WRITE,
+        AccessKind.COMPRESSED_WRITE,
+        AccessKind.SCALAR_WRITE,
+        AccessKind.PARTIAL_WRITE,
+        AccessKind.SCALAR_RF_WRITE,
+    )
+)
+
+
 @dataclass(frozen=True)
 class RegisterAccess:
     """One access: its shape plus everything energy depends on.

@@ -8,12 +8,23 @@ from repro.scalar.architectures import (
     process_trace,
     processed_statistics,
 )
+from repro.scalar.arch_batch import (
+    ARCH_ENGINE_CHOICES,
+    DEFAULT_ARCH_ENGINE,
+    process_columns,
+)
 from repro.scalar.batch import (
     CLASSIFIER_CHOICES,
     DEFAULT_CLASSIFIER,
     classify_columnar_batch,
     classify_trace_batch,
     classify_trace_with,
+)
+from repro.scalar.columns import (
+    ClassifiedColumns,
+    ProcessedColumns,
+    processed_columns_diff,
+    processed_columns_equal,
 )
 from repro.scalar.compiler import (
     MoveElisionAnalysis,
@@ -37,12 +48,16 @@ from repro.scalar.tracker import (
 )
 
 __all__ = [
+    "ARCH_ENGINE_CHOICES",
     "CLASSIFIER_CHOICES",
+    "DEFAULT_ARCH_ENGINE",
     "DEFAULT_CLASSIFIER",
     "HALF_GRANULARITY",
     "ArchitectureView",
+    "ClassifiedColumns",
     "ClassifiedEvent",
     "MoveElisionAnalysis",
+    "ProcessedColumns",
     "ProcessedEvent",
     "ProcessedStatistics",
     "RegisterStateTracker",
@@ -59,7 +74,10 @@ __all__ = [
     "classify_trace_with",
     "classify_warp",
     "process_classified",
+    "process_columns",
     "process_trace",
+    "processed_columns_diff",
+    "processed_columns_equal",
     "processed_statistics",
     "trace_statistics",
 ]

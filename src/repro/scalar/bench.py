@@ -1,22 +1,37 @@
-"""Classification-engine microbenchmark: batch vs per-event.
+"""Pipeline microbenchmarks: batch vs per-event engines.
 
-Executes each requested benchmark once (the trace is reused across
-timed repetitions), then times the classification stage under both
-engines — :func:`repro.scalar.tracker.classify_trace` (the per-event
-reference path) and :func:`repro.scalar.batch.classify_trace_batch`
-(the vectorized engine) — and reports median seconds plus the speedup
-ratio.  Before timing, the two engines' outputs are checked for
-equality on every benchmark, so a reported speedup can never come from
-a divergent result.
+Two benchmark modes, both differential (the engines' outputs are
+checked for equality before any timing, so a reported speedup can
+never come from a divergent result) and both warmed up before timing
+(every timed function runs ``--warmup`` untimed iterations first, so a
+cold numpy/allocator path or CI jitter cannot fail a threshold
+spuriously):
 
-Prints a JSON object (also written to ``--json`` when given; the
-committed ``BENCH_classify.json`` at the repo root is this output) and
-exits non-zero when any benchmark's speedup falls below
-``--min-speedup`` — which makes the command directly usable as the CI
-perf-smoke gate.  Usage::
+* **classify** (default): times the classification stage alone —
+  :func:`repro.scalar.tracker.classify_trace` (per-event reference)
+  vs :func:`repro.scalar.batch.classify_trace_batch` (vectorized).
+  The committed ``BENCH_classify.json`` is this output.
+* **--pipeline**: times the whole classify → interpret → lower →
+  account spine over all four paper architectures — per-event
+  (``classify_trace`` + ``process_classified`` + ``build_timing_ops``
+  + ``PowerAccountant.account``) vs columnar (``classify_columnar_
+  batch`` + ``ClassifiedColumns`` + ``process_columns`` +
+  ``build_timing_ops_columns`` + ``account_columns``).  The SM cycle
+  simulator is excluded from the timed region: it consumes lowered
+  timing ops and is identical under both engines, so per-architecture
+  :class:`~repro.timing.sm.TimingResult` objects are precomputed once
+  and fed to the accounting stage.  The committed
+  ``BENCH_pipeline.json`` is this output.
+
+Prints a JSON object (also written to ``--json`` when given) and exits
+non-zero when any benchmark's speedup falls below ``--min-speedup`` —
+which makes the command directly usable as the CI perf-smoke gate.
+Usage::
 
     PYTHONPATH=src python -m repro.scalar.bench BP LC --scale default \
         --min-speedup 2.0 --json BENCH_classify.json
+    PYTHONPATH=src python -m repro.scalar.bench BP LC --pipeline \
+        --min-speedup 3.0 --json BENCH_pipeline.json
 """
 
 from __future__ import annotations
@@ -28,16 +43,37 @@ import sys
 import time
 from typing import Callable
 
-from repro.scalar.batch import classify_trace_batch
+from repro.config import GpuConfig
+from repro.experiments.runner import paper_architectures
+from repro.power.accounting import PowerAccountant
+from repro.scalar.arch_batch import process_columns
+from repro.scalar.architectures import process_classified
+from repro.scalar.batch import classify_columnar_batch, classify_trace_batch
+from repro.scalar.columns import (
+    ClassifiedColumns,
+    ProcessedColumns,
+    processed_columns_equal,
+)
 from repro.scalar.tracker import classify_trace, trace_statistics
 from repro.simt.executor import run_kernel
 from repro.simt.trace import KernelTrace
+from repro.timing.gpu import (
+    lower_to_timing_ops,
+    lower_to_timing_ops_columns,
+    simulate_architecture,
+)
 from repro.workloads.registry import SCALES, build_workload
 
 DEFAULT_BENCHMARKS = ("BP", "LC")
+DEFAULT_WARMUP = 1
 
 
-def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+def _median_seconds(
+    fn: Callable[[], object], repeats: int, warmup: int = DEFAULT_WARMUP
+) -> float:
+    """Median timed seconds after ``warmup`` untimed iterations."""
+    for _ in range(warmup):
+        fn()
     timings = []
     for _ in range(repeats):
         started = time.perf_counter()
@@ -46,7 +82,9 @@ def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
     return statistics.median(timings)
 
 
-def measure(benchmark: str, scale: str, repeats: int) -> dict:
+def measure(
+    benchmark: str, scale: str, repeats: int, warmup: int = DEFAULT_WARMUP
+) -> dict:
     """Median classify seconds per engine for one benchmark."""
     built = build_workload(benchmark, scale)
     trace: KernelTrace = run_kernel(built.kernel, built.launch, built.memory)
@@ -63,16 +101,109 @@ def measure(benchmark: str, scale: str, repeats: int) -> dict:
         )
 
     event_seconds = _median_seconds(
-        lambda: classify_trace(trace, num_registers), repeats
+        lambda: classify_trace(trace, num_registers), repeats, warmup
     )
     batch_seconds = _median_seconds(
-        lambda: classify_trace_batch(trace, num_registers), repeats
+        lambda: classify_trace_batch(trace, num_registers), repeats, warmup
     )
     return {
         "benchmark": benchmark,
         "scale": scale,
         "repeats": repeats,
+        "warmup": warmup,
         "events": trace.total_instructions,
+        "event_seconds": round(event_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "speedup": round(event_seconds / batch_seconds, 3),
+    }
+
+
+def measure_pipeline(
+    benchmark: str, scale: str, repeats: int, warmup: int = DEFAULT_WARMUP
+) -> dict:
+    """Median classify→power pipeline seconds per engine.
+
+    Times the full architecture-evaluation spine (classification,
+    per-architecture interpretation, timing-op lowering and power
+    accounting over all four paper architectures).  The SM cycle
+    simulation is engine-independent — it consumes the lowered timing
+    ops, which the equivalence gate pins equal — so each
+    architecture's TimingResult is computed once outside the timed
+    region and shared by both engines' accounting stages.
+    """
+    built = build_workload(benchmark, scale)
+    trace: KernelTrace = run_kernel(built.kernel, built.launch, built.memory)
+    columnar = trace.to_columnar()
+    num_registers = built.kernel.num_registers
+    config = GpuConfig()
+    arches = paper_architectures()
+    warp_size = trace.warp_size
+    warps_per_cta = built.launch.warps_per_cta(warp_size)
+
+    # Untimed: per-architecture timing results (SM sim excluded from the
+    # timed region) and the differential equivalence gate.
+    classified = classify_trace(trace, num_registers)
+    _, batch_classified = classify_columnar_batch(columnar, num_registers)
+    ccols = ClassifiedColumns.from_classified(
+        batch_classified, warp_size, columnar=columnar
+    )
+    timings = {}
+    for arch in arches:
+        processed = process_classified(classified, arch, warp_size)
+        pcols = process_columns(ccols, arch)
+        if not processed_columns_equal(
+            ProcessedColumns.from_events(processed, warp_size), pcols
+        ):
+            raise AssertionError(
+                f"{benchmark}/{arch.name}: engines disagree on processed columns"
+            )
+        event_ops = lower_to_timing_ops(processed, arch, config, warp_size)
+        if event_ops != lower_to_timing_ops_columns(ccols, pcols, arch, config):
+            raise AssertionError(
+                f"{benchmark}/{arch.name}: engines disagree on timing ops"
+            )
+        timings[arch.name] = simulate_architecture(
+            processed, arch, config, warp_size, warps_per_cta=warps_per_cta
+        )
+        accountant = PowerAccountant(arch, config=config)
+        event_report = accountant.account(processed, timings[arch.name])
+        batch_report = accountant.account_columns(pcols, timings[arch.name])
+        if event_report != batch_report:
+            raise AssertionError(
+                f"{benchmark}/{arch.name}: engines disagree on the power report"
+            )
+
+    def event_pipeline() -> None:
+        run_classified = classify_trace(trace, num_registers)
+        for arch in arches:
+            processed = process_classified(run_classified, arch, warp_size)
+            lower_to_timing_ops(processed, arch, config, warp_size)
+            PowerAccountant(arch, config=config).account(
+                processed, timings[arch.name]
+            )
+
+    def batch_pipeline() -> None:
+        _, run_classified = classify_columnar_batch(columnar, num_registers)
+        run_ccols = ClassifiedColumns.from_classified(
+            run_classified, warp_size, columnar=columnar
+        )
+        for arch in arches:
+            pcols = process_columns(run_ccols, arch)
+            lower_to_timing_ops_columns(run_ccols, pcols, arch, config)
+            PowerAccountant(arch, config=config).account_columns(
+                pcols, timings[arch.name]
+            )
+
+    event_seconds = _median_seconds(event_pipeline, repeats, warmup)
+    batch_seconds = _median_seconds(batch_pipeline, repeats, warmup)
+    return {
+        "benchmark": benchmark,
+        "scale": scale,
+        "repeats": repeats,
+        "warmup": warmup,
+        "events": trace.total_instructions,
+        "architectures": [arch.name for arch in arches],
+        "sm_simulation_excluded": True,
         "event_seconds": round(event_seconds, 6),
         "batch_seconds": round(batch_seconds, 6),
         "speedup": round(event_seconds / batch_seconds, 3),
@@ -82,7 +213,7 @@ def measure(benchmark: str, scale: str, repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.scalar.bench",
-        description="Benchmark batch vs per-event classification.",
+        description="Benchmark batch vs per-event pipeline engines.",
     )
     parser.add_argument(
         "benchmarks",
@@ -105,6 +236,21 @@ def main(argv: list[str] | None = None) -> int:
         help="timed repetitions per engine; medians are reported (default: 5)",
     )
     parser.add_argument(
+        "--warmup",
+        type=int,
+        default=DEFAULT_WARMUP,
+        metavar="N",
+        help="untimed warmup iterations per engine before timing "
+        f"(default: {DEFAULT_WARMUP})",
+    )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="benchmark the full classify->interpret->lower->account "
+        "pipeline over the four paper architectures instead of "
+        "classification alone (SM cycle simulation excluded)",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -120,11 +266,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     benchmarks = [name.strip().upper() for name in args.benchmarks]
 
-    results = [measure(name, args.scale, args.repeats) for name in benchmarks]
+    measurer = measure_pipeline if args.pipeline else measure
+    results = [
+        measurer(name, args.scale, args.repeats, args.warmup)
+        for name in benchmarks
+    ]
     worst = min(result["speedup"] for result in results)
     report = {
+        "mode": "pipeline" if args.pipeline else "classify",
         "scale": args.scale,
         "repeats": args.repeats,
+        "warmup": args.warmup,
         "min_speedup_required": args.min_speedup,
         "worst_speedup": worst,
         "results": results,

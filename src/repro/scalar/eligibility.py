@@ -43,6 +43,16 @@ class ScalarClass(enum.Enum):
         )
 
 
+#: Stable integer coding of :class:`ScalarClass` used by the columnar
+#: pipeline (:mod:`repro.scalar.columns`).  Keyed by the value string so
+#: enum-member reordering can never silently re-map stored ids.
+SCALAR_CLASS_TO_ID = {
+    cls: index
+    for index, cls in enumerate(sorted(ScalarClass, key=lambda c: c.value))
+}
+ID_TO_SCALAR_CLASS = {index: cls for cls, index in SCALAR_CLASS_TO_ID.items()}
+
+
 @dataclass(frozen=True, slots=True)
 class SourceRead:
     """State of one source register at the moment it was read.

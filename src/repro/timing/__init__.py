@@ -1,13 +1,24 @@
 """Cycle-level SM timing model."""
 
-from repro.timing.gpu import lower_to_timing_ops, simulate_architecture
+from repro.timing.gpu import (
+    lower_to_timing_ops,
+    lower_to_timing_ops_columns,
+    simulate_architecture,
+    simulate_architecture_columns,
+)
 from repro.timing.multisim import GpuTimingResult, simulate_gpu
 from repro.timing.memory import (
     MemoryAccessCounts,
     MemoryModel,
     SetAssociativeCache,
 )
-from repro.timing.ops import SCALAR_RF_BANK, TimingOp, build_timing_ops, coalesce_addresses
+from repro.timing.ops import (
+    SCALAR_RF_BANK,
+    TimingOp,
+    build_timing_ops,
+    build_timing_ops_columns,
+    coalesce_addresses,
+)
 from repro.timing.scheduler import WarpScheduler, partition_warps
 from repro.timing.scoreboard import Scoreboard
 from repro.timing.sm import (
@@ -37,9 +48,12 @@ __all__ = [
     "TimingResult",
     "WarpScheduler",
     "build_timing_ops",
+    "build_timing_ops_columns",
     "coalesce_addresses",
     "lower_to_timing_ops",
+    "lower_to_timing_ops_columns",
     "partition_warps",
     "simulate_architecture",
+    "simulate_architecture_columns",
     "simulate_gpu",
 ]

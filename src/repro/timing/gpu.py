@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.scalar.architectures import ProcessedEvent
-from repro.timing.ops import TimingOp, build_timing_ops
+from repro.timing.ops import TimingOp, build_timing_ops, build_timing_ops_columns
 from repro.timing.sm import SmSimulator, TimingResult
 
 
@@ -42,6 +42,40 @@ def simulate_architecture(
     """
     config = config or GpuConfig()
     warp_ops = lower_to_timing_ops(processed, arch, config, warp_size)
+    simulator = SmSimulator(
+        warp_ops,
+        config,
+        extra_latency=arch.extra_pipeline_cycles,
+        warps_per_cta=warps_per_cta,
+    )
+    return simulator.run()
+
+
+def lower_to_timing_ops_columns(
+    ccols,
+    pcols,
+    arch: ArchitectureConfig,
+    config: GpuConfig,
+) -> list[list[TimingOp]]:
+    """Lower a columnar classified/processed pair to timing ops."""
+    return build_timing_ops_columns(ccols, pcols, arch, config)
+
+
+def simulate_architecture_columns(
+    ccols,
+    pcols,
+    arch: ArchitectureConfig,
+    config: GpuConfig | None = None,
+    warps_per_cta: int | None = None,
+) -> TimingResult:
+    """Columnar counterpart of :func:`simulate_architecture`.
+
+    The SM model itself is representation-independent; only the
+    lowering differs.  Produces the same :class:`TimingResult` as the
+    event path for the same stream.
+    """
+    config = config or GpuConfig()
+    warp_ops = build_timing_ops_columns(ccols, pcols, arch, config)
     simulator = SmSimulator(
         warp_ops,
         config,

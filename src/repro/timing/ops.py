@@ -178,3 +178,170 @@ def build_timing_ops(
             )
         )
     return ops
+
+
+# ----------------------------------------------------------------------
+# Columnar lowering.
+# ----------------------------------------------------------------------
+def _opcode_luts() -> tuple[list, np.ndarray, np.ndarray, np.ndarray]:
+    """(category objects, long-latency, store, shared-mem) per opcode id."""
+    from repro.isa.opcodes import category_of
+    from repro.simt.trace import ID_TO_OPCODE
+
+    size = len(ID_TO_OPCODE)
+    categories = [None] * size
+    long_lat = np.zeros(size, dtype=bool)
+    stores = np.zeros(size, dtype=bool)
+    shared = np.zeros(size, dtype=bool)
+    for opcode_id, opcode in ID_TO_OPCODE.items():
+        categories[opcode_id] = category_of(opcode)
+        long_lat[opcode_id] = opcode in LONG_LATENCY_ALU
+        stores[opcode_id] = is_store(opcode)
+        shared[opcode_id] = opcode.value.endswith(".shared")
+    return categories, long_lat, stores, shared
+
+
+def build_timing_ops_columns(ccols, pcols, arch, config):
+    """Lower a columnar processed trace to per-warp timing-op lists.
+
+    The columnar counterpart of :func:`build_timing_ops` over a
+    (:class:`~repro.scalar.columns.ClassifiedColumns`,
+    :class:`~repro.scalar.columns.ProcessedColumns`) pair: dispatch
+    cycles, source-operand extraction and all opcode-derived properties
+    are computed as whole-trace array operations; only the final
+    :class:`TimingOp` construction remains a loop.  Produces op streams
+    equal to the event path's (the differential suite pins this).
+    """
+    from repro.scalar.columns import (
+        BAR_OPCODE_ID,
+        CTRL_CODE,
+        MEM_CODE,
+        SCALAR_RF_READ_ID,
+        SFU_CODE,
+        WRITE_KIND_IDS,
+    )
+
+    categories, long_lut, store_lut, shared_lut = _opcode_luts()
+    opcode_ids = pcols.opcode_ids
+    category_codes = pcols.category_codes
+    count = pcols.num_events
+
+    # Dispatch cycles (vector form of _dispatch_cycles: ctrl beats
+    # fast-dispatch beats pipeline width).
+    is_ctrl = category_codes == CTRL_CODE
+    dispatch = np.where(
+        is_ctrl,
+        1,
+        np.where(
+            category_codes == SFU_CODE,
+            config.sfu_dispatch_cycles,
+            config.alu_dispatch_cycles,
+        ),
+    ).astype(np.int64)
+    if arch.scalar_fast_dispatch:
+        fast = pcols.scalar_executed | (pcols.lo_half_scalar & pcols.hi_half_scalar)
+        dispatch[~is_ctrl & fast] = 1
+
+    # Read-operand extraction from the flat access table.
+    num_kinds = int(max(WRITE_KIND_IDS | {SCALAR_RF_READ_ID})) + 2
+    write_kind = np.zeros(num_kinds, dtype=bool)
+    for kind_id in WRITE_KIND_IDS:
+        write_kind[kind_id] = True
+    is_read_row = ~write_kind[pcols.acc_kind_ids]
+    read_running = np.zeros(pcols.num_accesses + 1, dtype=np.int64)
+    np.cumsum(is_read_row, out=read_running[1:])
+    read_offsets = read_running[pcols.acc_offsets]
+    read_regs = pcols.acc_registers[is_read_row].tolist()
+    read_banks = np.where(
+        pcols.acc_kind_ids[is_read_row] == SCALAR_RF_READ_ID,
+        SCALAR_RF_BANK,
+        pcols.acc_registers[is_read_row] % config.register_file_banks,
+    ).tolist()
+
+    dst_list = ccols.dst.tolist()
+    extra_list = pcols.extra_instructions.tolist()
+    dispatch_list = dispatch.tolist()
+    scalar_list = pcols.scalar_executed.tolist()
+    is_mem = (category_codes == MEM_CODE).tolist()
+    is_bar = (opcode_ids == BAR_OPCODE_ID).tolist()
+    addr_index = ccols.addr_index.tolist()
+    masks = ccols.masks
+    addresses = ccols.addresses
+    warp_size = ccols.warp_size
+    read_offset_list = read_offsets.tolist()
+    alu_dispatch = config.alu_dispatch_cycles
+    banks = config.register_file_banks
+
+    bounds = ccols.warp_bounds().tolist()
+    warps: list[list[TimingOp]] = []
+    for warp in range(len(bounds) - 1):
+        ops: list[TimingOp] = []
+        for index in range(bounds[warp], bounds[warp + 1]):
+            opcode_id = opcode_ids[index]
+            destination = dst_list[index]
+            dst = None if destination < 0 else destination
+
+            for _ in range(extra_list[index]):
+                move_regs = (destination,) if dst is not None else ()
+                ops.append(
+                    TimingOp(
+                        category=OpCategory.ALU,
+                        dst=dst,
+                        src_regs=move_regs,
+                        src_banks=tuple(r % banks for r in move_regs),
+                        dispatch_cycles=alu_dispatch,
+                        long_latency=False,
+                        is_store=False,
+                        inserted=True,
+                    )
+                )
+
+            if is_bar[index]:
+                ops.append(
+                    TimingOp(
+                        category=OpCategory.CTRL,
+                        dst=None,
+                        src_regs=(),
+                        src_banks=(),
+                        dispatch_cycles=1,
+                        long_latency=False,
+                        is_store=False,
+                        is_barrier=True,
+                    )
+                )
+                continue
+
+            lo = read_offset_list[index]
+            hi = read_offset_list[index + 1]
+
+            segments: tuple[int, ...] = ()
+            shared = False
+            if is_mem[index] and addr_index[index] >= 0:
+                row = addresses[addr_index[index]]
+                shared = bool(shared_lut[opcode_id])
+                if scalar_list[index]:
+                    segments = (int(row[0]) // 128,)
+                else:
+                    segments = coalesce_addresses(
+                        row, int(masks[index]), warp_size
+                    )
+
+            cycles = dispatch_list[index]
+            if is_mem[index] and not shared:
+                cycles = max(cycles, len(segments))
+
+            ops.append(
+                TimingOp(
+                    category=categories[opcode_id],
+                    dst=dst,
+                    src_regs=tuple(read_regs[lo:hi]),
+                    src_banks=tuple(read_banks[lo:hi]),
+                    dispatch_cycles=cycles,
+                    long_latency=bool(long_lut[opcode_id]),
+                    is_store=bool(store_lut[opcode_id]),
+                    mem_segments=segments,
+                    is_shared_mem=shared,
+                )
+            )
+        warps.append(ops)
+    return warps

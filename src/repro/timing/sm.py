@@ -26,11 +26,13 @@ from repro.timing.ops import SCALAR_RF_BANK, TimingOp
 from repro.timing.scheduler import partition_warps
 from repro.timing.scoreboard import Scoreboard
 
-# Base write-back latencies (cycles after dispatch completes).
-ALU_LATENCY = 18
-LONG_ALU_LATENCY = 120
-SFU_LATENCY = 22
-CTRL_LATENCY = 10
+# Deprecated aliases of the GpuConfig latency defaults: the simulator
+# reads config.alu_latency & co. so sensitivity sweeps can vary them;
+# these module-level names remain for backward compatibility only.
+ALU_LATENCY = GpuConfig().alu_latency
+LONG_ALU_LATENCY = GpuConfig().long_alu_latency
+SFU_LATENCY = GpuConfig().sfu_latency
+CTRL_LATENCY = GpuConfig().ctrl_latency
 
 #: Sentinel for "blocked until the branch writes back".
 _BLOCKED_ON_BRANCH = 1 << 60
@@ -359,9 +361,9 @@ class SmSimulator:
                 return self.memory.access_shared()
             return self.memory.access_global(op.mem_segments, op.is_store)
         if op.category is OpCategory.SFU:
-            return SFU_LATENCY
+            return self.config.sfu_latency
         if op.category is OpCategory.CTRL:
-            return CTRL_LATENCY
+            return self.config.ctrl_latency
         if op.long_latency:
-            return LONG_ALU_LATENCY
-        return ALU_LATENCY
+            return self.config.long_alu_latency
+        return self.config.alu_latency

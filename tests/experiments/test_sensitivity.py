@@ -66,3 +66,50 @@ class TestSweep:
 
         for name in SWEEPABLE:
             assert hasattr(DEFAULT_ENERGY, name)
+
+
+class TestLatencySweep:
+    def test_latency_sweep_shape_and_values(self, runner):
+        from repro.experiments.sensitivity import (
+            SWEEPABLE_LATENCIES,
+            sweep_latency_parameter,
+        )
+
+        points = sweep_latency_parameter(
+            runner, "alu_latency", (0.5, 1.0, 2.0), benchmarks=("BP",)
+        )
+        assert [p.scale_factor for p in points] == [0.5, 1.0, 2.0]
+        base = runner.config.alu_latency
+        assert [p.value for p in points] == [
+            float(max(1, round(base * f))) for f in (0.5, 1.0, 2.0)
+        ]
+        for point in points:
+            assert point.mean_gscalar_gain > 0
+        assert set(SWEEPABLE_LATENCIES) <= {
+            "alu_latency",
+            "long_alu_latency",
+            "sfu_latency",
+            "ctrl_latency",
+        }
+
+    def test_latency_changes_move_the_result(self, runner):
+        from repro.experiments.sensitivity import sweep_latency_parameter
+
+        points = sweep_latency_parameter(
+            runner, "alu_latency", (0.5, 2.0), benchmarks=("BP",)
+        )
+        # Different write-back latencies must actually change cycle
+        # counts, hence the headline efficiencies.
+        assert points[0].mean_gscalar_gain != points[1].mean_gscalar_gain
+
+    def test_unknown_latency_rejected(self, runner):
+        from repro.experiments.sensitivity import sweep_latency_parameter
+
+        with pytest.raises(ConfigError):
+            sweep_latency_parameter(runner, "alu_lane_pj")
+
+    def test_nonpositive_latency_factor_rejected(self, runner):
+        from repro.experiments.sensitivity import sweep_latency_parameter
+
+        with pytest.raises(ConfigError):
+            sweep_latency_parameter(runner, "alu_latency", (0.0,))

@@ -193,3 +193,37 @@ class TestDeterminism:
             main(["fig1", "--scale", "tiny"])
         instrumented = capsys.readouterr().out
         assert plain == instrumented
+
+
+class TestColumnarAccountingMetrics:
+    """account_columns records the same RF telemetry as account."""
+
+    @pytest.mark.parametrize("arch_name", ["baseline", "gscalar", "alu_scalar"])
+    def test_rf_counters_match_event_engine(self, arch_name):
+        from repro.config import architecture_by_name
+        from repro.power.accounting import PowerAccountant
+        from repro.scalar.arch_batch import process_columns
+        from repro.scalar.architectures import process_classified
+        from repro.scalar.columns import ClassifiedColumns
+        from repro.timing.gpu import simulate_architecture
+
+        built = build_workload("BP", "tiny")
+        trace = run_kernel(built.kernel, built.launch, built.memory)
+        classified = classify_trace(trace, built.kernel.num_registers)
+        arch = architecture_by_name(arch_name)
+        processed = process_classified(classified, arch, trace.warp_size)
+        pcols = process_columns(
+            ClassifiedColumns.from_classified(classified, trace.warp_size), arch
+        )
+        timing = simulate_architecture(processed, arch, warp_size=trace.warp_size)
+        accountant = PowerAccountant(arch)
+
+        with telemetry_session() as event_tel:
+            accountant.account(processed, timing)
+        with telemetry_session() as batch_tel:
+            accountant.account_columns(pcols, timing)
+
+        for family in ("rf_accesses", "sidecar_accesses", "regfile_bank_activations"):
+            assert batch_tel.counters_named(family) == event_tel.counters_named(
+                family
+            ), family

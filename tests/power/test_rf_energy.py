@@ -93,3 +93,82 @@ class TestTotals:
         single = BASELINE_MODEL.energy_of(accesses[0])
         assert total.rf_pj == pytest.approx(2 * single.rf_pj)
         assert total.total_pj == pytest.approx(2 * single.total_pj)
+
+
+class TestTallyAggregation:
+    """The bincount-style tally path matches summed per-access energy."""
+
+    ACCESSES = [
+        RegisterAccess(kind=AccessKind.FULL_READ, register=3),
+        RegisterAccess(kind=AccessKind.FULL_READ, register=9),
+        RegisterAccess(
+            kind=AccessKind.COMPRESSED_READ, register=1, enc=2, sidecar=True
+        ),
+        RegisterAccess(
+            kind=AccessKind.COMPRESSED_WRITE,
+            register=4,
+            enc=1,
+            enc_lo=1,
+            enc_hi=3,
+            half_compressed=True,
+            sidecar=True,
+        ),
+        RegisterAccess(
+            kind=AccessKind.SCALAR_READ, register=2, enc=4, sidecar=True
+        ),
+        RegisterAccess(
+            kind=AccessKind.PARTIAL_WRITE, register=5, active_mask=0x0F0F
+        ),
+        RegisterAccess(
+            kind=AccessKind.PARTIAL_WRITE,
+            register=5,
+            active_mask=0x0F0F,
+            sidecar=True,
+        ),
+    ]
+
+    @pytest.mark.parametrize("model", [BASELINE_MODEL, GSCALAR_MODEL])
+    def test_tally_energy_equals_summed_energy_of(self, model):
+        tally = {}
+        for access in self.ACCESSES:
+            key = model.tally_key(access)
+            tally[key] = tally.get(key, 0) + 1
+        aggregated = model.tally_energy(tally)
+        rf = sum(model.energy_of(a).rf_pj for a in self.ACCESSES)
+        crossbar = sum(model.energy_of(a).crossbar_pj for a in self.ACCESSES)
+        assert aggregated.rf_pj == pytest.approx(rf)
+        assert aggregated.crossbar_pj == pytest.approx(crossbar)
+
+    @pytest.mark.parametrize("model", [BASELINE_MODEL, GSCALAR_MODEL])
+    def test_energy_of_key_matches_energy_of(self, model):
+        for access in self.ACCESSES:
+            key = model.tally_key(access)
+            via_key = model.energy_of_key(key)
+            direct = model.energy_of(access)
+            assert via_key.rf_pj == pytest.approx(direct.rf_pj)
+            assert via_key.crossbar_pj == pytest.approx(direct.crossbar_pj)
+
+    def test_identical_shapes_collapse_to_one_key(self):
+        a = RegisterAccess(kind=AccessKind.FULL_READ, register=3)
+        b = RegisterAccess(kind=AccessKind.FULL_READ, register=200)
+        assert BASELINE_MODEL.tally_key(a) == BASELINE_MODEL.tally_key(b)
+
+    def test_partial_write_keys_split_by_mask_shape(self):
+        narrow = RegisterAccess(
+            kind=AccessKind.PARTIAL_WRITE, register=0, active_mask=0x1
+        )
+        wide = RegisterAccess(
+            kind=AccessKind.PARTIAL_WRITE, register=0, active_mask=0xFFFF
+        )
+        assert GSCALAR_MODEL.tally_key(narrow) != GSCALAR_MODEL.tally_key(wide)
+
+    def test_partial_arrays_is_memoized_and_correct(self):
+        mask = 0x00FF
+        first = BASELINE_MODEL.partial_arrays(mask)
+        assert BASELINE_MODEL.partial_arrays(mask) == first
+        direct = BASELINE_MODEL.energy_of(
+            RegisterAccess(
+                kind=AccessKind.PARTIAL_WRITE, register=0, active_mask=mask
+            )
+        )
+        assert first * DEFAULT_ENERGY.rf_array_pj == pytest.approx(direct.rf_pj)

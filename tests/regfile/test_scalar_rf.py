@@ -60,3 +60,65 @@ class TestPortSerialization:
     def test_negative_rejected(self):
         with pytest.raises(ConfigError):
             ScalarRegisterFile().port_cycles_for(-1)
+
+
+class TestCapacityPressure:
+    """Default-capacity (256-entry) behaviour under streaming pressure."""
+
+    def test_default_capacity_lru_sweep(self):
+        rf = ScalarRegisterFile()
+        for register in range(300):
+            rf.write_scalar(register)
+        assert rf.evictions == 300 - rf.capacity
+        # The oldest 44 registers were evicted; the newest 256 survive.
+        assert not any(rf.is_resident(r) for r in range(300 - rf.capacity))
+        assert all(rf.is_resident(r) for r in range(300 - rf.capacity, 300))
+
+    def test_reads_refresh_recency_under_pressure(self):
+        rf = ScalarRegisterFile(capacity=4)
+        for register in range(4):
+            rf.write_scalar(register)
+        rf.read(0)  # refresh 0; register 1 becomes the LRU victim
+        rf.write_scalar(4)
+        rf.write_scalar(5)
+        assert rf.is_resident(0)
+        assert not rf.is_resident(1)
+        assert not rf.is_resident(2)
+        assert rf.evictions == 2
+
+    def test_overwrite_resident_does_not_evict(self):
+        rf = ScalarRegisterFile(capacity=2)
+        rf.write_scalar(0)
+        rf.write_scalar(1)
+        rf.write_scalar(0)  # re-write: refresh, not an insertion
+        assert rf.evictions == 0
+        rf.write_scalar(2)  # now 1 is the LRU victim
+        assert not rf.is_resident(1)
+        assert rf.is_resident(0)
+
+
+class TestReResidency:
+    """§4.1: divergence spills a value; a later uniform write restores it."""
+
+    def test_re_residency_after_divergent_overwrite(self):
+        rf = ScalarRegisterFile()
+        rf.write_scalar(7)
+        assert rf.read(7)
+        # A divergent overwrite of r7 makes the scalar copy stale.
+        rf.invalidate(7)
+        assert not rf.read(7)
+        assert rf.vector_fallback_reads == 1
+        # A later uniform write makes it scalar-resident again.
+        rf.write_scalar(7)
+        assert rf.read(7)
+        assert rf.scalar_reads == 2
+
+    def test_invalidated_slot_is_freed(self):
+        rf = ScalarRegisterFile(capacity=2)
+        rf.write_scalar(0)
+        rf.write_scalar(1)
+        rf.invalidate(0)
+        rf.write_scalar(2)  # fills the freed slot; nothing to evict
+        assert rf.evictions == 0
+        assert rf.is_resident(1)
+        assert rf.is_resident(2)

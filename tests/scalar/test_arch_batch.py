@@ -1,0 +1,160 @@
+"""Differential tests: vectorized architecture interpretation vs events.
+
+The batch engine (:mod:`repro.scalar.arch_batch`) must be *bit-identical*
+to the per-event :class:`~repro.scalar.architectures.ArchitectureView` —
+same per-event scalar/half/exec-lane columns, same RF-access stream,
+same lowered timing ops and the same power report — on every workload
+and every evaluated architecture.  These tests pin that contract at
+each pipeline layer.
+"""
+
+import pytest
+
+from repro.config import EVALUATED_ARCHITECTURES, ArchitectureConfig, GpuConfig
+from repro.errors import ConfigError
+from repro.power.accounting import PowerAccountant
+from repro.scalar.arch_batch import process_columns
+from repro.scalar.architectures import process_classified
+from repro.scalar.batch import classify_columnar_batch
+from repro.scalar.columns import (
+    ClassifiedColumns,
+    ProcessedColumns,
+    processed_columns_diff,
+)
+from repro.scalar.compiler import MoveElisionAnalysis
+from repro.scalar.tracker import classify_trace
+from repro.simt import MemoryImage, run_kernel
+from repro.timing.gpu import (
+    lower_to_timing_ops,
+    lower_to_timing_ops_columns,
+    simulate_architecture,
+)
+from repro.workloads.registry import all_workloads, build_workload
+
+from tests.conftest import run_one_warp
+
+ARCH_IDS = [arch.name for arch in EVALUATED_ARCHITECTURES]
+WORKLOAD_ABBRS = [spec.abbr for spec in all_workloads()]
+
+_CASE_CACHE: dict[str, tuple] = {}
+
+
+def workload_case(abbr: str):
+    """Trace + both classified forms for one small-scale workload."""
+    if abbr not in _CASE_CACHE:
+        built = build_workload(abbr, "small")
+        trace = run_kernel(built.kernel, built.launch, built.memory)
+        columnar = trace.to_columnar()
+        _, classified = classify_columnar_batch(
+            columnar, built.kernel.num_registers
+        )
+        ccols = ClassifiedColumns.from_classified(
+            classified, trace.warp_size, columnar=columnar
+        )
+        _CASE_CACHE[abbr] = (trace, classified, ccols)
+    return _CASE_CACHE[abbr]
+
+
+def assert_processed_identical(classified, ccols, arch, warp_size, **kwargs):
+    expected = ProcessedColumns.from_events(
+        process_classified(classified, arch, warp_size, **kwargs),
+        warp_size,
+    )
+    actual = process_columns(ccols, arch, **kwargs)
+    assert processed_columns_diff(expected, actual) == []
+    return actual
+
+
+class TestWorkloadMatrix:
+    """Exact array equality on all 17 workloads x all 4 architectures."""
+
+    @pytest.mark.parametrize("abbr", WORKLOAD_ABBRS)
+    @pytest.mark.parametrize("arch", EVALUATED_ARCHITECTURES, ids=ARCH_IDS)
+    def test_processed_columns_identical(self, abbr, arch):
+        trace, classified, ccols = workload_case(abbr)
+        assert_processed_identical(classified, ccols, arch, trace.warp_size)
+
+
+class TestDownstreamParity:
+    """Timing ops and power reports built from columns match the events."""
+
+    BENCHES = ("BP", "SR2", "MQ", "HS")
+
+    @pytest.mark.parametrize("abbr", BENCHES)
+    @pytest.mark.parametrize("arch", EVALUATED_ARCHITECTURES, ids=ARCH_IDS)
+    def test_timing_ops_and_power_identical(self, abbr, arch):
+        trace, classified, ccols = workload_case(abbr)
+        config = GpuConfig()
+        processed = process_classified(classified, arch, trace.warp_size)
+        pcols = process_columns(ccols, arch)
+        assert lower_to_timing_ops_columns(
+            ccols, pcols, arch, config
+        ) == lower_to_timing_ops(processed, arch, config, trace.warp_size)
+        timing = simulate_architecture(processed, arch, config, trace.warp_size)
+        accountant = PowerAccountant(arch, config=config)
+        assert accountant.account_columns(pcols, timing) == accountant.account(
+            processed, timing
+        )
+
+    def test_scalar_fast_dispatch_ablation(self):
+        trace, classified, ccols = workload_case("BP")
+        arch = ArchitectureConfig.gscalar().replace(scalar_fast_dispatch=True)
+        config = GpuConfig()
+        processed = process_classified(classified, arch, trace.warp_size)
+        pcols = process_columns(ccols, arch)
+        assert lower_to_timing_ops_columns(
+            ccols, pcols, arch, config
+        ) == lower_to_timing_ops(processed, arch, config, trace.warp_size)
+
+
+class TestMoveElision:
+    def test_move_elision_matches_event_path(self):
+        built = build_workload("BP", "small")
+        trace = run_kernel(built.kernel, built.launch, built.memory)
+        classified = classify_trace(trace, built.kernel.num_registers)
+        ccols = ClassifiedColumns.from_classified(classified, trace.warp_size)
+        elision = MoveElisionAnalysis(built.kernel)
+        arch = ArchitectureConfig.gscalar()
+        with_elision = assert_processed_identical(
+            classified, ccols, arch, trace.warp_size, move_elision=elision
+        )
+        without = process_columns(ccols, arch)
+        assert with_elision.extra_instructions.sum() <= without.extra_instructions.sum()
+
+
+class TestScalarRfPath:
+    """The stateful dedicated-scalar-RF walk stays bit-identical too."""
+
+    def test_divergent_overwrite_stream(self, divergent_kernel):
+        trace = run_one_warp(divergent_kernel, MemoryImage())
+        classified = classify_trace(trace, divergent_kernel.num_registers)
+        ccols = ClassifiedColumns.from_classified(classified, trace.warp_size)
+        assert_processed_identical(
+            classified, ccols, ArchitectureConfig.alu_scalar(), trace.warp_size
+        )
+
+    def test_capacity_pressure_stream(self):
+        from repro.isa import KernelBuilder
+
+        b = KernelBuilder("many_scalars")
+        tid = b.tid()
+        acc = b.mov(0)
+        for i in range(40):
+            acc = b.iadd(acc, i + 1, dst=acc)
+        b.st_global(b.imad(tid, 4, 0x3000), acc)
+        kernel = b.finish()
+        trace = run_one_warp(kernel, MemoryImage())
+        classified = classify_trace(trace, kernel.num_registers)
+        ccols = ClassifiedColumns.from_classified(classified, trace.warp_size)
+        assert_processed_identical(
+            classified, ccols, ArchitectureConfig.alu_scalar(), trace.warp_size
+        )
+
+
+class TestValidation:
+    def test_bad_warp_size_rejected(self):
+        trace, classified, _ = workload_case("BP")
+        ccols = ClassifiedColumns.from_classified(classified, trace.warp_size)
+        ccols.warp_size = 0
+        with pytest.raises(ConfigError):
+            process_columns(ccols, ArchitectureConfig.baseline())

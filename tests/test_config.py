@@ -35,6 +35,20 @@ class TestGpuConfig:
         assert config.alu_dispatch_cycles == 4
         assert config.sfu_dispatch_cycles == 16
 
+    def test_default_latencies(self):
+        config = GpuConfig()
+        assert config.alu_latency == 18
+        assert config.long_alu_latency == 120
+        assert config.sfu_latency == 22
+        assert config.ctrl_latency == 10
+
+    @pytest.mark.parametrize(
+        "field", ["alu_latency", "long_alu_latency", "sfu_latency", "ctrl_latency"]
+    )
+    def test_latencies_must_be_positive(self, field):
+        with pytest.raises(ConfigError):
+            GpuConfig(**{field: 0})
+
 
 class TestArchitectureConfig:
     def test_four_evaluated_architectures(self):

@@ -153,3 +153,32 @@ class TestStallBreakdown:
         # At most schedulers-per-SM slots can stall per simulated cycle
         # (skipped-ahead dead cycles are not counted).
         assert result.stalls.total <= result.cycles * CONFIG.schedulers_per_sm
+
+
+class TestConfigurableLatencies:
+    def test_module_constants_alias_config_defaults(self):
+        from repro.timing.sm import (
+            CTRL_LATENCY,
+            LONG_ALU_LATENCY,
+            SFU_LATENCY,
+        )
+
+        config = GpuConfig()
+        assert ALU_LATENCY == config.alu_latency
+        assert LONG_ALU_LATENCY == config.long_alu_latency
+        assert SFU_LATENCY == config.sfu_latency
+        assert CTRL_LATENCY == config.ctrl_latency
+
+    def test_longer_alu_latency_slows_dependent_chain(self):
+        def run(config):
+            ops = [
+                alu_op(dst=1, dispatch=2),
+                alu_op(dst=2, srcs=(1,), dispatch=2),
+            ]
+            return SmSimulator([ops], config).run().cycles
+
+        # A dependent chain pays the write-back latency twice, so
+        # raising it must strictly grow the cycle count.
+        slow = run(GpuConfig(alu_latency=40))
+        fast = run(GpuConfig(alu_latency=4))
+        assert slow > fast
