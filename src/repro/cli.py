@@ -35,6 +35,7 @@ from repro.experiments import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.scalar.arch_batch import ARCH_ENGINE_CHOICES, DEFAULT_ARCH_ENGINE
+from repro.timing.sm_event import DEFAULT_SM_ENGINE, SM_ENGINE_CHOICES
 from repro.scalar.batch import CLASSIFIER_CHOICES, DEFAULT_CLASSIFIER
 from repro.workloads.registry import SCALES
 
@@ -278,6 +279,13 @@ def _profile_main(argv: list[str]) -> int:
         "bit-identical output)",
     )
     parser.add_argument(
+        "--sm-engine",
+        choices=SM_ENGINE_CHOICES,
+        default=DEFAULT_SM_ENGINE,
+        help="SM timing engine: 'event' (event-driven, default) or "
+        "'cycle' (cycle-by-cycle reference model; bit-identical output)",
+    )
+    parser.add_argument(
         "--no-summary",
         action="store_true",
         help="skip the human-readable summary table",
@@ -298,6 +306,7 @@ def _profile_main(argv: list[str]) -> int:
             scale=args.scale,
             classifier=args.classifier,
             arch_engine=args.arch_engine,
+            sm_engine=args.sm_engine,
         )
         with runner.stats.timer("profile", benchmark=bench):
             runner.run(bench)
@@ -399,6 +408,13 @@ def main(argv: list[str] | None = None) -> int:
         "(columnar, default) or 'event' (per-event reference path; "
         "bit-identical output)",
     )
+    parser.add_argument(
+        "--sm-engine",
+        choices=SM_ENGINE_CHOICES,
+        default=DEFAULT_SM_ENGINE,
+        help="SM timing engine: 'event' (event-driven, default) or "
+        "'cycle' (cycle-by-cycle reference model; bit-identical output)",
+    )
     args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -447,6 +463,7 @@ def _experiment_main(
             cache_dir=cache_dir,
             classifier=args.classifier,
             arch_engine=args.arch_engine,
+            sm_engine=args.sm_engine,
         )
         if needs_runner
         else None

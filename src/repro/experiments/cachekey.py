@@ -138,18 +138,20 @@ def stage_fingerprint(
     params: EnergyParams,
     stage_version: int,
     engine: str = "batch",
+    sm_engine: str = "event",
 ) -> str:
     """Fingerprint identifying one (benchmark, architecture) result pair.
 
     Timing depends on the architecture and GPU configuration; power
     additionally depends on the energy parameters.  Both live in one
     sidecar, so the fingerprint covers the union.  ``engine`` names the
-    architecture-interpretation engine (``"batch"`` / ``"event"``) that
-    produced the results — the engines are differentially tested to be
-    bit-identical, but keying them separately guarantees one can never
-    silently replay the other's sidecars while investigating a
-    divergence.
+    architecture-interpretation engine (``"batch"`` / ``"event"``) and
+    ``sm_engine`` the SM timing engine (``"event"`` / ``"cycle"``) that
+    produced the results — each engine pair is differentially tested to
+    be bit-identical, but keying them separately guarantees one engine
+    can never silently replay the other's sidecars while investigating
+    a divergence.
     """
     return fingerprint(
-        "stage", stage_version, trace_fp, arch, config, params, engine
+        "stage", stage_version, trace_fp, arch, config, params, engine, sm_engine
     )

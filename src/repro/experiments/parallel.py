@@ -50,6 +50,7 @@ class MatrixTask:
     telemetry: bool = False
     classifier: str = "batch"
     arch_engine: str = "batch"
+    sm_engine: str = "event"
 
 
 def _run_task(task: MatrixTask) -> dict:
@@ -60,6 +61,7 @@ def _run_task(task: MatrixTask) -> dict:
         cache_dir=task.cache_dir,
         classifier=task.classifier,
         arch_engine=task.arch_engine,
+        sm_engine=task.sm_engine,
     )
     runner.run(task.abbr)
     for warp_size in task.warp_sizes:
@@ -101,6 +103,7 @@ def run_matrix(
     telemetry: bool = False,
     classifier: str = "batch",
     arch_engine: str = "batch",
+    sm_engine: str = "event",
 ) -> RunnerStats:
     """Execute the benchmark × architecture matrix across processes.
 
@@ -123,6 +126,7 @@ def run_matrix(
             telemetry=telemetry,
             classifier=classifier,
             arch_engine=arch_engine,
+            sm_engine=sm_engine,
         )
         for abbr in names
     ]

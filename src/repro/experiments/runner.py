@@ -65,6 +65,7 @@ from repro.simt.serialize import load_columnar, save_trace
 from repro.simt.trace import ColumnarTrace, KernelTrace, opcode_labels
 from repro.timing.gpu import simulate_architecture, simulate_architecture_columns
 from repro.timing.sm import TimingResult
+from repro.timing.sm_event import DEFAULT_SM_ENGINE, SM_ENGINE_CHOICES
 from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workload_by_name
 
 #: Version of the pickled stage sidecars (classified streams and
@@ -75,7 +76,11 @@ from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workl
 #: Version 4: the columnar architecture/power engine became the default
 #: and the results fingerprint gained the arch-engine name (so the
 #: batch and event engines never replay each other's sidecars).
-STAGE_VERSION = 4
+#: Version 5: the event-driven SM timing engine became the default, the
+#: results fingerprint gained the SM-engine name, and the memory model's
+#: store path stopped allocating L1 lines (no-allocate stores change
+#: load hit rates, hence latencies, hence every cached timing result).
+STAGE_VERSION = 5
 
 
 def paper_architectures() -> tuple[ArchitectureConfig, ...]:
@@ -231,6 +236,7 @@ class ExperimentRunner:
         cache_dir: str | Path | None = None,
         classifier: str = DEFAULT_CLASSIFIER,
         arch_engine: str = DEFAULT_ARCH_ENGINE,
+        sm_engine: str = DEFAULT_SM_ENGINE,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
@@ -244,8 +250,14 @@ class ExperimentRunner:
                 f"unknown arch engine {arch_engine!r}; known: "
                 f"{', '.join(ARCH_ENGINE_CHOICES)}"
             )
+        if sm_engine not in SM_ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown SM engine {sm_engine!r}; known: "
+                f"{', '.join(SM_ENGINE_CHOICES)}"
+            )
         self.classifier = classifier
         self.arch_engine = arch_engine
+        self.sm_engine = sm_engine
         self.scale = SCALES[scale]
         self.config = config or GpuConfig()
         self.params = params or DEFAULT_ENERGY
@@ -506,6 +518,7 @@ class ExperimentRunner:
             self.params,
             STAGE_VERSION,
             engine=self.arch_engine,
+            sm_engine=self.sm_engine,
         )
 
     def _load_results(self, key: str, arch: ArchitectureConfig) -> bool:
@@ -545,7 +558,9 @@ class ExperimentRunner:
         self._log(f"timing {key} on {arch.name}")
         run = self.run(key)
         warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
-        with self.stats.timer("timing", benchmark=key, arch=arch.name):
+        with self.stats.timer(
+            "timing", benchmark=key, arch=arch.name, sm_engine=self.sm_engine
+        ):
             if self.arch_engine == "batch":
                 self._timing[(key, arch.name)] = simulate_architecture_columns(
                     self.classified_columns(key),
@@ -553,6 +568,7 @@ class ExperimentRunner:
                     arch,
                     self.config,
                     warps_per_cta=warps_per_cta,
+                    sm_engine=self.sm_engine,
                 )
             else:
                 self._timing[(key, arch.name)] = simulate_architecture(
@@ -560,6 +576,7 @@ class ExperimentRunner:
                     arch,
                     self.config,
                     warps_per_cta=warps_per_cta,
+                    sm_engine=self.sm_engine,
                 )
 
     def timing(self, abbr: str, arch: ArchitectureConfig) -> TimingResult:
@@ -645,6 +662,7 @@ class ExperimentRunner:
                     telemetry=get_telemetry().enabled,
                     classifier=self.classifier,
                     arch_engine=self.arch_engine,
+                    sm_engine=self.sm_engine,
                 )
                 self.stats.merge(worker_stats)
         return self.stats

@@ -12,16 +12,17 @@ spuriously):
   vs :func:`repro.scalar.batch.classify_trace_batch` (vectorized).
   The committed ``BENCH_classify.json`` is this output.
 * **--pipeline**: times the whole classify → interpret → lower →
-  account spine over all four paper architectures — per-event
-  (``classify_trace`` + ``process_classified`` + ``build_timing_ops``
-  + ``PowerAccountant.account``) vs columnar (``classify_columnar_
+  **simulate** → account spine over all four paper architectures —
+  reference path (``classify_trace`` + ``process_classified`` +
+  ``build_timing_ops`` + the cycle-level ``SmSimulator`` +
+  ``PowerAccountant.account``) vs fast path (``classify_columnar_
   batch`` + ``ClassifiedColumns`` + ``process_columns`` +
-  ``build_timing_ops_columns`` + ``account_columns``).  The SM cycle
-  simulator is excluded from the timed region: it consumes lowered
-  timing ops and is identical under both engines, so per-architecture
-  :class:`~repro.timing.sm.TimingResult` objects are precomputed once
-  and fed to the accounting stage.  The committed
-  ``BENCH_pipeline.json`` is this output.
+  ``build_timing_ops_columns`` + the event-driven ``EventSmSimulator``
+  + ``account_columns``).  The SM simulation is *inside* the timed
+  region (``sm_simulation_excluded: false``): each engine pair runs
+  its own SM engine, and the equivalence gate pins the two
+  :class:`~repro.timing.sm.TimingResult` objects bit-equal before any
+  timing.  The committed ``BENCH_pipeline.json`` is this output.
 
 Prints a JSON object (also written to ``--json`` when given) and exits
 non-zero when any benchmark's speedup falls below ``--min-speedup`` —
@@ -61,6 +62,7 @@ from repro.timing.gpu import (
     lower_to_timing_ops,
     lower_to_timing_ops_columns,
     simulate_architecture,
+    simulate_architecture_columns,
 )
 from repro.workloads.registry import SCALES, build_workload
 
@@ -121,15 +123,20 @@ def measure(
 def measure_pipeline(
     benchmark: str, scale: str, repeats: int, warmup: int = DEFAULT_WARMUP
 ) -> dict:
-    """Median classify→power pipeline seconds per engine.
+    """Median classify→simulate→power pipeline seconds per engine.
 
-    Times the full architecture-evaluation spine (classification,
-    per-architecture interpretation, timing-op lowering and power
-    accounting over all four paper architectures).  The SM cycle
-    simulation is engine-independent — it consumes the lowered timing
-    ops, which the equivalence gate pins equal — so each
-    architecture's TimingResult is computed once outside the timed
-    region and shared by both engines' accounting stages.
+    Times the full architecture-evaluation spine — classification,
+    per-architecture interpretation, timing-op lowering, **SM timing
+    simulation** and power accounting over all four paper
+    architectures.  The reference path runs the per-event engines and
+    the cycle-level SM model; the fast path runs the columnar engines
+    and the event-driven SM engine.  Before any timing, an equivalence
+    gate pins every intermediate equal across the paths — processed
+    columns, lowered timing ops, the full
+    :class:`~repro.timing.sm.TimingResult` (cycles, instruction and
+    memory counters, per-scheduler issue, conflict and stall counters)
+    and the power report — so a reported speedup can never come from a
+    divergent result.
     """
     built = build_workload(benchmark, scale)
     trace: KernelTrace = run_kernel(built.kernel, built.launch, built.memory)
@@ -140,14 +147,12 @@ def measure_pipeline(
     warp_size = trace.warp_size
     warps_per_cta = built.launch.warps_per_cta(warp_size)
 
-    # Untimed: per-architecture timing results (SM sim excluded from the
-    # timed region) and the differential equivalence gate.
+    # Untimed differential gate over every stage, SM engines included.
     classified = classify_trace(trace, num_registers)
     _, batch_classified = classify_columnar_batch(columnar, num_registers)
     ccols = ClassifiedColumns.from_classified(
         batch_classified, warp_size, columnar=columnar
     )
-    timings = {}
     for arch in arches:
         processed = process_classified(classified, arch, warp_size)
         pcols = process_columns(ccols, arch)
@@ -162,12 +167,30 @@ def measure_pipeline(
             raise AssertionError(
                 f"{benchmark}/{arch.name}: engines disagree on timing ops"
             )
-        timings[arch.name] = simulate_architecture(
-            processed, arch, config, warp_size, warps_per_cta=warps_per_cta
+        cycle_timing = simulate_architecture(
+            processed,
+            arch,
+            config,
+            warp_size,
+            warps_per_cta=warps_per_cta,
+            sm_engine="cycle",
         )
+        event_timing = simulate_architecture_columns(
+            ccols,
+            pcols,
+            arch,
+            config,
+            warps_per_cta=warps_per_cta,
+            sm_engine="event",
+        )
+        if cycle_timing != event_timing:
+            raise AssertionError(
+                f"{benchmark}/{arch.name}: SM engines disagree — "
+                f"cycle {cycle_timing} != event {event_timing}"
+            )
         accountant = PowerAccountant(arch, config=config)
-        event_report = accountant.account(processed, timings[arch.name])
-        batch_report = accountant.account_columns(pcols, timings[arch.name])
+        event_report = accountant.account(processed, cycle_timing)
+        batch_report = accountant.account_columns(pcols, event_timing)
         if event_report != batch_report:
             raise AssertionError(
                 f"{benchmark}/{arch.name}: engines disagree on the power report"
@@ -177,10 +200,15 @@ def measure_pipeline(
         run_classified = classify_trace(trace, num_registers)
         for arch in arches:
             processed = process_classified(run_classified, arch, warp_size)
-            lower_to_timing_ops(processed, arch, config, warp_size)
-            PowerAccountant(arch, config=config).account(
-                processed, timings[arch.name]
+            timing = simulate_architecture(
+                processed,
+                arch,
+                config,
+                warp_size,
+                warps_per_cta=warps_per_cta,
+                sm_engine="cycle",
             )
+            PowerAccountant(arch, config=config).account(processed, timing)
 
     def batch_pipeline() -> None:
         _, run_classified = classify_columnar_batch(columnar, num_registers)
@@ -189,10 +217,15 @@ def measure_pipeline(
         )
         for arch in arches:
             pcols = process_columns(run_ccols, arch)
-            lower_to_timing_ops_columns(run_ccols, pcols, arch, config)
-            PowerAccountant(arch, config=config).account_columns(
-                pcols, timings[arch.name]
+            timing = simulate_architecture_columns(
+                run_ccols,
+                pcols,
+                arch,
+                config,
+                warps_per_cta=warps_per_cta,
+                sm_engine="event",
             )
+            PowerAccountant(arch, config=config).account_columns(pcols, timing)
 
     event_seconds = _median_seconds(event_pipeline, repeats, warmup)
     batch_seconds = _median_seconds(batch_pipeline, repeats, warmup)
@@ -203,7 +236,7 @@ def measure_pipeline(
         "warmup": warmup,
         "events": trace.total_instructions,
         "architectures": [arch.name for arch in arches],
-        "sm_simulation_excluded": True,
+        "sm_simulation_excluded": False,
         "event_seconds": round(event_seconds, 6),
         "batch_seconds": round(batch_seconds, 6),
         "speedup": round(event_seconds / batch_seconds, 3),
@@ -246,9 +279,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--pipeline",
         action="store_true",
-        help="benchmark the full classify->interpret->lower->account "
-        "pipeline over the four paper architectures instead of "
-        "classification alone (SM cycle simulation excluded)",
+        help="benchmark the full classify->interpret->lower->simulate->"
+        "account pipeline over the four paper architectures instead of "
+        "classification alone (SM timing simulation included: the "
+        "reference path runs the cycle SM engine, the fast path the "
+        "event SM engine)",
     )
     parser.add_argument(
         "--min-speedup",

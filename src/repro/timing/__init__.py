@@ -30,6 +30,12 @@ from repro.timing.sm import (
     StallBreakdown,
     TimingResult,
 )
+from repro.timing.sm_event import (
+    DEFAULT_SM_ENGINE,
+    SM_ENGINE_CHOICES,
+    EventSmSimulator,
+    create_sm_simulator,
+)
 
 __all__ = [
     "ALU_LATENCY",
@@ -37,6 +43,9 @@ __all__ = [
     "LONG_ALU_LATENCY",
     "SCALAR_RF_BANK",
     "SFU_LATENCY",
+    "DEFAULT_SM_ENGINE",
+    "SM_ENGINE_CHOICES",
+    "EventSmSimulator",
     "GpuTimingResult",
     "MemoryAccessCounts",
     "MemoryModel",
@@ -50,6 +59,7 @@ __all__ = [
     "build_timing_ops",
     "build_timing_ops_columns",
     "coalesce_addresses",
+    "create_sm_simulator",
     "lower_to_timing_ops",
     "lower_to_timing_ops_columns",
     "partition_warps",

@@ -13,6 +13,7 @@ from repro.config import ArchitectureConfig, GpuConfig
 from repro.scalar.architectures import ProcessedEvent
 from repro.timing.ops import TimingOp, build_timing_ops, build_timing_ops_columns
 from repro.timing.sm import SmSimulator, TimingResult
+from repro.timing.sm_event import DEFAULT_SM_ENGINE, create_sm_simulator
 
 
 def lower_to_timing_ops(
@@ -34,15 +35,20 @@ def simulate_architecture(
     config: GpuConfig | None = None,
     warp_size: int = 32,
     warps_per_cta: int | None = None,
+    sm_engine: str = DEFAULT_SM_ENGINE,
 ) -> TimingResult:
     """Run the SM timing model for one architecture's processed trace.
 
     ``warps_per_cta`` enables CTA-barrier coordination for kernels that
     use ``bar.sync``; without it each warp is treated as its own CTA.
+    ``sm_engine`` selects the SM timing engine (``"event"`` or the
+    ``"cycle"`` reference model; they are differentially tested to
+    produce bit-identical results).
     """
     config = config or GpuConfig()
     warp_ops = lower_to_timing_ops(processed, arch, config, warp_size)
-    simulator = SmSimulator(
+    simulator = create_sm_simulator(
+        sm_engine,
         warp_ops,
         config,
         extra_latency=arch.extra_pipeline_cycles,
@@ -67,6 +73,7 @@ def simulate_architecture_columns(
     arch: ArchitectureConfig,
     config: GpuConfig | None = None,
     warps_per_cta: int | None = None,
+    sm_engine: str = DEFAULT_SM_ENGINE,
 ) -> TimingResult:
     """Columnar counterpart of :func:`simulate_architecture`.
 
@@ -76,7 +83,8 @@ def simulate_architecture_columns(
     """
     config = config or GpuConfig()
     warp_ops = build_timing_ops_columns(ccols, pcols, arch, config)
-    simulator = SmSimulator(
+    simulator = create_sm_simulator(
+        sm_engine,
         warp_ops,
         config,
         extra_latency=arch.extra_pipeline_cycles,

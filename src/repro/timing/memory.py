@@ -48,6 +48,22 @@ class SetAssociativeCache:
             ways.pop(0)
         return False
 
+    def probe(self, segment: int) -> bool:
+        """Presence check without allocation or hit/miss accounting.
+
+        Write-through/no-allocate stores use this: a present line is
+        refreshed (the store just updated it, making it most recently
+        used), but a miss neither allocates nor perturbs LRU state, and
+        neither outcome counts toward the demand hit/miss statistics
+        that :meth:`hit_rate` reports.
+        """
+        ways = self._sets[segment % self.num_sets]
+        if segment in ways:
+            ways.remove(segment)
+            ways.append(segment)
+            return True
+        return False
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses
@@ -91,8 +107,11 @@ class MemoryModel:
         """Access coalesced global segments; returns completion latency.
 
         The warp's load completes when its slowest segment returns.
-        Stores are write-through/no-allocate here: they retire at L1
-        latency but still produce downstream traffic for power.
+        Stores are write-through/no-allocate: they retire at L1 latency
+        and still produce downstream traffic for power, but they only
+        *probe* the L1 — a store hit refreshes the line it just wrote,
+        a store miss never allocates, and neither outcome is counted in
+        the L1 hit/miss statistics (which track demand loads only).
         """
         if not segments:
             return self.l1_hit_latency
@@ -102,7 +121,7 @@ class MemoryModel:
             if is_store:
                 self.counts.l2_accesses += 1
                 latency = self.l1_hit_latency
-                self._l1.access(segment)
+                self._l1.probe(segment)
             elif self._l1.access(segment):
                 latency = self.l1_hit_latency
             else:

@@ -17,7 +17,8 @@ from repro.errors import TimingError
 from repro.scalar.architectures import ProcessedEvent
 from repro.timing.gpu import lower_to_timing_ops
 from repro.timing.memory import MemoryAccessCounts
-from repro.timing.sm import SmSimulator, TimingResult
+from repro.timing.sm import TimingResult
+from repro.timing.sm_event import DEFAULT_SM_ENGINE, create_sm_simulator
 
 
 @dataclass
@@ -71,12 +72,14 @@ def simulate_gpu(
     warp_size: int = 32,
     warps_per_cta: int = 1,
     num_sms: int | None = None,
+    sm_engine: str = DEFAULT_SM_ENGINE,
 ) -> GpuTimingResult:
     """Simulate a launch across the whole chip.
 
     Warps are grouped into CTAs of ``warps_per_cta`` and CTAs assigned
     round-robin to SMs, matching the GigaThread engine's first-order
-    behaviour for homogeneous CTAs.
+    behaviour for homogeneous CTAs.  ``sm_engine`` selects the per-SM
+    timing engine (``"event"`` default or the ``"cycle"`` reference).
     """
     config = config or GpuConfig()
     sms = num_sms if num_sms is not None else config.num_sms
@@ -95,7 +98,8 @@ def simulate_gpu(
 
     results = []
     for ops in per_sm_ops:
-        simulator = SmSimulator(
+        simulator = create_sm_simulator(
+            sm_engine,
             ops,
             config,
             extra_latency=arch.extra_pipeline_cycles,

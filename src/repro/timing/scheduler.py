@@ -41,6 +41,18 @@ class WarpScheduler:
         self._last_issued = chosen
         return chosen
 
+    def forget(self, slot: int) -> None:
+        """Drop greedy preference for a slot whose warp retired.
+
+        ``_last_issued`` names a *slot*, not a warp: when the warp in
+        that slot retires and a new warp is activated into it, greedy
+        preference must not silently transfer to the unrelated
+        newcomer — GTO's greediness is a property of the warp that was
+        issuing, and that warp is gone.
+        """
+        if self._last_issued == slot:
+            self._last_issued = None
+
 
 def partition_warps(
     num_warps: int, num_schedulers: int, policy: SchedulerPolicy

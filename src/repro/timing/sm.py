@@ -122,6 +122,15 @@ class SmSimulator:
         )
         self.num_warps = len(warp_ops)
         self.max_resident = min(config.max_warps_per_sm, self.num_warps)
+        if self.num_warps and min(self.warps_per_cta, self.num_warps) > self.max_resident:
+            # A CTA that cannot fully fit on the SM can never be
+            # activated as a unit; without this guard the run would hit
+            # the deadlock detector instead of a clear diagnostic.
+            raise TimingError(
+                f"warps_per_cta={self.warps_per_cta} exceeds the SM's "
+                f"{self.max_resident}-warp residency; one CTA can never "
+                "be resident at once"
+            )
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 50_000_000) -> TimingResult:
@@ -134,10 +143,32 @@ class SmSimulator:
         blocked_until = [0] * self.num_warps
         in_flight = [0] * self.num_warps  # ops issued but not written back
         remaining = self.num_warps
-        next_warp_to_activate = self.max_resident
+        # CTAs activate as whole units (GigaThread-style): a CTA's warps
+        # become resident together, so a barrier can never wait on a
+        # CTA-mate that has no slot to run in.  ``free_slots`` is a
+        # min-heap so activation always fills the lowest slots first,
+        # which for warps_per_cta == 1 reproduces the historical
+        # one-warp-per-freed-slot behaviour exactly.
+        free_slots = list(range(self.max_resident))
+        next_warp_to_activate = 0
         slot_to_warp: dict[int, int | None] = {
-            slot: slot for slot in range(self.max_resident)
+            slot: None for slot in range(self.max_resident)
         }
+
+        def activate_ctas() -> None:
+            nonlocal next_warp_to_activate
+            while next_warp_to_activate < self.num_warps:
+                cta_size = min(
+                    self.warps_per_cta, self.num_warps - next_warp_to_activate
+                )
+                if cta_size > len(free_slots):
+                    break
+                for _ in range(cta_size):
+                    slot = heapq.heappop(free_slots)
+                    slot_to_warp[slot] = next_warp_to_activate
+                    next_warp_to_activate += 1
+
+        activate_ctas()
 
         schedulers = partition_warps(
             self.max_resident, config.schedulers_per_sm, config.scheduler_policy
@@ -275,18 +306,19 @@ class SmSimulator:
                     issued_counts[scheduler_index] += 1
                     progressed = True
 
-            # 5. Retire finished warps; activate pending ones.
+            # 5. Retire finished warps; activate pending CTAs whole.
             for slot, warp in list(slot_to_warp.items()):
                 if warp is None:
                     continue
                 if pcs[warp] >= len(self.warp_ops[warp]) and in_flight[warp] == 0:
                     remaining -= 1
-                    if next_warp_to_activate < self.num_warps:
-                        slot_to_warp[slot] = next_warp_to_activate
-                        next_warp_to_activate += 1
-                    else:
-                        slot_to_warp[slot] = None
+                    slot_to_warp[slot] = None
+                    heapq.heappush(free_slots, slot)
+                    # The slot's warp is gone: GTO greediness must not
+                    # carry over to whatever is activated here next.
+                    schedulers[slot % config.schedulers_per_sm].forget(slot)
                     progressed = True
+            activate_ctas()
 
             if remaining <= 0:
                 cycle += 1

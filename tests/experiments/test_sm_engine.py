@@ -1,0 +1,84 @@
+"""Tests for the runner's SM timing engine switch."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.experiments.parallel import MatrixTask
+from repro.experiments.runner import ExperimentRunner
+
+ARCHES = (
+    ArchitectureConfig.baseline(),
+    ArchitectureConfig.alu_scalar(),
+    ArchitectureConfig.gscalar(),
+)
+
+
+@pytest.fixture(scope="module")
+def event_runner():
+    return ExperimentRunner(scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def cycle_runner():
+    return ExperimentRunner(scale="tiny", sm_engine="cycle")
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("abbr", ("BP", "HS"))
+    def test_timing_results_identical(self, event_runner, cycle_runner, abbr):
+        for arch in ARCHES:
+            assert event_runner.timing(abbr, arch) == cycle_runner.timing(
+                abbr, arch
+            )
+
+    def test_power_reports_identical(self, event_runner, cycle_runner):
+        for arch in ARCHES:
+            assert event_runner.power("BP", arch) == cycle_runner.power(
+                "BP", arch
+            )
+
+
+class TestEngineSelection:
+    def test_default_engine_is_event(self, event_runner):
+        assert event_runner.sm_engine == "event"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(scale="tiny", sm_engine="turbo")
+
+    def test_matrix_task_defaults_to_event(self):
+        task = MatrixTask(
+            abbr="BP",
+            scale="tiny",
+            cache_dir="/nonexistent",
+            warp_sizes=(32,),
+            arches=ARCHES,
+            config=None,
+            params=None,
+        )
+        assert task.sm_engine == "event"
+
+    def test_cli_accepts_sm_engine_flag(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig1", "--scale", "tiny", "--sm-engine", "cycle"]) == 0
+
+
+class TestEngineKeyedSidecars:
+    def test_engines_never_share_result_sidecars(self, tmp_path):
+        arch = ArchitectureConfig.gscalar()
+        event = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        event.power("HS", arch)
+
+        cycle_cold = ExperimentRunner(
+            scale="tiny", cache_dir=tmp_path, sm_engine="cycle"
+        )
+        cycle_cold.power("HS", arch)
+        assert cycle_cold.stats.counters.get("result_cache_hits", 0) == 0
+
+        cycle_warm = ExperimentRunner(
+            scale="tiny", cache_dir=tmp_path, sm_engine="cycle"
+        )
+        cycle_warm.power("HS", arch)
+        assert cycle_warm.stats.counters.get("result_cache_hits", 0) == 1

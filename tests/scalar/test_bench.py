@@ -32,7 +32,7 @@ class TestMeasure:
 
     def test_pipeline_measure_covers_paper_architectures(self):
         result = bench.measure_pipeline("BP", "tiny", repeats=1, warmup=0)
-        assert result["sm_simulation_excluded"] is True
+        assert result["sm_simulation_excluded"] is False
         assert result["architectures"] == [
             "baseline",
             "alu_scalar",
