@@ -16,6 +16,12 @@ the workload registry; :mod:`repro.experiments.staticdyn` scores the
 uniformity pass against the dynamic tracker.
 """
 
+from repro.analysis.static_.baseline import (
+    diagnostic_key,
+    load_baseline,
+    unsuppressed,
+    write_baseline,
+)
 from repro.analysis.static_.cfg import CfgStructurePass
 from repro.analysis.static_.deadwrite import DeadWritePass
 from repro.analysis.static_.diagnostics import (
@@ -45,9 +51,17 @@ from repro.analysis.static_.uniformity import (
     UniformityResult,
     analyze_uniformity,
 )
+from repro.analysis.static_.widths import (
+    WIDTH_ANALYSIS_VERSION,
+    WidthAnalysisPass,
+    WidthResult,
+    WidthVal,
+    analyze_widths,
+)
 
 __all__ = [
     "RULES",
+    "WIDTH_ANALYSIS_VERSION",
     "AnalysisContext",
     "CfgStructurePass",
     "DeadWritePass",
@@ -62,8 +76,16 @@ __all__ = [
     "Uniformity",
     "UniformityResult",
     "UninitializedReadPass",
+    "WidthAnalysisPass",
+    "WidthResult",
+    "WidthVal",
     "analyze_uniformity",
+    "analyze_widths",
     "block_pressure",
+    "diagnostic_key",
+    "load_baseline",
+    "unsuppressed",
+    "write_baseline",
     "default_manager",
     "default_passes",
     "definite_assignment",

@@ -1,0 +1,83 @@
+"""Lint-baseline suppression: fail only on *new* diagnostics.
+
+A baseline file records the currently-known diagnostics as a sorted
+JSON array of stable keys.  ``repro lint --baseline FILE`` subtracts
+the recorded findings from the gate so a newly-introduced rule (or a
+newly-analyzed kernel) can land without flipping CI red, while any
+diagnostic *not* in the baseline still fails the run.  Regenerate with
+``repro lint --write-baseline FILE`` once the recorded findings are
+triaged.
+
+Keys deliberately exclude the message text: messages carry counts and
+percentages that drift with workload scale, while ``(rule, kernel,
+block, instruction)`` pins the finding's identity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.static_.diagnostics import Diagnostic, LintReport
+
+#: Format marker inside baseline files; bump on incompatible changes.
+BASELINE_VERSION = 1
+
+#: The identity of one suppressed finding.
+BaselineKey = tuple[str, str, int | None, int | None]
+
+
+def diagnostic_key(diagnostic: Diagnostic) -> BaselineKey:
+    """The stable identity of one diagnostic."""
+    return (
+        diagnostic.rule,
+        diagnostic.kernel,
+        diagnostic.block_id,
+        diagnostic.inst_index,
+    )
+
+
+def write_baseline(reports: list[LintReport], path: str | Path) -> int:
+    """Record every current diagnostic; returns the number written."""
+    keys = sorted(
+        {diagnostic_key(d) for report in reports for d in report.diagnostics},
+        key=lambda k: (k[0], k[1], k[2] if k[2] is not None else -1,
+                       k[3] if k[3] is not None else -1),
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressed": [list(key) for key in keys],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(keys)
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    """Load a baseline's suppressed-diagnostic keys.
+
+    Raises ``ValueError`` on a malformed or wrong-version file — a
+    silently-ignored baseline would un-suppress everything and fail CI
+    with a misleading wall of findings.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a lint baseline (expected version {BASELINE_VERSION})"
+        )
+    keys: set[BaselineKey] = set()
+    for entry in payload.get("suppressed", []):
+        rule, kernel, block, inst = entry
+        keys.add((str(rule), str(kernel),
+                  None if block is None else int(block),
+                  None if inst is None else int(inst)))
+    return keys
+
+
+def unsuppressed(
+    report: LintReport, suppressed: set[BaselineKey]
+) -> list[Diagnostic]:
+    """The report's diagnostics that are *not* in the baseline."""
+    return [d for d in report.diagnostics if diagnostic_key(d) not in suppressed]

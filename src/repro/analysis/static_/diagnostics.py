@@ -63,7 +63,43 @@ RULES: dict[str, tuple[Severity, str]] = {
     "GS-I201": (Severity.INFO, "static scalarization summary"),
     "GS-I202": (Severity.INFO, "register pressure / encoding width report"),
     "GS-I203": (Severity.INFO, "degenerate branch: both arms identical"),
+    "GS-W104": (Severity.WARNING, "register provably narrow but allocated full-width"),
+    "GS-I204": (Severity.INFO, "static compressibility report"),
 }
+
+_SEVERITY_LETTER = {Severity.ERROR: "E", Severity.WARNING: "W", Severity.INFO: "I"}
+
+
+def _validate_rules(rules: dict[str, tuple[Severity, str]]) -> None:
+    """Sanity-check the rule vocabulary at import time.
+
+    Codes must be well-formed ``GS-<letter><3 digits>``, the severity
+    letter must agree with the registered :class:`Severity`, and titles
+    must be non-empty.  (Uniqueness is structural — ``rules`` is a dict —
+    so we instead reject accidental *reuse* of the numeric part across
+    severities, which would make codes ambiguous in prose.)
+    """
+    seen_numbers: dict[str, str] = {}
+    for code, (severity, title) in rules.items():
+        if len(code) != 7 or not code.startswith("GS-") or not code[4:].isdigit():
+            raise ValueError(f"malformed rule code {code!r}")
+        letter = code[3]
+        if letter != _SEVERITY_LETTER[severity]:
+            raise ValueError(
+                f"rule {code}: severity letter {letter!r} does not match "
+                f"registered severity {severity.value!r}"
+            )
+        if not title:
+            raise ValueError(f"rule {code}: empty title")
+        number = code[4:]
+        if number in seen_numbers:
+            raise ValueError(
+                f"rule {code}: number {number} already used by {seen_numbers[number]}"
+            )
+        seen_numbers[number] = code
+
+
+_validate_rules(RULES)
 
 
 @dataclass(frozen=True)

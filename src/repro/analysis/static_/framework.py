@@ -79,6 +79,7 @@ def default_passes(max_registers: int = 64) -> list[LintPass]:
     from repro.analysis.static_.pressure import RegisterPressurePass
     from repro.analysis.static_.uninit import UninitializedReadPass
     from repro.analysis.static_.uniformity import StaticScalarizationPass
+    from repro.analysis.static_.widths import WidthAnalysisPass
 
     return [
         CfgStructurePass(),
@@ -86,6 +87,7 @@ def default_passes(max_registers: int = 64) -> list[LintPass]:
         DeadWritePass(),
         RegisterPressurePass(max_registers=max_registers),
         StaticScalarizationPass(),
+        WidthAnalysisPass(),
     ]
 
 

@@ -109,7 +109,14 @@ def _lint_main(argv: list[str]) -> int:
     ``--fail-on`` severity (default: error), making the command directly
     usable as a CI gate.
     """
-    from repro.analysis.static_ import PassManager, Severity, default_passes
+    from repro.analysis.static_ import (
+        PassManager,
+        Severity,
+        default_passes,
+        load_baseline,
+        unsuppressed,
+        write_baseline,
+    )
     from repro.workloads.registry import all_workloads, build_workload, workload_by_name
 
     parser = argparse.ArgumentParser(
@@ -129,15 +136,39 @@ def _lint_main(argv: list[str]) -> int:
         help="workload problem size (default: default)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format: human-readable text (default) or one flat "
+        "JSON array of diagnostics (rule, severity, kernel, block, "
+        "instruction, message)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit one JSON report array instead of text",
+        help="emit the legacy nested per-kernel JSON reports "
+        "(prefer --format=json, a flat diagnostic array)",
     )
     parser.add_argument(
         "--fail-on",
         choices=("warning", "error"),
         default="error",
         help="lowest severity that fails the run (default: error)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress diagnostics recorded in FILE; only *new* findings "
+        "count toward --fail-on",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current diagnostics to FILE (then exit 0 unless "
+        "new findings remain against an existing --baseline)",
     )
     parser.add_argument(
         "--min-severity",
@@ -174,7 +205,26 @@ def _lint_main(argv: list[str]) -> int:
         kernel = build_workload(spec.abbr, args.scale).kernel
         reports.append(manager.run(kernel))
 
-    failing = sum(1 for report in reports if report.at_least(threshold))
+    suppressed = set()
+    if args.baseline is not None:
+        try:
+            suppressed = load_baseline(args.baseline)
+        except FileNotFoundError:
+            parser.error(f"baseline file not found: {args.baseline}")
+        except ValueError as exc:
+            parser.error(str(exc))
+    gated = [unsuppressed(report, suppressed) for report in reports]
+    failing = sum(
+        1
+        for found in gated
+        if any(d.severity >= threshold for d in found)
+    )
+    if args.write_baseline is not None:
+        recorded = write_baseline(reports, args.write_baseline)
+        print(
+            f"[recorded {recorded} diagnostic(s) to {args.write_baseline}]",
+            file=sys.stderr,
+        )
     if args.metrics_out is not None:
         # Static-analysis results flow through the same metrics
         # exposition as the dynamic pipeline: one counter per rule
@@ -194,12 +244,21 @@ def _lint_main(argv: list[str]) -> int:
         print(f"[wrote lint metrics to {args.metrics_out}]", file=sys.stderr)
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+    elif args.output_format == "json":
+        # The stable machine interface: one flat array, one object per
+        # diagnostic, in pass order within each kernel (shape pinned by
+        # tests/analysis/test_static_lint.py).
+        diagnostics = [
+            d.to_dict() for report in reports for d in report.diagnostics
+        ]
+        print(json.dumps(diagnostics, indent=2, sort_keys=True))
     else:
         for report in reports:
             print(report.render(min_severity=min_shown))
+        suffix = f" ({len(suppressed)} baselined)" if args.baseline else ""
         print(
             f"[linted {len(reports)} kernel(s): {failing} at or above "
-            f"{threshold.value}]",
+            f"{threshold.value}{suffix}]",
             file=sys.stderr,
         )
     return 1 if failing else 0
@@ -357,6 +416,13 @@ def main(argv: list[str] | None = None) -> int:
         help="append text bar-chart views to fig11/fig12 output",
     )
     parser.add_argument(
+        "--widths",
+        action="store_true",
+        help="staticdyn only: validate the static width analysis against "
+        "the dynamic enc-prefix stream; exits 1 if any static claim "
+        "over-promises (soundness gate)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -418,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.widths and args.experiment not in ("staticdyn", "all"):
+        parser.error("--widths only applies to the staticdyn experiment")
 
     wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     needs_runner = any(name in _TRACE_EXPERIMENTS for name in wanted)
@@ -482,9 +550,18 @@ def _experiment_main(
         runner.prefetch(jobs=args.jobs, warp_sizes=warp_sizes, arches=arches)
     json_results = []
     experiment_seconds: dict[str, float] = {}
+    exit_code = 0
     for name in wanted:
         started = time.time()
         print(_run_one(name, runner))
+        if name == "staticdyn" and args.widths:
+            # Width-claim soundness gate: zero over-claims or exit 1.
+            assert runner is not None
+            widths_data = staticdyn.compute_widths(runner)
+            print()
+            print(staticdyn.render_widths(widths_data))
+            if widths_data.total_over_claims:
+                exit_code = 1
         if args.bars and name in ("fig11", "fig12") and runner is not None:
             print()
             print(_bars_for(name, runner))
@@ -519,7 +596,7 @@ def _experiment_main(
             json.dump(stats, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"[wrote stats to {args.stats_json}]", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -134,6 +134,12 @@ class ArchitectureConfig:
     #: IPC series shows only the 3-cycle latency penalty — so it
     #: defaults to False and exists for the ablation benchmarks.
     scalar_fast_dispatch: bool = False
+    #: Compile-time register compression (Angerd/Sintorn/Stenström,
+    #: arXiv:2006.05693): registers the static width analysis proves
+    #: narrow are stored/fetched compressed, with *no* runtime detection
+    #: hardware (no comparator energy, no BVR/EBR sidecar).  Mutually
+    #: exclusive with the dynamic compression mechanisms.
+    static_compression: bool = False
 
     def __post_init__(self) -> None:
         if self.half_warp_scalar and not self.half_register_compression:
@@ -150,6 +156,16 @@ class ArchitectureConfig:
             )
         if self.extra_pipeline_cycles < 0:
             raise ConfigError(f"{self.name}: extra_pipeline_cycles must be >= 0")
+        if self.static_compression and self.register_compression:
+            raise ConfigError(
+                f"{self.name}: static compression replaces the dynamic "
+                "detector; enabling both would double-count the RF savings"
+            )
+        if self.static_compression and self.dedicated_scalar_rf:
+            raise ConfigError(
+                f"{self.name}: static compression models the shared vector "
+                "RF; a dedicated scalar RF has no compressed storage"
+            )
 
     @staticmethod
     def baseline() -> "ArchitectureConfig":
@@ -216,6 +232,33 @@ class ArchitectureConfig:
             extra_pipeline_cycles=3,
         )
 
+    @staticmethod
+    def static_compress() -> "ArchitectureConfig":
+        """Statically-compressed register file (not in the paper).
+
+        The compile-time counterpart to G-Scalar's dynamic detector
+        (ROADMAP architecture-variants item (a), after
+        Angerd/Sintorn/Stenström, arXiv:2006.05693): only registers the
+        ``repro.analysis.static_.widths`` pass *proves* narrow are
+        stored compressed.  Reads of proven-narrow registers fetch the
+        compressed bytes and expand through the decompressor; writes
+        never pay detection energy because the width is a compile-time
+        fact.  No scalar execution, no sidecar metadata — the encoding
+        is in the program text.  The 3-cycle pipeline stretch models the
+        decompress stage, matching the dynamic variants.
+        """
+        return ArchitectureConfig(
+            name="static_compress",
+            scalar_mode=ScalarMode.NONE,
+            register_compression=False,
+            half_register_compression=False,
+            half_warp_scalar=False,
+            divergent_scalar=False,
+            dedicated_scalar_rf=False,
+            extra_pipeline_cycles=3,
+            static_compression=True,
+        )
+
     def replace(self, **changes: object) -> "ArchitectureConfig":
         """Return a copy with the given fields changed (for ablations)."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
@@ -230,11 +273,19 @@ EVALUATED_ARCHITECTURES = (
     ArchitectureConfig.gscalar(),
 )
 
+#: All modeled architectures: the paper's four plus the repo-grown
+#: static-compression design point (kept out of the figure-faithful
+#: :data:`EVALUATED_ARCHITECTURES` tuple so the paper's charts keep
+#: their four series).
+ALL_ARCHITECTURES = EVALUATED_ARCHITECTURES + (
+    ArchitectureConfig.static_compress(),
+)
+
 
 def architecture_by_name(name: str) -> ArchitectureConfig:
-    """Look up one of the evaluated architectures by its name."""
-    for arch in EVALUATED_ARCHITECTURES:
+    """Look up one of the modeled architectures by its name."""
+    for arch in ALL_ARCHITECTURES:
         if arch.name == name:
             return arch
-    known = ", ".join(a.name for a in EVALUATED_ARCHITECTURES)
+    known = ", ".join(a.name for a in ALL_ARCHITECTURES)
     raise ConfigError(f"unknown architecture {name!r}; known: {known}")

@@ -139,6 +139,7 @@ def stage_fingerprint(
     stage_version: int,
     engine: str = "batch",
     sm_engine: str = "event",
+    analysis_version: int | None = None,
 ) -> str:
     """Fingerprint identifying one (benchmark, architecture) result pair.
 
@@ -150,8 +151,12 @@ def stage_fingerprint(
     produced the results — each engine pair is differentially tested to
     be bit-identical, but keying them separately guarantees one engine
     can never silently replay the other's sidecars while investigating
-    a divergence.
+    a divergence.  ``analysis_version`` keys results that consume a
+    static-analysis artifact (the width analysis feeding
+    ``static_compress``) to that analysis's version, so tightening a
+    transfer function invalidates exactly the results it can change.
     """
-    return fingerprint(
-        "stage", stage_version, trace_fp, arch, config, params, engine, sm_engine
-    )
+    parts = ["stage", stage_version, trace_fp, arch, config, params, engine, sm_engine]
+    if analysis_version is not None:
+        parts.append(("analysis", analysis_version))
+    return fingerprint(*parts)

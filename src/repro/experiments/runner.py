@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
+from repro.analysis.static_.widths import WIDTH_ANALYSIS_VERSION, analyze_widths
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.errors import TraceError
 from repro.experiments import cachekey
@@ -91,6 +92,13 @@ def paper_architectures() -> tuple[ArchitectureConfig, ...]:
         ArchitectureConfig.gscalar_no_divergent(),
         ArchitectureConfig.gscalar(),
     )
+
+
+def matrix_architectures() -> tuple[ArchitectureConfig, ...]:
+    """Every modeled architecture: the paper's four plus the
+    statically-compressed RF design point (kept out of
+    :func:`paper_architectures` so the figure series stay faithful)."""
+    return paper_architectures() + (ArchitectureConfig.static_compress(),)
 
 
 class RunnerStats:
@@ -272,6 +280,7 @@ class ExperimentRunner:
         self.stats = RunnerStats(telemetry=telemetry if telemetry.enabled else None)
         self._runs: dict[str, BenchmarkRun] = {}
         self._warp_traces: dict[tuple[str, int], KernelTrace] = {}
+        self._static_widths: dict[str, tuple[int, ...]] = {}
         self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
         self._classified_columns: dict[str, ClassifiedColumns] = {}
         self._processed_columns: dict[tuple[str, str], ProcessedColumns] = {}
@@ -476,6 +485,27 @@ class ExperimentRunner:
         return self._warp_traces[token]
 
     # ------------------------------------------------------------------
+    def static_widths(self, abbr: str) -> tuple[int, ...]:
+        """Per-register guaranteed ``enc`` table from the width analysis.
+
+        Architecture-independent (a pure function of the kernel), cached
+        per benchmark and fed to the ``static_compress`` interpretation
+        by both engines.  Cheap relative to tracing, so it is recomputed
+        per process rather than persisted; the results sidecars it feeds
+        are keyed on :data:`~repro.analysis.static_.widths.WIDTH_ANALYSIS_VERSION`.
+        """
+        key = self._normalize(abbr)
+        if key not in self._static_widths:
+            run = self.run(key)
+            with self.stats.timer("width_analysis", benchmark=key):
+                self._static_widths[key] = analyze_widths(
+                    run.built.kernel, warp_size=run.trace.warp_size
+                ).register_enc
+        return self._static_widths[key]
+
+    def _widths_for(self, abbr: str, arch: ArchitectureConfig):
+        return self.static_widths(abbr) if arch.static_compression else None
+
     def processed(
         self, abbr: str, arch: ArchitectureConfig
     ) -> list[list[ProcessedEvent]]:
@@ -483,9 +513,10 @@ class ExperimentRunner:
         key = (self._normalize(abbr), arch.name)
         if key not in self._processed:
             run = self.run(key[0])
+            widths = self._widths_for(key[0], arch)
             with self.stats.timer("process", benchmark=key[0], arch=arch.name):
                 self._processed[key] = process_classified(
-                    run.classified, arch, run.trace.warp_size
+                    run.classified, arch, run.trace.warp_size, static_widths=widths
                 )
         return self._processed[key]
 
@@ -506,8 +537,11 @@ class ExperimentRunner:
         key = (self._normalize(abbr), arch.name)
         if key not in self._processed_columns:
             ccols = self.classified_columns(key[0])
+            widths = self._widths_for(key[0], arch)
             with self.stats.timer("process", benchmark=key[0], arch=arch.name):
-                self._processed_columns[key] = process_columns(ccols, arch)
+                self._processed_columns[key] = process_columns(
+                    ccols, arch, static_widths=widths
+                )
         return self._processed_columns[key]
 
     def _results_fingerprint(self, run: BenchmarkRun, arch: ArchitectureConfig) -> str:
@@ -519,6 +553,9 @@ class ExperimentRunner:
             STAGE_VERSION,
             engine=self.arch_engine,
             sm_engine=self.sm_engine,
+            analysis_version=(
+                WIDTH_ANALYSIS_VERSION if arch.static_compression else None
+            ),
         )
 
     def _load_results(self, key: str, arch: ArchitectureConfig) -> bool:

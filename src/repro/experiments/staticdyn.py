@@ -37,6 +37,7 @@ from repro.analysis.static_.uniformity import (
     StaticScalarClass,
     analyze_uniformity,
 )
+from repro.analysis.static_.widths import analyze_widths
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.tables import render_table
 from repro.isa.kernel import Kernel
@@ -207,6 +208,184 @@ def compute(runner: ExperimentRunner) -> StaticDynData:
             )
         )
     return StaticDynData(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Width-claim validation (``repro staticdyn --widths``).
+# ----------------------------------------------------------------------
+@dataclass
+class WidthDynRow:
+    """Per-benchmark join of static width claims and dynamic encodings.
+
+    Every dynamic write event is compared against its static site's
+    *guaranteed* ``enc`` claim (``WidthResult.site_claims``).  An
+    **over-claim** — the tracker observing fewer redundant prefix bytes
+    than the analysis guaranteed — is a soundness bug; the gate demands
+    zero.  Byte-level scores quantify the static/dynamic gap:
+
+    * **precision** — of the prefix bytes the analysis claimed, the
+      fraction the tracker confirmed (1.0 exactly when sound);
+    * **recall** — of the prefix bytes the tracker observed, the
+      fraction the analysis proved (the headroom dynamic detection
+      keeps over the compile-time variant);
+    * **coverage** — write events at sites with a non-zero claim, over
+      all write events.
+    """
+
+    abbr: str
+    narrow_registers: int
+    registers: int
+    write_events: int
+    claimed_events: int  # write events whose site claims enc >= 1
+    over_claims: int  # events where observed enc < claimed enc
+    claimed_bytes: int  # sum of static claims over write events
+    confirmed_bytes: int  # sum of min(claim, observed)
+    observed_bytes: int  # sum of dynamic enc over write events
+
+    @property
+    def precision(self) -> float:
+        if self.claimed_bytes == 0:
+            return 1.0
+        return self.confirmed_bytes / self.claimed_bytes
+
+    @property
+    def recall(self) -> float:
+        if self.observed_bytes == 0:
+            return 1.0
+        return self.claimed_bytes / self.observed_bytes
+
+    @property
+    def coverage(self) -> float:
+        if self.write_events == 0:
+            return 0.0
+        return self.claimed_events / self.write_events
+
+
+@dataclass
+class WidthDynData:
+    rows: list[WidthDynRow]
+
+    def _average(self, getter) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(getter(r) for r in self.rows) / len(self.rows)
+
+    @property
+    def average_precision(self) -> float:
+        return self._average(lambda r: r.precision)
+
+    @property
+    def average_recall(self) -> float:
+        return self._average(lambda r: r.recall)
+
+    @property
+    def average_coverage(self) -> float:
+        return self._average(lambda r: r.coverage)
+
+    @property
+    def total_over_claims(self) -> int:
+        return sum(r.over_claims for r in self.rows)
+
+
+def score_widths_benchmark(
+    abbr: str,
+    kernel: Kernel,
+    warps: list[WarpTrace],
+    classified: list[list[ClassifiedEvent]],
+    warp_size: int = 32,
+) -> WidthDynRow:
+    """Join one benchmark's width claims against its dynamic trace."""
+    result = analyze_widths(kernel, warp_size=warp_size)
+    counts = result.counts()
+
+    write_events = claimed_events = over = 0
+    claimed_bytes = confirmed_bytes = observed_bytes = 0
+    for warp, events in zip(warps, classified):
+        for event_index, site in annotate_sites(kernel, warp):
+            if site is None:
+                continue
+            item = events[event_index]
+            if item.dst_encoding is None:
+                continue
+            observed = item.dst_encoding.enc
+            claim = result.claim_at(*site) or 0
+            write_events += 1
+            observed_bytes += observed
+            claimed_bytes += claim
+            confirmed_bytes += min(claim, observed)
+            if claim >= 1:
+                claimed_events += 1
+            if observed < claim:
+                over += 1
+    return WidthDynRow(
+        abbr=abbr,
+        narrow_registers=counts["narrow_registers"],
+        registers=counts["registers"],
+        write_events=write_events,
+        claimed_events=claimed_events,
+        over_claims=over,
+        claimed_bytes=claimed_bytes,
+        confirmed_bytes=confirmed_bytes,
+        observed_bytes=observed_bytes,
+    )
+
+
+def compute_widths(runner: ExperimentRunner) -> WidthDynData:
+    """Validate the width analysis against every benchmark's trace."""
+    rows = []
+    for abbr in runner.benchmark_names():
+        run = runner.run(abbr)
+        rows.append(
+            score_widths_benchmark(
+                abbr,
+                run.built.kernel,
+                run.trace.warps,
+                run.classified,
+                warp_size=run.trace.warp_size,
+            )
+        )
+    return WidthDynData(rows=rows)
+
+
+def render_widths(data: WidthDynData) -> str:
+    """The width-claim validation as a text table."""
+    table_rows = [
+        (
+            row.abbr,
+            f"{row.narrow_registers}/{row.registers}",
+            f"{100 * row.coverage:.1f}",
+            f"{100 * row.precision:.1f}",
+            f"{100 * row.recall:.1f}",
+            str(row.over_claims),
+        )
+        for row in data.rows
+    ]
+    table_rows.append(
+        (
+            "AVG",
+            "-",
+            f"{100 * data.average_coverage:.1f}",
+            f"{100 * data.average_precision:.1f}",
+            f"{100 * data.average_recall:.1f}",
+            str(data.total_over_claims),
+        )
+    )
+    body = render_table(
+        ["bench", "narrow regs", "coverage", "precision", "recall", "over-claims"],
+        table_rows,
+        title="Static width claims vs dynamic enc prefixes (% of write events)",
+    )
+    verdict = (
+        "SOUND: every static width claim was dynamically observed"
+        if data.total_over_claims == 0
+        else f"UNSOUND: {data.total_over_claims} write event(s) narrower than claimed"
+    )
+    return (
+        body
+        + "\nrecall shortfall = headroom dynamic byte-prefix detection keeps"
+        + "\nover compile-time proven widths (analysis.static_.widths)"
+        + f"\n{verdict}"
+    )
 
 
 def render(data: StaticDynData) -> str:

@@ -79,6 +79,7 @@ def process_columns(
     ccols: ClassifiedColumns,
     arch: ArchitectureConfig,
     move_elision=None,
+    static_widths=None,
 ) -> ProcessedColumns:
     """Interpret a classified column set for one architecture.
 
@@ -86,10 +87,20 @@ def process_columns(
     :func:`repro.scalar.architectures.process_classified`:
     ``move_elision`` optionally applies the §3.3 compiler-assisted
     decompress-move elision (compression-backed architectures only,
-    same as the event engine).
+    same as the event engine); ``static_widths`` is the per-register
+    proven ``enc`` table feeding the static-compression architecture
+    (required when ``arch.static_compression``).
     """
     if ccols.warp_size < 1:
         raise ConfigError(f"warp_size must be >= 1, got {ccols.warp_size}")
+    if arch.static_compression:
+        if static_widths is None:
+            raise ConfigError(
+                f"{arch.name}: static compression needs the kernel's "
+                "per-register guaranteed widths (analyze_widths(...)."
+                "register_enc)"
+            )
+        return _process_static(ccols, arch, static_widths)
     if arch.register_compression:
         return _process_compressed(ccols, arch, move_elision)
     if arch.dedicated_scalar_rf:
@@ -351,6 +362,95 @@ def _process_plain(
         acc_kind_ids=kind_ids,
         acc_registers=registers,
         acc_enc=np.zeros(total, dtype=np.int8),
+        acc_enc_lo=np.zeros(total, dtype=np.int8),
+        acc_enc_hi=np.zeros(total, dtype=np.int8),
+        acc_half=np.zeros(total, dtype=bool),
+        acc_masks=acc_masks,
+        acc_sidecar=np.zeros(total, dtype=bool),
+    )
+
+
+# ----------------------------------------------------------------------
+# Statically-compressed register file (compile-time proven widths).
+# ----------------------------------------------------------------------
+def _process_static(
+    ccols: ClassifiedColumns,
+    arch: ArchitectureConfig,
+    static_widths,
+) -> ProcessedColumns:
+    """Vector form of ``ArchitectureView._process_static_compressed``.
+
+    Every access shape is a pure table lookup — register id into the
+    proven-width table — so this is the simplest vectorized regime:
+    like :func:`_process_plain` but with reads/writes of proven-narrow
+    registers emitted as sidecar-less compressed accesses, plus a
+    decompressor tick per compressed read.  No scalar execution, no
+    compressor energy, no extra instructions.
+    """
+    widths_arr = np.asarray(static_widths, dtype=np.int8)
+    no_scalar = np.zeros(ccols.num_events, dtype=bool)
+    no_half = np.zeros(ccols.num_events, dtype=bool)
+
+    src_offsets = ccols.src_offsets
+    src_counts = np.diff(src_offsets)
+    src_enc = widths_arr[ccols.src_registers]
+    compressed_src = src_enc > 0
+    decompressor = _segment_sums(compressed_src, src_offsets).astype(np.int32)
+
+    has_dst = ccols.has_dst_enc
+    acc_counts = src_counts + has_dst.astype(np.int64)
+    acc_offsets = np.zeros(len(acc_counts) + 1, dtype=np.int64)
+    np.cumsum(acc_counts, out=acc_offsets[1:])
+    total = int(acc_offsets[-1])
+
+    kind_ids = np.empty(total, dtype=np.uint8)
+    registers = np.empty(total, dtype=np.int32)
+    enc = np.zeros(total, dtype=np.int8)
+    acc_masks = np.zeros(total, dtype=np.uint64)
+
+    m_src = int(src_offsets[-1])
+    if m_src:
+        pos_src = np.repeat(acc_offsets[:-1], src_counts) + (
+            np.arange(m_src, dtype=np.int64) - np.repeat(src_offsets[:-1], src_counts)
+        )
+        kind_ids[pos_src] = np.where(
+            compressed_src, COMPRESSED_READ_ID, FULL_READ_ID
+        ).astype(np.uint8)
+        registers[pos_src] = ccols.src_registers
+        enc[pos_src] = src_enc  # zero wherever the read is full
+
+    write_idx = np.flatnonzero(has_dst)
+    if len(write_idx):
+        pos_dst = acc_offsets[write_idx + 1] - 1
+        div_w = ccols.divergent[write_idx]
+        dst_enc = widths_arr[ccols.dst[write_idx]]
+        kind_ids[pos_dst] = np.where(
+            div_w,
+            PARTIAL_WRITE_ID,
+            np.where(dst_enc > 0, COMPRESSED_WRITE_ID, FULL_WRITE_ID),
+        ).astype(np.uint8)
+        registers[pos_dst] = ccols.dst[write_idx]
+        enc[pos_dst] = np.where(div_w, 0, dst_enc).astype(np.int8)
+        acc_masks[pos_dst] = np.where(div_w, ccols.masks[write_idx], 0)
+
+    zeros32 = np.zeros(ccols.num_events, dtype=np.int32)
+    return ProcessedColumns(
+        warp_size=ccols.warp_size,
+        warp_lengths=ccols.warp_lengths,
+        opcode_ids=ccols.opcode_ids,
+        category_codes=ccols.category_codes,
+        active_lanes=ccols.active_lanes,
+        scalar_executed=no_scalar,
+        lo_half_scalar=no_half,
+        hi_half_scalar=no_half.copy(),
+        exec_lanes=_exec_lanes(ccols, no_scalar, no_half, no_half),
+        extra_instructions=zeros32,
+        compressor_ops=zeros32.copy(),
+        decompressor_ops=decompressor,
+        acc_offsets=acc_offsets,
+        acc_kind_ids=kind_ids,
+        acc_registers=registers,
+        acc_enc=enc,
         acc_enc_lo=np.zeros(total, dtype=np.int8),
         acc_enc_hi=np.zeros(total, dtype=np.int8),
         acc_half=np.zeros(total, dtype=bool),

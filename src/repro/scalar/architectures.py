@@ -65,20 +65,109 @@ class ArchitectureView:
     provably dead.
     """
 
-    def __init__(self, arch: ArchitectureConfig, warp_size: int, move_elision=None):
+    def __init__(
+        self,
+        arch: ArchitectureConfig,
+        warp_size: int,
+        move_elision=None,
+        static_widths=None,
+    ):
         self.arch = arch
         self.warp_size = warp_size
         self.half_lanes = warp_size // 2
         self.move_elision = move_elision
+        if arch.static_compression and static_widths is None:
+            raise ConfigError(
+                f"{arch.name}: static compression needs the kernel's "
+                "per-register guaranteed widths (analyze_widths(...)."
+                "register_enc)"
+            )
+        self.static_widths = static_widths
         self._scalar_rf: ScalarRegisterFile | None = (
             ScalarRegisterFile() if arch.dedicated_scalar_rf else None
         )
 
     # ------------------------------------------------------------------
     def process(self, item: ClassifiedEvent) -> ProcessedEvent:
+        if self.arch.static_compression:
+            return self._process_static_compressed(item)
         if self.arch.register_compression:
             return self._process_compressed(item)
         return self._process_uncompressed(item)
+
+    # ------------------------------------------------------------------
+    # Static compression: compile-time proven widths, no detector.
+    # ------------------------------------------------------------------
+    def _process_static_compressed(self, item: ClassifiedEvent) -> ProcessedEvent:
+        """Compressed RF driven purely by the static width analysis.
+
+        A register the analysis proves to keep ``enc`` zero prefix bytes
+        on *every* path is stored compressed: reads activate only the
+        live arrays and expand through the decompressor; full writes
+        store the proven-narrow bytes.  There is no compressor energy
+        anywhere — the width is a compile-time fact, nothing is detected
+        at runtime — and no sidecar, because the encoding lives in the
+        program text rather than in per-register metadata.  Divergent
+        partial writes are billed at the baseline masked-array cost (a
+        conservative over-estimate for compressed registers).
+        """
+        widths = self.static_widths
+        assert widths is not None
+        accesses: list[RegisterAccess] = []
+        decompressor_ops = 0
+        for source in item.sources:
+            enc = widths[source.register]
+            if enc > 0:
+                accesses.append(
+                    RegisterAccess(
+                        kind=AccessKind.COMPRESSED_READ,
+                        register=source.register,
+                        enc=enc,
+                    )
+                )
+                decompressor_ops += 1
+            else:
+                accesses.append(
+                    RegisterAccess(kind=AccessKind.FULL_READ, register=source.register)
+                )
+
+        if item.dst_encoding is not None:
+            event = item.event
+            dst = event.dst
+            assert dst is not None
+            if item.divergent:
+                accesses.append(
+                    RegisterAccess(
+                        kind=AccessKind.PARTIAL_WRITE,
+                        register=dst,
+                        active_mask=event.active_mask,
+                    )
+                )
+            else:
+                enc = widths[dst]
+                if enc > 0:
+                    accesses.append(
+                        RegisterAccess(
+                            kind=AccessKind.COMPRESSED_WRITE, register=dst, enc=enc
+                        )
+                    )
+                else:
+                    accesses.append(
+                        RegisterAccess(kind=AccessKind.FULL_WRITE, register=dst)
+                    )
+
+        exec_lanes = self._exec_lanes(item, False, False, False)
+        return ProcessedEvent(
+            classified=item,
+            scalar_executed=False,
+            lo_half_scalar=False,
+            hi_half_scalar=False,
+            exec_lanes=exec_lanes,
+            rf_accesses=tuple(accesses),
+            extra_instructions=0,
+            compressor_ops=0,
+            decompressor_ops=decompressor_ops,
+        )
 
     # ------------------------------------------------------------------
     # G-Scalar variants: compression-backed register file.
@@ -333,6 +422,7 @@ def process_trace(
     arch: ArchitectureConfig,
     num_registers: int,
     classifier: str = "batch",
+    static_widths=None,
 ) -> list[list[ProcessedEvent]]:
     """Classify and process a whole kernel trace for one architecture.
 
@@ -343,7 +433,7 @@ def process_trace(
     classified = classify_trace_with(trace, num_registers, classifier)
     processed: list[list[ProcessedEvent]] = []
     for warp_events in classified:
-        view = ArchitectureView(arch, trace.warp_size)
+        view = ArchitectureView(arch, trace.warp_size, static_widths=static_widths)
         processed.append([view.process(item) for item in warp_events])
     return processed
 
@@ -353,15 +443,20 @@ def process_classified(
     arch: ArchitectureConfig,
     warp_size: int,
     move_elision=None,
+    static_widths=None,
 ) -> list[list[ProcessedEvent]]:
     """Process pre-classified warps (lets callers classify once and
     evaluate many architectures).  ``move_elision`` optionally applies
-    the §3.3 compiler-assisted decompress-move elision."""
+    the §3.3 compiler-assisted decompress-move elision; ``static_widths``
+    feeds the static-compression architecture its per-register proven
+    ``enc`` table (required when ``arch.static_compression``)."""
     if warp_size < 1:
         raise ConfigError(f"warp_size must be >= 1, got {warp_size}")
     processed: list[list[ProcessedEvent]] = []
     for warp_events in classified:
-        view = ArchitectureView(arch, warp_size, move_elision=move_elision)
+        view = ArchitectureView(
+            arch, warp_size, move_elision=move_elision, static_widths=static_widths
+        )
         processed.append([view.process(item) for item in warp_events])
     return processed
 

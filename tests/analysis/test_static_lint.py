@@ -21,6 +21,13 @@ from repro.analysis.static_ import (
     lint_kernel,
     uninitialized_reads,
 )
+from repro.analysis.static_ import (
+    diagnostic_key,
+    load_baseline,
+    unsuppressed,
+    write_baseline,
+)
+from repro.analysis.static_.diagnostics import _validate_rules
 from repro.analysis.static_.framework import AnalysisContext
 from repro.isa import KernelBuilder
 from repro.isa.instructions import Imm, Instruction, Reg
@@ -39,6 +46,98 @@ def maybe_uninit_kernel():
         x = b.mov(5)
     b.iadd(x, 1)
     return b.finish()
+
+
+class TestRuleRegistry:
+    """The public rule table is frozen: additions only, never edits."""
+
+    EXPECTED = {
+        "GS-E001": Severity.ERROR,
+        "GS-E002": Severity.ERROR,
+        "GS-E003": Severity.ERROR,
+        "GS-W101": Severity.WARNING,
+        "GS-W102": Severity.WARNING,
+        "GS-W103": Severity.WARNING,
+        "GS-W104": Severity.WARNING,
+        "GS-I201": Severity.INFO,
+        "GS-I202": Severity.INFO,
+        "GS-I203": Severity.INFO,
+        "GS-I204": Severity.INFO,
+    }
+
+    def test_rule_table_is_locked(self):
+        assert {code: sev for code, (sev, _t) in RULES.items()} == self.EXPECTED
+
+    def test_titles_are_nonempty(self):
+        assert all(title for _sev, title in RULES.values())
+
+    def test_validate_rejects_malformed_code(self):
+        with pytest.raises(ValueError, match="malformed"):
+            _validate_rules({"GSE001": (Severity.ERROR, "t")})
+
+    def test_validate_rejects_severity_letter_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            _validate_rules({"GS-E101": (Severity.WARNING, "t")})
+
+    def test_validate_rejects_number_reuse_across_severities(self):
+        with pytest.raises(ValueError, match="already used"):
+            _validate_rules(
+                {
+                    "GS-E001": (Severity.ERROR, "t"),
+                    "GS-W001": (Severity.WARNING, "t"),
+                }
+            )
+
+    def test_validate_rejects_empty_title(self):
+        with pytest.raises(ValueError, match="empty title"):
+            _validate_rules({"GS-E001": (Severity.ERROR, "")})
+
+
+class TestBaseline:
+    def _report(self):
+        report = LintReport(kernel="k")
+        report.extend(
+            [
+                Diagnostic(rule="GS-W101", kernel="k", message="dead",
+                           block_id=1, inst_index=2),
+                Diagnostic(rule="GS-W104", kernel="k", message="narrow r3"),
+            ]
+        )
+        return report
+
+    def test_round_trip_suppresses_everything(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "baseline.json"
+        assert write_baseline([report], path) == 2
+        suppressed = load_baseline(path)
+        assert unsuppressed(report, suppressed) == []
+
+    def test_new_findings_stay_unsuppressed(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "baseline.json"
+        write_baseline([report], path)
+        fresh = Diagnostic(rule="GS-W101", kernel="k", message="new",
+                           block_id=9, inst_index=0)
+        report.extend([fresh])
+        remaining = unsuppressed(report, load_baseline(path))
+        assert remaining == [fresh]
+
+    def test_key_excludes_message(self):
+        a = Diagnostic(rule="GS-W104", kernel="k", message="narrow, 30%")
+        b = Diagnostic(rule="GS-W104", kernel="k", message="narrow, 55%")
+        assert diagnostic_key(a) == diagnostic_key(b)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "suppressed": []}')
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            load_baseline(path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            load_baseline(path)
 
 
 class TestSeverity:

@@ -1,0 +1,303 @@
+"""Tests for the static value-width analysis (analysis.static_.widths).
+
+The transfer-family cases are shared fixtures: each one pins BOTH the
+uniformity lattice's ``_transfer`` verdict and the width lattice's
+``transfer`` result for the same instruction, so the two analyses stay
+aligned on the families they must agree about (SHL by an affine amount,
+SELP under a divergent predicate, IMAD of affine x uniform + uniform).
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+import pytest
+
+from repro.analysis.static_.uniformity import Uniformity, _transfer
+from repro.analysis.static_.widths import (
+    BOTTOM,
+    TOP_UNIFORM,
+    ZERO,
+    WidthVal,
+    analyze_widths,
+    join,
+    join_masked,
+    transfer,
+    widen,
+)
+from repro.analysis.static_ import PassManager, WidthAnalysisPass
+from repro.isa import KernelBuilder
+from repro.isa.instructions import Imm, Instruction, Reg
+from repro.isa.opcodes import Opcode
+
+_M32 = 0xFFFFFFFF
+
+#: lane-like affine value: 0..31 with stride 1.
+LANE = WidthVal(0, 31, 1)
+
+
+# ----------------------------------------------------------------------
+# Shared transfer-family fixtures (uniformity + widths).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransferCase:
+    """One instruction judged by both lattices.
+
+    ``uni_state``/``width_state`` give each register's abstract value;
+    ``expect_uniformity`` is the uniformity transfer's verdict and
+    ``check_width`` a predicate over the width transfer's result.
+    """
+
+    label: str
+    inst: Instruction
+    uni_state: dict[int, Uniformity]
+    width_state: dict[int, WidthVal]
+    expect_uniformity: Uniformity
+    check_width: Callable[[WidthVal], bool]
+
+
+TRANSFER_CASES = [
+    TransferCase(
+        label="shl-uniform-amount-keeps-affine",
+        inst=Instruction(opcode=Opcode.SHL, dst=Reg(1), srcs=(Reg(0), Imm(2))),
+        uni_state={0: Uniformity.AFFINE},
+        width_state={0: LANE},
+        expect_uniformity=Uniformity.AFFINE,
+        # (0 + 1*lane) << 2 == 0 + 4*lane, bounded by 31 << 2.
+        check_width=lambda v: v == WidthVal(0, 124, 4),
+    ),
+    TransferCase(
+        label="shl-affine-amount-destroys-structure",
+        inst=Instruction(opcode=Opcode.SHL, dst=Reg(1), srcs=(Imm(1), Reg(0))),
+        uni_state={0: Uniformity.AFFINE},
+        width_state={0: LANE},
+        expect_uniformity=Uniformity.DIVERGENT,
+        # 1 << lane: no stride, but the interval still bounds it.
+        check_width=lambda v: v.stride is None and (v.lo, v.hi) == (1, 1 << 31),
+    ),
+    TransferCase(
+        label="selp-uniform-predicate-joins-arms",
+        inst=Instruction(
+            opcode=Opcode.SELP, dst=Reg(3), srcs=(Reg(0), Reg(1), Reg(2))
+        ),
+        uni_state={
+            0: Uniformity.UNIFORM,
+            1: Uniformity.UNIFORM,
+            2: Uniformity.UNIFORM,
+        },
+        width_state={
+            0: WidthVal(3, 3, 0),
+            1: WidthVal(200, 200, 0),
+            2: WidthVal(0, 1, 0),
+        },
+        expect_uniformity=Uniformity.UNIFORM,
+        check_width=lambda v: v == WidthVal(3, 200, 0),
+    ),
+    TransferCase(
+        label="selp-divergent-predicate",
+        inst=Instruction(
+            opcode=Opcode.SELP, dst=Reg(3), srcs=(Reg(0), Reg(1), Reg(2))
+        ),
+        uni_state={
+            0: Uniformity.UNIFORM,
+            1: Uniformity.UNIFORM,
+            2: Uniformity.DIVERGENT,
+        },
+        width_state={
+            0: WidthVal(3, 3, 0),
+            1: WidthVal(200, 200, 0),
+            2: WidthVal(0, 1, None),
+        },
+        expect_uniformity=Uniformity.DIVERGENT,
+        # Per-lane arm choice: uniformity is gone, but the hull still
+        # proves three zero prefix bytes — a claim the uniformity
+        # lattice alone could never make.
+        check_width=lambda v: v.stride is None
+        and (v.lo, v.hi) == (3, 200)
+        and v.zero_bytes() == 3,
+    ),
+    TransferCase(
+        label="imad-affine-x-constant-plus-uniform",
+        inst=Instruction(
+            opcode=Opcode.IMAD, dst=Reg(2), srcs=(Reg(0), Imm(4), Reg(1))
+        ),
+        uni_state={0: Uniformity.AFFINE, 1: Uniformity.UNIFORM},
+        width_state={0: LANE, 1: WidthVal(0x100, 0x100, 0)},
+        expect_uniformity=Uniformity.AFFINE,
+        # lane*4 + 0x100: stride 4, hi = 31*4 + 0x100 = 0x17C.
+        check_width=lambda v: v == WidthVal(0x100, 0x17C, 4),
+    ),
+    TransferCase(
+        label="imad-affine-x-unknown-uniform",
+        inst=Instruction(
+            opcode=Opcode.IMAD, dst=Reg(2), srcs=(Reg(0), Reg(1), Reg(1))
+        ),
+        uni_state={0: Uniformity.AFFINE, 1: Uniformity.UNIFORM},
+        width_state={0: LANE, 1: TOP_UNIFORM},
+        # Uniformity keeps the affine *form* (unknown stride is fine);
+        # the width lattice tracks concrete strides, so it must drop it.
+        expect_uniformity=Uniformity.AFFINE,
+        check_width=lambda v: v.stride is None and (v.lo, v.hi) == (0, _M32),
+    ),
+]
+
+
+def _as_state(sparse: dict, default, size: int = 8) -> list:
+    state = [default] * size
+    for index, value in sparse.items():
+        state[index] = value
+    return state
+
+
+class TestTransferFamilies:
+    @pytest.mark.parametrize(
+        "case", TRANSFER_CASES, ids=[c.label for c in TRANSFER_CASES]
+    )
+    def test_uniformity_transfer(self, case):
+        state = _as_state(case.uni_state, Uniformity.UNDEF)
+        assert _transfer(case.inst, state) is case.expect_uniformity
+
+    @pytest.mark.parametrize(
+        "case", TRANSFER_CASES, ids=[c.label for c in TRANSFER_CASES]
+    )
+    def test_width_transfer(self, case):
+        state = _as_state(case.width_state, ZERO)
+        result = transfer(case.inst, state, warp_size=32)
+        assert case.check_width(result), result
+
+
+class TestWidthValLattice:
+    def test_zero_bytes_byte_boundaries(self):
+        assert WidthVal(0, 0, None).zero_bytes() == 4
+        assert WidthVal(0, 0xFF, None).zero_bytes() == 3
+        assert WidthVal(0, 0x100, None).zero_bytes() == 2
+        assert WidthVal(0, 0xFFFF, None).zero_bytes() == 2
+        assert WidthVal(0, 0xFFFFFF, None).zero_bytes() == 1
+        assert WidthVal(0, _M32, None).zero_bytes() == 0
+
+    def test_claimed_enc_prefers_uniformity(self):
+        assert WidthVal(0, _M32, 0).claimed_enc() == 4
+        assert WidthVal(0, 0xFF, None).claimed_enc() == 3
+        assert BOTTOM.claimed_enc() == 4
+
+    def test_join_keeps_agreeing_stride(self):
+        a = WidthVal(0, 10, 1)
+        b = WidthVal(5, 20, 1)
+        assert join(a, b) == WidthVal(0, 20, 1)
+        assert join(a, WidthVal(5, 20, 2)).stride is None
+        assert join(BOTTOM, a) == a
+        assert join(a, BOTTOM) == a
+
+    def test_join_masked_always_drops_stride(self):
+        old = WidthVal(0, 10, 0)
+        new = WidthVal(5, 20, 0)
+        merged = join_masked(old, new)
+        assert merged == WidthVal(0, 20, None)
+        # Even a masked write over bottom is stride-free: inactive
+        # lanes keep their (unknown-mix) old data.
+        assert join_masked(BOTTOM, new).stride is None
+
+    def test_widen_is_monotone_and_idempotent(self):
+        old = WidthVal(4, 0x80, 1)
+        grown = widen(old, WidthVal(2, 0x120, 1))
+        assert grown.lo == 0  # shrinking lower bound drops to zero
+        assert grown.hi == 0xFFFF  # growing upper bound byte-ceils
+        assert grown.stride == 1
+        assert widen(old, old) == old
+        assert widen(old, WidthVal(4, 0x80, 2)).stride is None
+
+    def test_widen_reaches_fixpoint_on_any_chain(self):
+        # Repeatedly widening against fresh values stabilizes fast:
+        # each component has a finite chain.
+        state = ZERO
+        for value in (WidthVal(1, 3, 1), WidthVal(0, 0x1FF, 2),
+                      WidthVal(0, _M32, None)):
+            state = widen(state, value)
+        assert widen(state, state) == state
+        assert state.hi == _M32 and state.stride is None
+
+
+class TestAnalyzeWidths:
+    def test_straightline_narrow_register(self):
+        b = KernelBuilder("narrow")
+        flag = b.setlt(b.tid(), 16)
+        x = b.selp(3, 200, flag)
+        b.st_global(b.imad(b.tid(), 4, 0x100), x)
+        result = analyze_widths(b.finish())
+        # The SELP under a divergent predicate still proves 3 zero
+        # prefix bytes for its destination.
+        assert result.register_enc[x.index] == 3
+        assert x.index in result.narrow_registers
+
+    def test_masked_write_takes_minimum_over_sites(self):
+        b = KernelBuilder("masked")
+        x = b.mov(7)  # hi=7: three zero prefix bytes
+        with b.if_(b.setlt(b.tid(), 16)):
+            b.mov(300, dst=x)  # hi=300: only two zero bytes
+        b.st_global(b.imad(b.tid(), 4, 0x100), x)
+        result = analyze_widths(b.finish())
+        assert result.register_enc[x.index] == 2
+
+    def test_uniform_claim_does_not_feed_storage_width(self):
+        b = KernelBuilder("uniform_wide")
+        wide = b.ld_global(b.mov(0x100))  # broadcast: uniform, unbounded
+        b.st_global(b.imad(b.tid(), 4, 0x200), wide)
+        result = analyze_widths(b.finish())
+        kernel_blocks = {(0, 1)}  # the load site
+        site = next(s for s in result.site_claims if s in kernel_blocks)
+        # Dynamically the write is guaranteed enc 4 (uniform)...
+        assert result.site_claims[site] == 4
+        # ...but the static RF cannot allocate it narrow.
+        assert result.site_zero_bytes[site] == 0
+        assert result.register_enc[wide.index] == 0
+
+    def test_claim_at_missing_site_is_none(self):
+        b = KernelBuilder("one_write")
+        b.mov(1)
+        result = analyze_widths(b.finish())
+        assert result.claim_at(0, 0) is not None
+        assert result.claim_at(99, 0) is None
+
+    def test_counts_keys(self):
+        b = KernelBuilder("counts")
+        b.st_global(b.mov(0x100), b.mov(5))
+        counts = analyze_widths(b.finish()).counts()
+        assert set(counts) == {
+            "write_sites",
+            "claiming_sites",
+            "uniform_sites",
+            "narrow_registers",
+            "registers",
+        }
+        assert counts["registers"] >= counts["narrow_registers"]
+
+    def test_loop_terminates_by_widening(self):
+        # An incrementing loop counter: the interval widens through byte
+        # boundaries instead of iterating 2^32 times.
+        b = KernelBuilder("loop")
+        i = b.mov(0)
+        acc = b.mov(0)
+        with b.while_(lambda: b.setlt(i, 10)):
+            b.iadd(acc, 2, dst=acc)
+            b.iadd(i, 1, dst=i)
+        b.st_global(b.mov(0x100), acc)
+        kernel = b.finish()
+        result = analyze_widths(kernel)
+        assert len(result.register_enc) == kernel.num_registers
+        # Widening loses the [0, 10] bound entirely — claiming any
+        # prefix for the counter would be unsound under widening, and
+        # the analysis indeed claims none.
+        assert result.register_enc[i.index] == 0
+
+
+class TestWidthAnalysisPass:
+    def test_reports_summary_and_narrow_registers(self):
+        b = KernelBuilder("lintme")
+        flag = b.setlt(b.tid(), 16)
+        x = b.selp(3, 200, flag)
+        b.st_global(b.imad(b.tid(), 4, 0x100), x)
+        report = PassManager([WidthAnalysisPass()]).run(b.finish())
+        [summary] = report.by_rule("GS-I204")
+        assert "registers provably narrow" in summary.message
+        narrows = report.by_rule("GS-W104")
+        assert narrows, "expected at least one narrow-register warning"
+        assert any(f"r{x.index} " in d.message for d in narrows)

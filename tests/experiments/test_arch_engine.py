@@ -9,6 +9,7 @@ ARCHES = (
     ArchitectureConfig.baseline(),
     ArchitectureConfig.alu_scalar(),
     ArchitectureConfig.gscalar(),
+    ArchitectureConfig.static_compress(),
 )
 
 
@@ -51,6 +52,25 @@ class TestEngineSelection:
         first = batch_runner.processed_columns("BP", arch)
         second = batch_runner.processed_columns("BP", arch)
         assert first is second
+
+
+class TestStaticCompressRunner:
+    """The runner feeds the width analysis into the fifth architecture."""
+
+    ARCH = ArchitectureConfig.static_compress()
+
+    def test_widths_cached_per_benchmark(self, batch_runner):
+        first = batch_runner.static_widths("BP")
+        second = batch_runner.static_widths("BP")
+        assert first is second
+        assert any(enc > 0 for enc in first)
+
+    def test_static_power_differs_from_baseline(self, batch_runner):
+        base = batch_runner.power("BP", ArchitectureConfig.baseline())
+        static = batch_runner.power("BP", self.ARCH)
+        assert static.breakdown.rf_pj < base.breakdown.rf_pj
+        # No runtime detection: the only codec energy is decompression.
+        assert static.breakdown.compression_pj > 0
 
 
 class TestEngineKeyedSidecars:

@@ -148,3 +148,80 @@ class TestRender:
         for row in data.rows:
             assert row.abbr in text
         assert "precision" in text and "recall" in text
+
+
+@pytest.fixture(scope="module")
+def widths_data(runner):
+    return staticdyn.compute_widths(runner)
+
+
+class TestWidthSoundness:
+    """The soundness gate: zero over-claims on every benchmark."""
+
+    def test_no_benchmark_over_claims(self, widths_data):
+        assert len(widths_data.rows) == 17
+        for row in widths_data.rows:
+            assert row.over_claims == 0, row.abbr
+        assert widths_data.total_over_claims == 0
+
+    def test_precision_is_perfect_when_sound(self, widths_data):
+        for row in widths_data.rows:
+            assert row.precision == 1.0, row.abbr
+
+    def test_metric_ranges(self, widths_data):
+        for row in widths_data.rows:
+            assert 0.0 <= row.coverage <= 1.0
+            assert 0.0 <= row.recall <= 1.0
+            assert row.claimed_events <= row.write_events
+            assert row.claimed_bytes <= row.observed_bytes
+
+    def test_claims_are_nontrivial(self, widths_data):
+        # The analysis must actually claim something somewhere, or the
+        # gate would pass vacuously.
+        assert any(row.claimed_bytes > 0 for row in widths_data.rows)
+        assert any(row.narrow_registers > 0 for row in widths_data.rows)
+
+    def test_score_widths_on_narrow_kernel(self):
+        # Every lane stores a value bounded by 255: the static claim of
+        # three zero prefix bytes must be dynamically confirmed.
+        b = KernelBuilder("narrow")
+        tid = b.tid()
+        small = b.and_(tid, 0xFF)
+        b.st_global(b.imad(tid, 4, 0x100), small)
+        kernel = b.finish()
+        trace = run_kernel(kernel, LaunchConfig(1, 32), MemoryImage())
+        classified = classify_trace(trace, kernel.num_registers)
+        row = staticdyn.score_widths_benchmark(
+            "N", kernel, trace.warps, classified, warp_size=trace.warp_size
+        )
+        assert row.over_claims == 0
+        assert row.claimed_bytes > 0
+        assert row.precision == 1.0
+
+
+class TestWidthRender:
+    def test_render_reports_sound_verdict(self, widths_data):
+        text = staticdyn.render_widths(widths_data)
+        assert "SOUND" in text and "UNSOUND" not in text
+        assert "AVG" in text
+        for row in widths_data.rows:
+            assert row.abbr in text
+
+    def test_render_flags_unsound_data(self, widths_data):
+        broken = staticdyn.WidthDynData(
+            rows=[
+                staticdyn.WidthDynRow(
+                    abbr="X",
+                    narrow_registers=1,
+                    registers=2,
+                    write_events=10,
+                    claimed_events=5,
+                    over_claims=3,
+                    claimed_bytes=20,
+                    confirmed_bytes=10,
+                    observed_bytes=30,
+                )
+            ]
+        )
+        text = staticdyn.render_widths(broken)
+        assert "UNSOUND" in text and "3" in text

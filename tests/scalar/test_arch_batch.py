@@ -29,6 +29,7 @@ from repro.timing.gpu import (
     lower_to_timing_ops_columns,
     simulate_architecture,
 )
+from repro.analysis.static_.widths import analyze_widths
 from repro.workloads.registry import all_workloads, build_workload
 
 from tests.conftest import run_one_warp
@@ -37,6 +38,7 @@ ARCH_IDS = [arch.name for arch in EVALUATED_ARCHITECTURES]
 WORKLOAD_ABBRS = [spec.abbr for spec in all_workloads()]
 
 _CASE_CACHE: dict[str, tuple] = {}
+_WIDTHS_CACHE: dict[str, tuple[int, ...]] = {}
 
 
 def workload_case(abbr: str):
@@ -53,6 +55,17 @@ def workload_case(abbr: str):
         )
         _CASE_CACHE[abbr] = (trace, classified, ccols)
     return _CASE_CACHE[abbr]
+
+
+def static_widths_case(abbr: str) -> tuple[int, ...]:
+    """Per-register static widths for one small-scale workload."""
+    if abbr not in _WIDTHS_CACHE:
+        built = build_workload(abbr, "small")
+        trace, _, _ = workload_case(abbr)
+        _WIDTHS_CACHE[abbr] = analyze_widths(
+            built.kernel, warp_size=trace.warp_size
+        ).register_enc
+    return _WIDTHS_CACHE[abbr]
 
 
 def assert_processed_identical(classified, ccols, arch, warp_size, **kwargs):
@@ -158,3 +171,57 @@ class TestValidation:
         ccols.warp_size = 0
         with pytest.raises(ConfigError):
             process_columns(ccols, ArchitectureConfig.baseline())
+
+
+class TestStaticCompress:
+    """The fifth architecture: compile-time widths, no runtime detection."""
+
+    ARCH = ArchitectureConfig.static_compress()
+
+    @pytest.mark.parametrize("abbr", WORKLOAD_ABBRS)
+    def test_processed_columns_identical(self, abbr):
+        trace, classified, ccols = workload_case(abbr)
+        widths = static_widths_case(abbr)
+        pcols = assert_processed_identical(
+            classified, ccols, self.ARCH, trace.warp_size, static_widths=widths
+        )
+        # Statically compressed: no detection or compression hardware
+        # ever runs, no sidecar rows exist, nothing executes scalar.
+        assert int(pcols.compressor_ops.sum()) == 0
+        assert int(pcols.extra_instructions.sum()) == 0
+        assert not pcols.scalar_executed.any()
+        assert not pcols.acc_sidecar.any()
+
+    def test_narrow_registers_actually_compress(self):
+        trace, classified, ccols = workload_case("BP")
+        widths = static_widths_case("BP")
+        assert any(enc > 0 for enc in widths)
+        pcols = process_columns(ccols, self.ARCH, static_widths=widths)
+        assert int(pcols.decompressor_ops.sum()) > 0
+
+    @pytest.mark.parametrize("abbr", ("BP", "HS"))
+    def test_downstream_timing_and_power_identical(self, abbr):
+        trace, classified, ccols = workload_case(abbr)
+        widths = static_widths_case(abbr)
+        config = GpuConfig()
+        processed = process_classified(
+            classified, self.ARCH, trace.warp_size, static_widths=widths
+        )
+        pcols = process_columns(ccols, self.ARCH, static_widths=widths)
+        assert lower_to_timing_ops_columns(
+            ccols, pcols, self.ARCH, config
+        ) == lower_to_timing_ops(processed, self.ARCH, config, trace.warp_size)
+        timing = simulate_architecture(
+            processed, self.ARCH, config, trace.warp_size
+        )
+        accountant = PowerAccountant(self.ARCH, config=config)
+        assert accountant.account_columns(pcols, timing) == accountant.account(
+            processed, timing
+        )
+
+    def test_missing_widths_rejected_by_both_engines(self):
+        trace, classified, ccols = workload_case("BP")
+        with pytest.raises(ConfigError):
+            process_columns(ccols, self.ARCH)
+        with pytest.raises(ConfigError):
+            process_classified(classified, self.ARCH, trace.warp_size)

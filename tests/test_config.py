@@ -96,3 +96,26 @@ class TestArchitectureConfig:
         fast = ArchitectureConfig.gscalar().replace(scalar_fast_dispatch=True)
         assert fast.scalar_fast_dispatch
         assert fast.divergent_scalar  # everything else preserved
+
+    def test_static_compress_capabilities(self):
+        static = ArchitectureConfig.static_compress()
+        assert static.static_compression
+        assert static.scalar_mode is ScalarMode.NONE
+        assert not static.register_compression
+        assert static.extra_pipeline_cycles == 3
+
+    def test_static_compress_not_in_paper_matrix(self):
+        assert all(not a.static_compression for a in EVALUATED_ARCHITECTURES)
+        assert architecture_by_name("static_compress").static_compression
+
+    def test_static_compression_excludes_dynamic_compression(self):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig.static_compress().replace(
+                register_compression=True
+            )
+
+    def test_static_compression_excludes_scalar_rf(self):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig.static_compress().replace(
+                dedicated_scalar_rf=True
+            )
