@@ -6,6 +6,7 @@ Examples::
     python -m repro fig9 --scale small
     python -m repro all --scale default --jobs 4 --cache-dir .repro-cache
     python -m repro profile bp --scale small
+    python -m repro timeline bp --scale small --trace-out bp.trace.json
     python -m repro suite --trace-out suite.trace.json --metrics-out suite.prom
 """
 
@@ -27,6 +28,7 @@ from repro.experiments import (
     fig11,
     fig12,
     scorecard,
+    stalls,
     staticdyn,
     suite,
     table1,
@@ -41,7 +43,7 @@ from repro.workloads.registry import SCALES
 
 _TRACE_EXPERIMENTS = (
     "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "extras", "scorecard",
-    "suite", "staticdyn",
+    "suite", "staticdyn", "stalls",
 )
 _STATIC_EXPERIMENTS = ("table1", "table2", "table3")
 EXPERIMENTS = _TRACE_EXPERIMENTS + _STATIC_EXPERIMENTS
@@ -49,7 +51,7 @@ EXPERIMENTS = _TRACE_EXPERIMENTS + _STATIC_EXPERIMENTS
 #: Experiments that need warp-64 traces (Figure 10's warp-size sweep).
 _WARP64_EXPERIMENTS = frozenset({"fig10"})
 #: Experiments that need timing/power over the four paper architectures.
-_MATRIX_EXPERIMENTS = frozenset({"fig11", "scorecard"})
+_MATRIX_EXPERIMENTS = frozenset({"fig11", "scorecard", "stalls"})
 
 
 def _run_one(name: str, runner: ExperimentRunner | None) -> str:
@@ -69,6 +71,7 @@ def _run_one(name: str, runner: ExperimentRunner | None) -> str:
         "fig12": fig12,
         "extras": extras,
         "scorecard": scorecard,
+        "stalls": stalls,
         "suite": suite,
         "staticdyn": staticdyn,
     }[name]
@@ -382,6 +385,214 @@ def _profile_main(argv: list[str]) -> int:
     return 0
 
 
+def _timeline_main(argv: list[str]) -> int:
+    """``repro timeline``: cycle-level introspection of one benchmark.
+
+    Runs the SM timing model for one (benchmark, architecture) pair
+    with the warp-timeline flight recorder attached, prints the
+    per-scheduler stall-cause attribution table, and optionally writes
+    a Chrome trace-event file (per-SM/per-scheduler/per-warp Perfetto
+    timelines) and a Prometheus exposition (attribution counters plus
+    the occupancy and issued-IPC interval series).
+
+    ``--compare-engines`` additionally runs the *other* SM engine over
+    the same streams and exits 1 unless both produce bit-identical
+    per-scheduler attributions — the CI smoke hook for the
+    cycle-vs-event differential guarantee.
+    """
+    import dataclasses
+
+    from repro.config import GpuConfig, architecture_by_name
+    from repro.experiments.runner import ExperimentRunner, matrix_architectures
+    from repro.experiments.tables import render_table
+    from repro.obs import (
+        DEFAULT_CAPACITY,
+        FlightRecorder,
+        Telemetry,
+        stalls_to_telemetry,
+        write_chrome_trace,
+        write_prometheus,
+    )
+    from repro.timing.sm import STALL_CAUSES
+
+    arch_names = [arch.name for arch in matrix_architectures()]
+    parser = argparse.ArgumentParser(
+        prog="repro timeline",
+        description="Stall-cause attribution and warp timelines for one "
+        "benchmark (open the trace at https://ui.perfetto.dev).",
+    )
+    parser.add_argument("benchmark", metavar="BENCHMARK",
+                        help="workload abbreviation (e.g. bp)")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="workload problem size (default: default)",
+    )
+    parser.add_argument(
+        "--arch",
+        choices=arch_names,
+        default="baseline",
+        help="architecture to simulate (default: baseline)",
+    )
+    parser.add_argument(
+        "--sm-engine",
+        choices=SM_ENGINE_CHOICES,
+        default=DEFAULT_SM_ENGINE,
+        help="SM timing engine driving the recorded run (default: event)",
+    )
+    parser.add_argument(
+        "--compare-engines",
+        action="store_true",
+        help="also run the other SM engine and exit 1 unless the "
+        "per-scheduler stall attributions are bit-identical",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the warp/scheduler timelines as a Chrome trace-event "
+        "JSON file to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write attribution counters and the interval time series as "
+        "a Prometheus text exposition to PATH",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=DEFAULT_CAPACITY,
+        metavar="N",
+        help=f"flight-recorder ring capacity in events "
+        f"(default: {DEFAULT_CAPACITY}; oldest events drop first)",
+    )
+    parser.add_argument(
+        "--interval-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bucket width of the occupancy/issued-IPC time series "
+        "(default: GpuConfig.timeline_interval_cycles)",
+    )
+    args = parser.parse_args(argv)
+    if args.capacity < 1:
+        parser.error("--capacity must be >= 1")
+    if args.interval_cycles is not None and args.interval_cycles < 1:
+        parser.error("--interval-cycles must be >= 1")
+
+    config = GpuConfig()
+    if args.interval_cycles is not None:
+        config = dataclasses.replace(
+            config, timeline_interval_cycles=args.interval_cycles
+        )
+    arch = architecture_by_name(args.arch)
+    bench = args.benchmark.strip().upper()
+    runner = ExperimentRunner(
+        scale=args.scale, config=config, sm_engine=args.sm_engine
+    )
+    recording = args.trace_out is not None or args.metrics_out is not None
+    recorder = (
+        FlightRecorder(
+            capacity=args.capacity,
+            interval_cycles=config.timeline_interval_cycles,
+        )
+        if recording
+        else None
+    )
+    result = runner.timeline(bench, arch, recorder, sm_engine=args.sm_engine)
+
+    if args.compare_engines:
+        other = "cycle" if args.sm_engine == "event" else "event"
+        other_result = runner.timeline(bench, arch, None, sm_engine=other)
+        mismatches = []
+        if result.cycles != other_result.cycles:
+            mismatches.append(
+                f"cycles: {args.sm_engine}={result.cycles} "
+                f"{other}={other_result.cycles}"
+            )
+        if result.stalls_per_scheduler != other_result.stalls_per_scheduler:
+            mismatches.append(
+                f"stalls_per_scheduler: {args.sm_engine}="
+                f"{[b.as_dict() for b in result.stalls_per_scheduler]} "
+                f"{other}="
+                f"{[b.as_dict() for b in other_result.stalls_per_scheduler]}"
+            )
+        if result.issued_per_scheduler != other_result.issued_per_scheduler:
+            mismatches.append(
+                f"issued_per_scheduler: {args.sm_engine}="
+                f"{result.issued_per_scheduler} "
+                f"{other}={other_result.issued_per_scheduler}"
+            )
+        if mismatches:
+            for line in mismatches:
+                print(f"[engine mismatch] {line}", file=sys.stderr)
+            return 1
+        print(
+            f"[engines agree: {args.sm_engine} == {other} on "
+            f"{len(result.stalls_per_scheduler)} scheduler(s)]",
+            file=sys.stderr,
+        )
+
+    # Per-scheduler attribution table (the six-cause taxonomy), with
+    # the aggregate row last; issued + causes tiles cycles × schedulers.
+    headers = ["scheduler", "issued"] + list(STALL_CAUSES) + ["stall total"]
+    rows = []
+    for index, breakdown in enumerate(result.stalls_per_scheduler):
+        issued = (
+            result.issued_per_scheduler[index]
+            if index < len(result.issued_per_scheduler)
+            else 0
+        )
+        rows.append(
+            [str(index), str(issued)]
+            + [str(getattr(breakdown, cause)) for cause in STALL_CAUSES]
+            + [str(breakdown.total)]
+        )
+    rows.append(
+        ["all", str(sum(result.issued_per_scheduler))]
+        + [str(getattr(result.stalls, cause)) for cause in STALL_CAUSES]
+        + [str(result.stalls.total)]
+    )
+    print(
+        render_table(
+            headers,
+            rows,
+            title=f"{bench} on {arch.name} ({args.sm_engine} engine): "
+            f"{result.cycles} cycles, IPC {result.ipc:.3f}",
+        )
+    )
+
+    if recorder is not None:
+        print(
+            f"[recorded {recorder.recorded} events "
+            f"({recorder.dropped} dropped by the {args.capacity}-event ring)]",
+            file=sys.stderr,
+        )
+    if args.trace_out is not None:
+        assert recorder is not None
+        registry = Telemetry()
+        registry.spans.extend(recorder.to_spans())
+        metadata = recorder.chrome_metadata(config.schedulers_per_sm)
+        write_chrome_trace(
+            registry,
+            args.trace_out,
+            process_names=metadata["process_names"],
+            thread_names=metadata["thread_names"],
+        )
+        print(f"[wrote Chrome trace to {args.trace_out}]", file=sys.stderr)
+    if args.metrics_out is not None:
+        assert recorder is not None
+        registry = Telemetry()
+        recorder.to_telemetry(registry)
+        stalls_to_telemetry(registry, result)
+        write_prometheus(registry, args.metrics_out)
+        print(f"[wrote metrics to {args.metrics_out}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -391,10 +602,13 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_main(arguments[1:])
     if arguments[:1] == ["profile"]:
         return _profile_main(arguments[1:])
+    if arguments[:1] == ["timeline"]:
+        return _timeline_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the G-Scalar paper's figures and tables.",
-        epilog="'repro lint --help' describes the static-analysis gate.",
+        epilog="'repro lint --help' describes the static-analysis gate; "
+        "'repro timeline --help' the cycle-level introspection command.",
     )
     parser.add_argument(
         "experiment",

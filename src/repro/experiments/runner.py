@@ -81,7 +81,11 @@ from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workl
 #: results fingerprint gained the SM-engine name, and the memory model's
 #: store path stopped allocating L1 lines (no-allocate stores change
 #: load hit rates, hence latencies, hence every cached timing result).
-STAGE_VERSION = 5
+#: Version 6: the two-bucket stall breakdown became the six-cause
+#: per-scheduler taxonomy (:class:`~repro.timing.sm.StallBreakdown` was
+#: reshaped and :class:`~repro.timing.sm.TimingResult` gained
+#: ``stalls_per_scheduler``), changing the pickled timing-result shape.
+STAGE_VERSION = 6
 
 
 def paper_architectures() -> tuple[ArchitectureConfig, ...]:
@@ -622,6 +626,49 @@ class ExperimentRunner:
         if (key, arch.name) not in self._timing and not self._load_results(key, arch):
             self._compute_timing(key, arch)
         return self._timing[(key, arch.name)]
+
+    def timeline(
+        self,
+        abbr: str,
+        arch: ArchitectureConfig,
+        recorder,
+        sm_engine: str | None = None,
+    ) -> TimingResult:
+        """Re-run timing with a flight recorder threaded through.
+
+        Always simulates (never replays a sidecar — recorded events
+        cannot come from a cache) and never stores the result, so the
+        recorded run cannot pollute the recorder-free result cache.
+        ``sm_engine`` overrides the runner's engine for one run (the
+        ``repro timeline --compare-engines`` path drives both engines
+        over the same streams).
+        """
+        key = self._normalize(abbr)
+        engine = sm_engine or self.sm_engine
+        run = self.run(key)
+        warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
+        self._log(f"timeline {key} on {arch.name} ({engine} engine)")
+        with self.stats.timer(
+            "timeline", benchmark=key, arch=arch.name, sm_engine=engine
+        ):
+            if self.arch_engine == "batch":
+                return simulate_architecture_columns(
+                    self.classified_columns(key),
+                    self.processed_columns(key, arch),
+                    arch,
+                    self.config,
+                    warps_per_cta=warps_per_cta,
+                    sm_engine=engine,
+                    recorder=recorder,
+                )
+            return simulate_architecture(
+                self.processed(key, arch),
+                arch,
+                self.config,
+                warps_per_cta=warps_per_cta,
+                sm_engine=engine,
+                recorder=recorder,
+            )
 
     def power(self, abbr: str, arch: ArchitectureConfig) -> PowerReport:
         """Power report for one (benchmark, architecture) pair."""

@@ -17,6 +17,12 @@ from repro.obs.chrome_trace import chrome_trace, write_chrome_trace
 from repro.obs.prometheus import prometheus_text, write_prometheus
 from repro.obs.sinks import JsonlSink, NullSink, Sink
 from repro.obs.summary import summary_table
+from repro.obs.timeline import (
+    DEFAULT_CAPACITY,
+    SCHEDULER_TID_BASE,
+    FlightRecorder,
+    stalls_to_telemetry,
+)
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
     NullTelemetry,
@@ -43,4 +49,8 @@ __all__ = [
     "prometheus_text",
     "write_prometheus",
     "summary_table",
+    "DEFAULT_CAPACITY",
+    "SCHEDULER_TID_BASE",
+    "FlightRecorder",
+    "stalls_to_telemetry",
 ]

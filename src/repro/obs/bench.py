@@ -1,7 +1,9 @@
 """Null-sink overhead benchmark for the telemetry hooks.
 
-Runs the functional-execute + classify front of the pipeline on one
-benchmark repeatedly under three settings:
+Runs the functional-execute + classify front of the pipeline plus the
+event-driven SM timing loop (recorder disabled — the configuration
+every normal run uses, which the flight-recorder hooks must not slow
+down) on one benchmark repeatedly under three settings:
 
 * ``off`` — the process-global registry is the disabled null registry
   (the default for every normal run; this is the "seed-equivalent"
@@ -31,14 +33,28 @@ from repro.obs.telemetry import Telemetry, telemetry_session
 
 
 def _one_run(benchmark: str, scale: str) -> float:
+    from repro.experiments.runner import paper_architectures
+    from repro.scalar.architectures import process_classified
     from repro.scalar.tracker import classify_trace
     from repro.simt.executor import run_kernel
+    from repro.timing.gpu import simulate_architecture
     from repro.workloads.registry import build_workload
 
     built = build_workload(benchmark, scale)
+    arch = paper_architectures()[0]
     started = time.perf_counter()
     trace = run_kernel(built.kernel, built.launch, built.memory)
-    classify_trace(trace, built.kernel.num_registers)
+    classified = classify_trace(trace, built.kernel.num_registers)
+    # The SM timing loop runs inside the measured region so the CI
+    # bound also covers the flight-recorder hook sites (recorder=None,
+    # the default every normal run takes).
+    processed = process_classified(classified, arch, trace.warp_size)
+    simulate_architecture(
+        processed,
+        arch,
+        warp_size=trace.warp_size,
+        warps_per_cta=built.launch.warps_per_cta(trace.warp_size),
+    )
     return time.perf_counter() - started
 
 

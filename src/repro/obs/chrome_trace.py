@@ -21,31 +21,49 @@ _PARENT_SORT_INDEX = 0
 _WORKER_SORT_INDEX = 1
 
 
-def chrome_trace(telemetry: Telemetry, parent_pid: int | None = None) -> dict:
+def chrome_trace(
+    telemetry: Telemetry,
+    parent_pid: int | None = None,
+    process_names: dict[int, str] | None = None,
+    thread_names: dict[tuple[int, int], str] | None = None,
+) -> dict:
     """Render recorded spans as a Chrome trace-event JSON object.
 
     Timestamps are rebased to the earliest span so the viewer opens at
     t=0 rather than at the Unix epoch.  ``parent_pid`` (default: the
     calling process, which is where pool-worker snapshots merge) labels
     that process "parent" and every other pid "worker".
+
+    ``process_names`` (pid -> label) overrides the role-based process
+    naming, and ``thread_names`` ((pid, tid) -> label) names individual
+    rows — this is how the flight recorder's per-SM/per-warp/
+    per-scheduler timelines get their Perfetto labels (see
+    :meth:`repro.obs.timeline.FlightRecorder.chrome_metadata`).
     """
     spans = telemetry.spans
     origin = min((span.ts_us for span in spans), default=0)
     if parent_pid is None:
         parent_pid = os.getpid()
+    process_names = process_names or {}
+    thread_names = thread_names or {}
     events: list[dict] = []
     seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, int]] = set()
     for span in spans:
         if span.pid not in seen_pids:
             seen_pids.add(span.pid)
-            role = "parent" if span.pid == parent_pid else "worker"
+            if span.pid in process_names:
+                label = process_names[span.pid]
+            else:
+                role = "parent" if span.pid == parent_pid else "worker"
+                label = f"repro {role} (pid {span.pid})"
             events.append(
                 {
                     "name": "process_name",
                     "ph": "M",
                     "pid": span.pid,
                     "tid": 0,
-                    "args": {"name": f"repro {role} (pid {span.pid})"},
+                    "args": {"name": label},
                 }
             )
             events.append(
@@ -59,6 +77,27 @@ def chrome_trace(telemetry: Telemetry, parent_pid: int | None = None) -> dict:
                         if span.pid == parent_pid
                         else _WORKER_SORT_INDEX
                     },
+                }
+            )
+        key = (span.pid, span.tid)
+        if key in thread_names and key not in seen_tids:
+            seen_tids.add(key)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": {"name": thread_names[key]},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": {"sort_index": span.tid},
                 }
             )
         events.append(
@@ -77,11 +116,23 @@ def chrome_trace(telemetry: Telemetry, parent_pid: int | None = None) -> dict:
 
 
 def write_chrome_trace(
-    telemetry: Telemetry, path: str | Path, parent_pid: int | None = None
+    telemetry: Telemetry,
+    path: str | Path,
+    parent_pid: int | None = None,
+    process_names: dict[int, str] | None = None,
+    thread_names: dict[tuple[int, int], str] | None = None,
 ) -> Path:
     """Write the Chrome trace JSON to ``path`` and return it."""
     path = Path(path)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(chrome_trace(telemetry, parent_pid=parent_pid), handle)
+        json.dump(
+            chrome_trace(
+                telemetry,
+                parent_pid=parent_pid,
+                process_names=process_names,
+                thread_names=thread_names,
+            ),
+            handle,
+        )
         handle.write("\n")
     return path

@@ -20,6 +20,19 @@ from repro.obs.telemetry import LabelKey, Telemetry
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 
+#: ``# HELP`` text for the flight-recorder time series (raw registry
+#: names; see :mod:`repro.obs.timeline`).  Interval labels are
+#: zero-padded, so sorting the samples lexically = time order.
+_HELP = {
+    "timeline_issued": "Instructions issued per timeline interval (issued-IPC series).",
+    "timeline_occupancy_warp_cycles": "Integrated resident warp-cycles per timeline interval (occupancy series).",
+    "timeline_events_recorded": "Flight-recorder lifecycle events recorded (ring inserts).",
+    "timeline_events_dropped": "Flight-recorder events dropped by the bounded ring.",
+    "sm_stall_scheduler_cycles": "Idle scheduler-cycles attributed per stall cause.",
+    "sm_issued_instructions": "Instructions issued per scheduler.",
+    "sm_cycles": "Total simulated SM cycles.",
+}
+
 
 def _metric_name(name: str, *, counter: bool) -> str:
     clean = _NAME_OK.sub("_", name)
@@ -59,6 +72,8 @@ def prometheus_text(telemetry: Telemetry) -> str:
         by_counter.setdefault(name, []).append((labels, value))
     for name in sorted(by_counter):
         metric = _metric_name(name, counter=True)
+        if name in _HELP:
+            lines.append(f"# HELP {metric} {_HELP[name]}")
         lines.append(f"# TYPE {metric} counter")
         for labels, value in sorted(by_counter[name]):
             lines.append(f"{metric}{_labels_text(labels)} {_number(value)}")

@@ -9,6 +9,12 @@ from __future__ import annotations
 
 from repro.obs.telemetry import LabelKey, Telemetry
 
+#: Interval-bucketed flight-recorder series (see
+#: :mod:`repro.obs.timeline`): rendered as one time-ordered Timeline
+#: table instead of the value-sorted Counters table, which would
+#: scramble a time series.
+_TIMELINE_SERIES = ("timeline_issued", "timeline_occupancy_warp_cycles")
+
 
 def _format_labels(labels: LabelKey) -> str:
     if not labels:
@@ -40,9 +46,34 @@ def summary_table(telemetry: Telemetry, max_rows_per_metric: int = 24) -> str:
     """Render the whole registry as readable text."""
     sections: list[str] = []
 
+    timeline: dict[tuple[str, str], dict[str, float]] = {}
     by_counter: dict[str, list[tuple[LabelKey, float]]] = {}
     for (name, labels), value in telemetry.counters.items():
+        if name in _TIMELINE_SERIES:
+            pairs = dict(labels)
+            key = (pairs.get("sm", "0"), pairs.get("interval", "?"))
+            timeline.setdefault(key, {})[name] = value
+            continue
         by_counter.setdefault(name, []).append((labels, value))
+
+    if timeline:
+        rows = [
+            (
+                sm,
+                interval,
+                _format_value(series.get("timeline_issued", 0)),
+                _format_value(series.get("timeline_occupancy_warp_cycles", 0)),
+            )
+            for (sm, interval), series in sorted(timeline.items())
+        ]
+        sections.append(
+            _table(
+                "Timeline (per interval)",
+                ("sm", "interval", "issued", "occupancy warp-cycles"),
+                rows,
+            )
+        )
+
     if by_counter:
         rows: list[tuple[str, str, str]] = []
         for name in sorted(by_counter):

@@ -29,10 +29,14 @@ non-zero when any benchmark's speedup falls below ``--min-speedup`` —
 which makes the command directly usable as the CI perf-smoke gate.
 Usage::
 
-    PYTHONPATH=src python -m repro.scalar.bench BP LC --scale default \
+    PYTHONPATH=src python -m repro.scalar.bench BP LC LBM --scale default \
         --min-speedup 2.0 --json BENCH_classify.json
-    PYTHONPATH=src python -m repro.scalar.bench BP LC --pipeline \
+    PYTHONPATH=src python -m repro.scalar.bench BP LC LBM --pipeline \
         --min-speedup 3.0 --json BENCH_pipeline.json
+
+The report records which suite benchmarks were *not* measured under
+``skipped_benchmarks``, so a truncated run is visible in the artifact
+rather than silently looking like full coverage.
 """
 
 from __future__ import annotations
@@ -64,9 +68,12 @@ from repro.timing.gpu import (
     simulate_architecture,
     simulate_architecture_columns,
 )
-from repro.workloads.registry import SCALES, build_workload
+from repro.workloads.registry import SCALES, all_workloads, build_workload
 
-DEFAULT_BENCHMARKS = ("BP", "LC")
+# BP and LC exercise the compute-heavy paths; LBM (memory_intensive in
+# the registry) keeps a DRAM-bound workload in the committed perf-smoke
+# set so memory-system regressions surface too.
+DEFAULT_BENCHMARKS = ("BP", "LC", "LBM")
 DEFAULT_WARMUP = 1
 
 
@@ -307,6 +314,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in benchmarks
     ]
     worst = min(result["speedup"] for result in results)
+    measured = set(benchmarks)
+    skipped = [
+        spec.abbr for spec in all_workloads() if spec.abbr not in measured
+    ]
     report = {
         "mode": "pipeline" if args.pipeline else "classify",
         "scale": args.scale,
@@ -314,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         "warmup": args.warmup,
         "min_speedup_required": args.min_speedup,
         "worst_speedup": worst,
+        "skipped_benchmarks": skipped,
         "results": results,
     }
     rendered = json.dumps(report, indent=2, sort_keys=True)

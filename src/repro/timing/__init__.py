@@ -19,13 +19,19 @@ from repro.timing.ops import (
     build_timing_ops_columns,
     coalesce_addresses,
 )
-from repro.timing.scheduler import WarpScheduler, partition_warps
+from repro.timing.scheduler import (
+    WarpScheduler,
+    partition_slots,
+    partition_warps,
+    scheduler_of_slot,
+)
 from repro.timing.scoreboard import Scoreboard
 from repro.timing.sm import (
     ALU_LATENCY,
     CTRL_LATENCY,
     LONG_ALU_LATENCY,
     SFU_LATENCY,
+    STALL_CAUSES,
     SmSimulator,
     StallBreakdown,
     TimingResult,
@@ -43,6 +49,7 @@ __all__ = [
     "LONG_ALU_LATENCY",
     "SCALAR_RF_BANK",
     "SFU_LATENCY",
+    "STALL_CAUSES",
     "DEFAULT_SM_ENGINE",
     "SM_ENGINE_CHOICES",
     "EventSmSimulator",
@@ -62,7 +69,9 @@ __all__ = [
     "create_sm_simulator",
     "lower_to_timing_ops",
     "lower_to_timing_ops_columns",
+    "partition_slots",
     "partition_warps",
+    "scheduler_of_slot",
     "simulate_architecture",
     "simulate_architecture_columns",
     "simulate_gpu",

@@ -36,6 +36,7 @@ def simulate_architecture(
     warp_size: int = 32,
     warps_per_cta: int | None = None,
     sm_engine: str = DEFAULT_SM_ENGINE,
+    recorder=None,
 ) -> TimingResult:
     """Run the SM timing model for one architecture's processed trace.
 
@@ -43,7 +44,9 @@ def simulate_architecture(
     use ``bar.sync``; without it each warp is treated as its own CTA.
     ``sm_engine`` selects the SM timing engine (``"event"`` or the
     ``"cycle"`` reference model; they are differentially tested to
-    produce bit-identical results).
+    produce bit-identical results).  ``recorder`` (a
+    :class:`repro.obs.timeline.FlightRecorder`) opts into per-warp
+    lifecycle recording.
     """
     config = config or GpuConfig()
     warp_ops = lower_to_timing_ops(processed, arch, config, warp_size)
@@ -53,6 +56,7 @@ def simulate_architecture(
         config,
         extra_latency=arch.extra_pipeline_cycles,
         warps_per_cta=warps_per_cta,
+        recorder=recorder,
     )
     return simulator.run()
 
@@ -74,6 +78,7 @@ def simulate_architecture_columns(
     config: GpuConfig | None = None,
     warps_per_cta: int | None = None,
     sm_engine: str = DEFAULT_SM_ENGINE,
+    recorder=None,
 ) -> TimingResult:
     """Columnar counterpart of :func:`simulate_architecture`.
 
@@ -89,5 +94,6 @@ def simulate_architecture_columns(
         config,
         extra_latency=arch.extra_pipeline_cycles,
         warps_per_cta=warps_per_cta,
+        recorder=recorder,
     )
     return simulator.run()

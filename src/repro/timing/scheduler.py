@@ -64,3 +64,18 @@ def partition_warps(
     for warp in range(num_warps):
         partitions[warp % num_schedulers].append(warp)
     return [WarpScheduler(p, policy) for p in partitions]
+
+
+def scheduler_of_slot(slot: int, num_schedulers: int) -> int:
+    """The scheduler owning a warp slot under the parity partition.
+
+    Single source of truth shared by both SM engines and the timeline
+    labels: slot ``s`` always belongs to scheduler ``s % n`` — the same
+    assignment :func:`partition_warps` builds explicitly.
+    """
+    return slot % num_schedulers
+
+
+def partition_slots(scheduler_index: int, num_slots: int, num_schedulers: int) -> range:
+    """The slots one scheduler owns, in age (slot-id) order."""
+    return range(scheduler_index, num_slots, num_schedulers)

@@ -24,6 +24,20 @@ class Scoreboard:
             return False
         return not any(register in self._pending for register in sources)
 
+    def blocking_registers(
+        self, sources: tuple[int, ...], dst: int | None
+    ) -> tuple[int, ...]:
+        """The in-flight registers that block this op, sorted.
+
+        Empty exactly when :meth:`can_issue` is True — the flight
+        recorder uses this to annotate scoreboard stalls with the
+        registers the warp was waiting on.
+        """
+        blocking = {r for r in sources if r in self._pending}
+        if dst is not None and dst in self._pending:
+            blocking.add(dst)
+        return tuple(sorted(blocking))
+
     def reserve(self, dst: int | None) -> None:
         """Mark the destination as in flight at issue."""
         if dst is not None:

@@ -39,23 +39,91 @@ _BLOCKED_ON_BRANCH = 1 << 60
 #: Sentinel for "blocked at a CTA barrier".
 _BLOCKED_ON_BARRIER = (1 << 60) + 1
 
+#: Stall-cause indices into the per-scheduler accumulation arrays.  The
+#: order doubles as classification precedence: when the warps of one
+#: partition are blocked for different reasons in the same cycle, the
+#: scheduler-cycle is attributed to the lowest index present.
+STALL_SCOREBOARD = 0
+STALL_BRANCH_SHADOW = 1
+STALL_BARRIER = 2
+STALL_STREAM_EXHAUSTED = 3
+STALL_COLLECTORS_FULL = 4
+STALL_BANK_CONFLICT = 5
+
+#: Field names of :class:`StallBreakdown`, indexed by the constants above.
+STALL_CAUSES = (
+    "scoreboard",
+    "branch_shadow",
+    "barrier",
+    "stream_exhausted",
+    "collectors_full",
+    "bank_conflict",
+)
+
 
 @dataclass
 class StallBreakdown:
     """Why scheduler slots went unused, summed over all cycles.
 
-    ``no_ready_warp`` counts scheduler-cycles where every warp in the
-    partition was blocked by the scoreboard, a branch shadow, a barrier
-    or stream exhaustion; ``collectors_full`` counts cycles issue was
-    suppressed because the operand-collector pool was full.
+    Each field counts scheduler-cycles (one scheduler idle for one
+    cycle, skipped-ahead dead cycles included) attributed to exactly
+    one cause:
+
+    * ``scoreboard`` — some runnable warp in the partition had its next
+      op blocked by an in-flight register (RAW/WAW/WAR, no bypassing);
+    * ``branch_shadow`` — warps were waiting for an unresolved branch
+      to write back, none scoreboard-blocked;
+    * ``barrier`` — warps were parked at a CTA barrier, none blocked
+      by the scoreboard or a branch;
+    * ``stream_exhausted`` — the partition had nothing left to issue
+      (empty slots, or fully-issued warps draining their last ops);
+    * ``collectors_full`` — issue was suppressed because the
+      operand-collector pool was full;
+    * ``bank_conflict`` — the collector pool was full in a cycle whose
+      bank arbitration serialized conflicting requests, so the
+      back-pressure is attributable to RF-bank-conflict serialization
+      (the single scalar-RF bank of §4.1 shows up here).
+
+    Mixed-cause cycles are attributed by the fixed precedence
+    ``scoreboard > branch_shadow > barrier > stream_exhausted`` (the
+    :data:`STALL_CAUSES` index order), so the attribution is a
+    deterministic function of machine state and bit-identical between
+    the cycle-level and event-driven engines.
     """
 
-    no_ready_warp: int = 0
+    scoreboard: int = 0
+    branch_shadow: int = 0
+    barrier: int = 0
+    stream_exhausted: int = 0
     collectors_full: int = 0
+    bank_conflict: int = 0
+
+    @property
+    def no_ready_warp(self) -> int:
+        """Deprecated two-bucket view: every stall that is not collector
+        back-pressure.  Kept as a derived sum for stats-json and other
+        back-compat consumers of the old counter."""
+        return (
+            self.scoreboard
+            + self.branch_shadow
+            + self.barrier
+            + self.stream_exhausted
+        )
 
     @property
     def total(self) -> int:
-        return self.no_ready_warp + self.collectors_full
+        return (
+            self.scoreboard
+            + self.branch_shadow
+            + self.barrier
+            + self.stream_exhausted
+            + self.collectors_full
+            + self.bank_conflict
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Cause name -> scheduler-cycles, in taxonomy order."""
+        return {name: getattr(self, name) for name in STALL_CAUSES}
 
 
 @dataclass
@@ -70,6 +138,9 @@ class TimingResult:
     scalar_bank_conflicts: int = 0
     bank_conflict_cycles: int = 0
     stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    #: One breakdown per scheduler (empty for zero-warp streams);
+    #: ``stalls`` is always their field-wise sum.
+    stalls_per_scheduler: list[StallBreakdown] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -105,6 +176,7 @@ class SmSimulator:
         extra_latency: int = 0,
         memory: MemoryModel | None = None,
         warps_per_cta: int | None = None,
+        recorder=None,
     ):
         if extra_latency < 0:
             raise TimingError(f"extra_latency must be >= 0, got {extra_latency}")
@@ -113,6 +185,10 @@ class SmSimulator:
         self.warp_ops = warp_ops
         self.config = config
         self.extra_latency = extra_latency
+        #: Optional :class:`repro.obs.timeline.FlightRecorder`; ``None``
+        #: (the default) keeps the loop hook-free beyond one local
+        #: ``is not None`` test per recorded event.
+        self.recorder = recorder
         # Without CTA information each warp is its own CTA: barriers
         # become no-ops, matching barrier-free workloads.
         self.warps_per_cta = warps_per_cta or 1
@@ -154,6 +230,8 @@ class SmSimulator:
         slot_to_warp: dict[int, int | None] = {
             slot: None for slot in range(self.max_resident)
         }
+        recorder = self.recorder
+        cycle = 0
 
         def activate_ctas() -> None:
             nonlocal next_warp_to_activate
@@ -166,6 +244,8 @@ class SmSimulator:
                 for _ in range(cta_size):
                     slot = heapq.heappop(free_slots)
                     slot_to_warp[slot] = next_warp_to_activate
+                    if recorder is not None:
+                        recorder.warp_activate(cycle, next_warp_to_activate, slot)
                     next_warp_to_activate += 1
 
         activate_ctas()
@@ -183,14 +263,43 @@ class SmSimulator:
         writebacks: list[tuple[int, int, int, int | None, bool]] = []
         sequence = itertools.count()
         barrier_arrived: dict[int, set[int]] = {}
-        issued_counts = [0] * config.schedulers_per_sm
+        num_schedulers = config.schedulers_per_sm
+        issued_counts = [0] * num_schedulers
         scalar_conflicts = 0
         bank_conflict_cycles = 0
         instructions = 0
         useful_instructions = 0
-        stalls = StallBreakdown()
+        # Per-scheduler stall-cause accumulators, indexed by the
+        # STALL_* constants; ``cycle_causes`` remembers what each
+        # scheduler was charged in the current cycle so skipped-ahead
+        # dead cycles replay the same attribution.
+        stall_counts = [[0] * len(STALL_CAUSES) for _ in range(num_schedulers)]
+        cycle_causes = [STALL_STREAM_EXHAUSTED] * num_schedulers
 
-        cycle = 0
+        def classify_stall(scheduler) -> int:
+            """Attribute one idle scheduler-cycle to its strongest cause.
+
+            Scans the scheduler's slot partition at the issue point:
+            a runnable-but-scoreboard-blocked warp dominates a branch
+            shadow dominates a barrier wait dominates an exhausted
+            stream (the STALL_* index order).
+            """
+            cause = STALL_STREAM_EXHAUSTED
+            for slot in scheduler.warp_ids:
+                warp = slot_to_warp[slot]
+                if warp is None or pcs[warp] >= len(self.warp_ops[warp]):
+                    continue
+                until = blocked_until[warp]
+                if until == _BLOCKED_ON_BRANCH:
+                    if STALL_BRANCH_SHADOW < cause:
+                        cause = STALL_BRANCH_SHADOW
+                elif until > cycle:
+                    if STALL_BARRIER < cause:
+                        cause = STALL_BARRIER
+                else:
+                    return STALL_SCOREBOARD
+            return cause
+
         while remaining > 0:
             if cycle > max_cycles:
                 raise TimingError(
@@ -206,12 +315,14 @@ class SmSimulator:
                 in_flight[warp] -= 1
                 if is_ctrl and blocked_until[warp] == _BLOCKED_ON_BRANCH:
                     blocked_until[warp] = cycle
+                if recorder is not None:
+                    recorder.writeback(cycle, warp, dst)
                 progressed = True
 
             # 2. Operand collection: each bank serves one request/cycle.
+            had_conflict = False
             if collectors:
                 served_banks: set[int] = set()
-                had_conflict = False
                 for collector in collectors:
                     still_pending = []
                     for bank in collector.pending_banks:
@@ -262,8 +373,15 @@ class SmSimulator:
                 progressed = True
 
             # 4. Issue: each scheduler picks at most one ready warp.
+            # A full collector pool charges every scheduler to the
+            # bank-conflict bucket when this cycle's arbitration had to
+            # serialize (the pool drains slower than issue fills it
+            # because of the conflicts), else to collectors_full.
+            full_cause = STALL_BANK_CONFLICT if had_conflict else STALL_COLLECTORS_FULL
             if len(collectors) >= max_collectors and remaining > 0:
-                stalls.collectors_full += config.schedulers_per_sm
+                for scheduler_index in range(num_schedulers):
+                    stall_counts[scheduler_index][full_cause] += 1
+                    cycle_causes[scheduler_index] = full_cause
             if len(collectors) < max_collectors:
                 ready_slots: set[int] = set()
                 for slot, warp in slot_to_warp.items():
@@ -276,11 +394,14 @@ class SmSimulator:
                         ready_slots.add(slot)
                 for scheduler_index, scheduler in enumerate(schedulers):
                     if len(collectors) >= max_collectors:
-                        stalls.collectors_full += 1
+                        stall_counts[scheduler_index][full_cause] += 1
+                        cycle_causes[scheduler_index] = full_cause
                         continue
                     slot = scheduler.pick(ready_slots)
                     if slot is None:
-                        stalls.no_ready_warp += 1
+                        cause = classify_stall(scheduler)
+                        stall_counts[scheduler_index][cause] += 1
+                        cycle_causes[scheduler_index] = cause
                         continue
                     ready_slots.discard(slot)
                     warp = slot_to_warp[slot]
@@ -292,6 +413,10 @@ class SmSimulator:
                         useful_instructions += 1
                         issued_counts[scheduler_index] += 1
                         progressed = True
+                        if recorder is not None:
+                            recorder.issue(
+                                cycle, warp, scheduler_index, "BAR", "barrier", ()
+                            )
                         self._arrive_at_barrier(
                             warp, barrier_arrived, blocked_until, pcs, cycle
                         )
@@ -305,6 +430,23 @@ class SmSimulator:
                     )
                     issued_counts[scheduler_index] += 1
                     progressed = True
+                    if recorder is not None:
+                        if op.category is OpCategory.CTRL:
+                            hint, hint_regs = "branch", ()
+                        elif pcs[warp] >= len(self.warp_ops[warp]):
+                            hint, hint_regs = "drain", ()
+                        else:
+                            nxt = self.warp_ops[warp][pcs[warp]]
+                            blocking = scoreboards[warp].blocking_registers(
+                                nxt.src_regs, nxt.dst
+                            )
+                            if blocking:
+                                hint, hint_regs = "scoreboard", blocking
+                            else:
+                                hint, hint_regs = "scheduler", ()
+                        recorder.issue(
+                            cycle, warp, scheduler_index, op.category.name, hint, hint_regs
+                        )
 
             # 5. Retire finished warps; activate pending CTAs whole.
             for slot, warp in list(slot_to_warp.items()):
@@ -316,7 +458,9 @@ class SmSimulator:
                     heapq.heappush(free_slots, slot)
                     # The slot's warp is gone: GTO greediness must not
                     # carry over to whatever is activated here next.
-                    schedulers[slot % config.schedulers_per_sm].forget(slot)
+                    schedulers[slot % num_schedulers].forget(slot)
+                    if recorder is not None:
+                        recorder.warp_retire(cycle, warp)
                     progressed = True
             activate_ctas()
 
@@ -342,8 +486,21 @@ class SmSimulator:
                         f"timing deadlock: no progress at cycle {cycle} "
                         f"({remaining} warps remaining)"
                     )
-                cycle = max(cycle + 1, min(next_events))
+                new_cycle = max(cycle + 1, min(next_events))
+                # Machine state is frozen across the skipped stretch,
+                # so each dead cycle repeats this cycle's per-scheduler
+                # attribution exactly.
+                skipped = new_cycle - cycle - 1
+                if skipped:
+                    for scheduler_index in range(num_schedulers):
+                        stall_counts[scheduler_index][
+                            cycle_causes[scheduler_index]
+                        ] += skipped
+                cycle = new_cycle
 
+        if recorder is not None:
+            recorder.finalize(cycle)
+        per_scheduler = [StallBreakdown(*counts) for counts in stall_counts]
         return TimingResult(
             cycles=cycle,
             instructions=instructions,
@@ -352,7 +509,8 @@ class SmSimulator:
             issued_per_scheduler=issued_counts,
             scalar_bank_conflicts=scalar_conflicts,
             bank_conflict_cycles=bank_conflict_cycles,
-            stalls=stalls,
+            stalls=StallBreakdown(*(sum(c) for c in zip(*stall_counts))),
+            stalls_per_scheduler=per_scheduler,
         )
 
     # ------------------------------------------------------------------
@@ -370,10 +528,13 @@ class SmSimulator:
         can never reach another barrier), matching CUDA's requirement
         that barriers are CTA-uniform.
         """
+        recorder = self.recorder
         cta = warp // self.warps_per_cta
         arrived = barrier_arrived.setdefault(cta, set())
         arrived.add(warp)
         blocked_until[warp] = _BLOCKED_ON_BARRIER
+        if recorder is not None:
+            recorder.barrier_arrive(cycle, warp)
         cta_warps = [
             w
             for w in range(cta * self.warps_per_cta, (cta + 1) * self.warps_per_cta)
@@ -385,6 +546,8 @@ class SmSimulator:
         if all(w in arrived for w in waiting_needed):
             for w in arrived:
                 blocked_until[w] = cycle + 1
+                if recorder is not None:
+                    recorder.barrier_release(cycle + 1, w)
             arrived.clear()
 
     def _latency_of(self, op: TimingOp) -> int:

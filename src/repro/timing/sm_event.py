@@ -6,9 +6,9 @@
 cycle-level :class:`~repro.timing.sm.SmSimulator` and produces a
 **bit-identical** :class:`~repro.timing.sm.TimingResult` — cycles,
 instruction counts, memory counters, per-scheduler issue counts, bank
-conflict and stall counters all match exactly (the differential suite
-pins this on all 17 workloads × 4 architectures).  What differs is how
-time advances:
+conflict counters and per-scheduler stall-cause attributions all match
+exactly (the differential suite pins this on all 17 workloads × 5
+architectures).  What differs is how time advances:
 
 * the cycle model *rescans* every warp slot, collector and pipeline
   port once per cycle — O(resident warps) of scoreboard checks per
@@ -49,9 +49,17 @@ from repro.errors import TimingError
 from repro.isa.opcodes import OpCategory
 from repro.timing.memory import MemoryModel
 from repro.timing.ops import SCALAR_RF_BANK, TimingOp
+from repro.timing.scheduler import partition_slots
 from repro.timing.sm import (
     _BLOCKED_ON_BARRIER,
     _BLOCKED_ON_BRANCH,
+    STALL_BANK_CONFLICT,
+    STALL_BARRIER,
+    STALL_BRANCH_SHADOW,
+    STALL_CAUSES,
+    STALL_COLLECTORS_FULL,
+    STALL_SCOREBOARD,
+    STALL_STREAM_EXHAUSTED,
     SmSimulator,
     StallBreakdown,
     TimingResult,
@@ -67,6 +75,10 @@ DEFAULT_SM_ENGINE = "event"
 _PORT_ALU = 0
 _PORT_MEM = 1
 _PORT_SFU = 2
+
+#: OpCategory.name per port group, for flight-recorder labels (CTRL is
+#: distinguished by the compiled row's _IS_CTRL flag).
+_PORT_CATEGORY_NAMES = ("ALU", "MEM", "SFU")
 
 # Compiled-op tuple layout (one tuple per TimingOp; plain tuples index
 # faster than dataclass attribute access in the hot loop).
@@ -91,8 +103,13 @@ def create_sm_simulator(
     extra_latency: int = 0,
     memory: MemoryModel | None = None,
     warps_per_cta: int | None = None,
+    recorder=None,
 ):
-    """Instantiate the selected SM timing engine over one op stream."""
+    """Instantiate the selected SM timing engine over one op stream.
+
+    ``recorder`` (a :class:`repro.obs.timeline.FlightRecorder`) opts the
+    run into per-warp lifecycle recording; both engines accept it.
+    """
     if engine == "event":
         cls = EventSmSimulator
     elif engine == "cycle":
@@ -107,6 +124,7 @@ def create_sm_simulator(
         extra_latency=extra_latency,
         memory=memory,
         warps_per_cta=warps_per_cta,
+        recorder=recorder,
     )
 
 
@@ -125,6 +143,7 @@ class EventSmSimulator:
         extra_latency: int = 0,
         memory: MemoryModel | None = None,
         warps_per_cta: int | None = None,
+        recorder=None,
     ):
         if extra_latency < 0:
             raise TimingError(f"extra_latency must be >= 0, got {extra_latency}")
@@ -133,6 +152,7 @@ class EventSmSimulator:
         self.warp_ops = warp_ops
         self.config = config
         self.extra_latency = extra_latency
+        self.recorder = recorder
         self.warps_per_cta = warps_per_cta or 1
         self.memory = memory or MemoryModel(
             l1_size_bytes=config.l1_cache_bytes,
@@ -253,7 +273,37 @@ class EventSmSimulator:
         bank_conflict_cycles = 0
         instructions = 0
         useful_instructions = 0
-        stalls = StallBreakdown()
+        recorder = self.recorder
+        # Per-scheduler stall-cause accumulators (STALL_* indexed);
+        # ``cycle_causes`` remembers the current cycle's attribution so
+        # skipped-ahead dead cycles replay it — state is frozen across
+        # a skip, so every dead cycle stalls for the same reasons.
+        stall_counts = [[0] * len(STALL_CAUSES) for _ in range(num_schedulers)]
+        cycle_causes = [STALL_STREAM_EXHAUSTED] * num_schedulers
+
+        def classify_stall(scheduler_index: int) -> int:
+            """Attribute one idle scheduler-cycle to its strongest cause.
+
+            Identical semantics (and precedence order) to the reference
+            model's classifier: scan the scheduler's slot partition and
+            pick the lowest STALL_* index present — scoreboard over
+            branch shadow over barrier over stream exhaustion.
+            """
+            cause = STALL_STREAM_EXHAUSTED
+            for slot in partition_slots(scheduler_index, max_resident, num_schedulers):
+                warp = slot_warp[slot]
+                if warp < 0 or pcs[warp] >= oplen[warp]:
+                    continue
+                until = blocked_until[warp]
+                if until == _BLOCKED_ON_BRANCH:
+                    if STALL_BRANCH_SHADOW < cause:
+                        cause = STALL_BRANCH_SHADOW
+                elif until > cycle:
+                    if STALL_BARRIER < cause:
+                        cause = STALL_BARRIER
+                else:
+                    return STALL_SCOREBOARD
+            return cause
 
         def sb_ready(warp: int) -> bool:
             """Scoreboard/stream readiness of a warp's next op."""
@@ -284,6 +334,8 @@ class EventSmSimulator:
                     warp = next_warp_to_activate
                     slot_warp[slot] = warp
                     warp_slot[warp] = slot
+                    if recorder is not None:
+                        recorder.warp_activate(cycle, warp, slot)
                     if oplen[warp] == 0:
                         retirable.add(warp)
                     else:
@@ -302,6 +354,8 @@ class EventSmSimulator:
             arrived = barrier_arrived.setdefault(cta, set())
             arrived.add(warp)
             blocked_until[warp] = _BLOCKED_ON_BARRIER
+            if recorder is not None:
+                recorder.barrier_arrive(cycle, warp)
             lo = cta * warps_per_cta
             for mate in range(lo, min(lo + warps_per_cta, num_warps)):
                 if pcs[mate] < oplen[mate] and mate not in arrived:
@@ -311,12 +365,14 @@ class EventSmSimulator:
                 blocked_until[mate] = release
                 if warp_slot[mate] >= 0:
                     heappush(wakeups, (release, mate))
+                if recorder is not None:
+                    recorder.barrier_release(release, mate)
             arrived.clear()
 
         next_warp_to_activate = 0
+        cycle = 0
         activate_ctas()
 
-        cycle = 0
         while remaining > 0:
             if cycle > max_cycles:
                 raise TimingError(
@@ -334,6 +390,8 @@ class EventSmSimulator:
                 in_flight[warp] -= 1
                 if is_ctrl and blocked_until[warp] == _BLOCKED_ON_BRANCH:
                     blocked_until[warp] = cycle
+                if recorder is not None:
+                    recorder.writeback(cycle, warp, dst)
                 progressed = True
                 slot = warp_slot[warp]
                 if slot >= 0:
@@ -353,9 +411,9 @@ class EventSmSimulator:
             # 2. Operand collection epoch: one request per bank per
             # cycle, earlier collectors first, the scalar-RF bank
             # serialized exactly as in the reference (§4.1).
+            had_conflict = False
             if draining:
                 served_banks: set[int] = set()
-                had_conflict = False
                 still_draining = 0
                 for collector in collectors:
                     pending_banks = collector[1]
@@ -412,16 +470,25 @@ class EventSmSimulator:
                     progressed = True
 
             # 4. Issue: each scheduler picks at most one ready slot.
+            # Collector back-pressure attribution mirrors the
+            # reference: a full pool in a cycle whose bank arbitration
+            # serialized goes to the bank-conflict bucket.
+            full_cause = STALL_BANK_CONFLICT if had_conflict else STALL_COLLECTORS_FULL
             if len(collectors) >= max_collectors and remaining > 0:
-                stalls.collectors_full += num_schedulers
+                for scheduler_index in range(num_schedulers):
+                    stall_counts[scheduler_index][full_cause] += 1
+                    cycle_causes[scheduler_index] = full_cause
             if len(collectors) < max_collectors:
                 for scheduler_index in range(num_schedulers):
                     if len(collectors) >= max_collectors:
-                        stalls.collectors_full += 1
+                        stall_counts[scheduler_index][full_cause] += 1
+                        cycle_causes[scheduler_index] = full_cause
                         continue
                     ready = ready_sets[scheduler_index]
                     if not ready:
-                        stalls.no_ready_warp += 1
+                        cause = classify_stall(scheduler_index)
+                        stall_counts[scheduler_index][cause] += 1
+                        cycle_causes[scheduler_index] = cause
                         continue
                     if policy_gto:
                         last = last_issued[scheduler_index]
@@ -450,6 +517,10 @@ class EventSmSimulator:
                     if row[_IS_BARRIER]:
                         instructions += 1
                         useful_instructions += 1
+                        if recorder is not None:
+                            recorder.issue(
+                                cycle, warp, scheduler_index, "BAR", "barrier", ()
+                            )
                         arrive_at_barrier(warp, cycle)
                         if pcs[warp] >= oplen[warp] and in_flight[warp] == 0:
                             retirable.add(warp)
@@ -469,6 +540,29 @@ class EventSmSimulator:
                         draining += 1
                     if ready_next:
                         ready.add(slot)
+                    if recorder is not None:
+                        if row[_IS_CTRL]:
+                            hint, hint_regs = "branch", ()
+                            category = "CTRL"
+                        else:
+                            category = _PORT_CATEGORY_NAMES[row[_PORT]]
+                            if pcs[warp] >= oplen[warp]:
+                                hint, hint_regs = "drain", ()
+                            elif not ready_next:
+                                nxt = compiled[warp][pcs[warp]]
+                                pending = scoreboards[warp]
+                                blocking = {
+                                    r for r in nxt[_SRC_REGS] if r in pending
+                                }
+                                next_dst = nxt[_DST]
+                                if next_dst is not None and next_dst in pending:
+                                    blocking.add(next_dst)
+                                hint, hint_regs = "scoreboard", tuple(sorted(blocking))
+                            else:
+                                hint, hint_regs = "scheduler", ()
+                        recorder.issue(
+                            cycle, warp, scheduler_index, category, hint, hint_regs
+                        )
 
             # 5. Retire finished warps; activate pending CTAs whole.
             if retirable:
@@ -482,6 +576,8 @@ class EventSmSimulator:
                     if policy_gto and last_issued[slot % num_schedulers] == slot:
                         last_issued[slot % num_schedulers] = None
                     remaining -= 1
+                    if recorder is not None:
+                        recorder.warp_retire(cycle, warp)
                     progressed = True
                 activate_ctas()
 
@@ -511,8 +607,20 @@ class EventSmSimulator:
                         f"timing deadlock: no progress at cycle {cycle} "
                         f"({remaining} warps remaining)"
                     )
-                cycle = max(cycle + 1, min(next_events))
+                new_cycle = max(cycle + 1, min(next_events))
+                # No event fires inside the skipped stretch, so every
+                # dead cycle stalls for exactly the reasons this cycle
+                # did — replay the recorded per-scheduler attribution.
+                skipped = new_cycle - cycle - 1
+                if skipped:
+                    for scheduler_index in range(num_schedulers):
+                        stall_counts[scheduler_index][
+                            cycle_causes[scheduler_index]
+                        ] += skipped
+                cycle = new_cycle
 
+        if recorder is not None:
+            recorder.finalize(cycle)
         return TimingResult(
             cycles=cycle,
             instructions=instructions,
@@ -521,5 +629,6 @@ class EventSmSimulator:
             issued_per_scheduler=issued_counts,
             scalar_bank_conflicts=scalar_conflicts,
             bank_conflict_cycles=bank_conflict_cycles,
-            stalls=stalls,
+            stalls=StallBreakdown(*(sum(c) for c in zip(*stall_counts))),
+            stalls_per_scheduler=[StallBreakdown(*c) for c in stall_counts],
         )

@@ -27,7 +27,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12",
             "table1", "table2", "table3", "extras", "scorecard", "suite",
-            "staticdyn",
+            "staticdyn", "stalls",
         }
 
     def test_zero_jobs_rejected(self):
@@ -187,3 +187,53 @@ class TestCacheAndJobs:
         assert main(argv) == 0
         assert capsys.readouterr().out == serial
         assert any(cache.glob("*_w64.npz"))
+
+
+class TestTimelineCommand:
+    def test_attribution_table_printed(self, capsys):
+        assert main(["timeline", "bp", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "BP on baseline" in out
+        for cause in ("scoreboard", "branch_shadow", "barrier",
+                      "stream_exhausted", "collectors_full", "bank_conflict"):
+            assert cause in out
+
+    def test_compare_engines_agree(self, capsys):
+        argv = ["timeline", "hs", "--scale", "tiny", "--compare-engines"]
+        assert main(argv) == 0
+        assert "engines agree" in capsys.readouterr().err
+
+    def test_exports_written(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "bp.trace.json"
+        prom = tmp_path / "bp.prom"
+        argv = [
+            "timeline", "bp", "--scale", "tiny",
+            "--trace-out", str(trace), "--metrics-out", str(prom),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert any(e.get("cat") == "issue" for e in events)
+        assert any(e["name"] == "thread_name" for e in events)
+        text = prom.read_text()
+        assert "repro_sm_stall_scheduler_cycles_total" in text
+        assert "repro_timeline_issued_total" in text
+
+    def test_arch_and_engine_selection(self, capsys):
+        argv = [
+            "timeline", "bp", "--scale", "tiny",
+            "--arch", "gscalar", "--sm-engine", "cycle",
+        ]
+        assert main(argv) == 0
+        assert "gscalar (cycle engine)" in capsys.readouterr().out
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "bp", "--capacity", "0"])
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "bp", "--interval-cycles", "0"])

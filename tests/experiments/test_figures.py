@@ -6,7 +6,7 @@ who wins, what's bigger than what, and that rendering works.
 
 import pytest
 
-from repro.experiments import fig1, fig8, fig9, fig10, fig11, fig12
+from repro.experiments import fig1, fig8, fig9, fig10, fig11, fig12, stalls
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -131,3 +131,36 @@ class TestFig12:
 
     def test_render(self, data):
         assert "W-C" in fig12.render(data)
+
+
+class TestStalls:
+    @pytest.fixture(scope="class")
+    def data(self, runner):
+        return stalls.compute(runner)
+
+    def test_rows_cover_suite_on_both_arches(self, data):
+        assert len(data.rows) == 17 * 2
+        assert data.arch_names == ("baseline", "gscalar")
+
+    def test_fractions_tile_the_issue_slots(self, data):
+        from repro.timing.sm import STALL_CAUSES
+
+        for row in data.rows:
+            total = row.issue_fraction() + sum(
+                row.stall_fraction(cause) for cause in STALL_CAUSES
+            )
+            assert abs(total - 1.0) < 1e-9
+
+    def test_scoreboard_dominates_at_tiny_scale(self, data):
+        # Tiny problem sizes leave few warps to hide latency behind, so
+        # RAW waits dwarf every structural cause.
+        for arch in data.arch_names:
+            assert data.average_stall_fraction(arch, "scoreboard") > 0.5
+            assert data.average_stall_fraction(
+                arch, "scoreboard"
+            ) > data.average_stall_fraction(arch, "branch_shadow")
+
+    def test_render(self, data):
+        text = stalls.render(data)
+        assert "Stall attribution" in text
+        assert "AVG" in text and "bank.conf%" in text

@@ -147,12 +147,16 @@ class TestStallBreakdown:
         result = SmSimulator(independent, CONFIG).run()
         assert result.stalls.collectors_full > 0
 
-    def test_stall_accounting_is_bounded_by_scheduler_slots(self):
+    def test_stall_accounting_tiles_issue_slots_exactly(self):
         chain = [alu_op(dst=0)] + [alu_op(dst=0, srcs=(0,)) for _ in range(5)]
         result = SmSimulator([chain], CONFIG).run()
-        # At most schedulers-per-SM slots can stall per simulated cycle
-        # (skipped-ahead dead cycles are not counted).
-        assert result.stalls.total <= result.cycles * CONFIG.schedulers_per_sm
+        # Every issue slot (cycles × schedulers) is either an issue or
+        # exactly one attributed stall — skipped-ahead dead cycles
+        # included, since the skip replays each scheduler's cause.
+        assert (
+            result.stalls.total + sum(result.issued_per_scheduler)
+            == result.cycles * CONFIG.schedulers_per_sm
+        )
 
 
 class TestConfigurableLatencies:

@@ -16,9 +16,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.static_.widths import analyze_widths
 from repro.config import GpuConfig, SchedulerPolicy
 from repro.errors import TimingError
-from repro.experiments.runner import paper_architectures
+from repro.experiments.runner import matrix_architectures, paper_architectures
 from repro.isa.opcodes import OpCategory
 from repro.scalar.architectures import process_classified
 from repro.scalar.batch import classify_trace_with
@@ -61,7 +62,9 @@ def _run_both(warp_ops, config, extra_latency=0, warps_per_cta=None):
 
 @pytest.fixture(scope="module")
 def workload_streams():
-    """Per-workload (classified, warp_size, warps_per_cta), traced once."""
+    """Per-workload (classified, warp_size, warps_per_cta, static
+    widths), traced once.  The width table feeds the static-compression
+    architecture's interpretation (``None`` is fine for the others)."""
     streams = {}
     for abbr in WORKLOADS:
         built = build_workload(abbr, "tiny")
@@ -71,19 +74,32 @@ def workload_streams():
             classified,
             trace.warp_size,
             built.launch.warps_per_cta(trace.warp_size),
+            analyze_widths(built.kernel, warp_size=trace.warp_size).register_enc,
         )
     return streams
 
 
 class TestWorkloadDifferential:
-    """All 17 workloads × 4 architectures, bit-identical TimingResult."""
+    """All 17 workloads × 5 architectures, bit-identical TimingResult.
+
+    ``matrix_architectures()`` is the paper's four plus the
+    statically-compressed RF design point; the equality covers every
+    ``TimingResult`` field (via ``dataclasses.fields``), so the
+    per-scheduler stall-cause attributions are pinned bit-identically
+    between the two engines on every pair.
+    """
 
     @pytest.mark.parametrize("abbr", WORKLOADS)
     def test_all_architectures_identical(self, workload_streams, abbr):
-        classified, warp_size, warps_per_cta = workload_streams[abbr]
+        classified, warp_size, warps_per_cta, widths = workload_streams[abbr]
         config = GpuConfig()
-        for arch in paper_architectures():
-            processed = process_classified(classified, arch, warp_size)
+        for arch in matrix_architectures():
+            processed = process_classified(
+                classified,
+                arch,
+                warp_size,
+                static_widths=widths if arch.static_compression else None,
+            )
             warp_ops = lower_to_timing_ops(processed, arch, config, warp_size)
             ref, got = _run_both(
                 warp_ops,
@@ -95,7 +111,7 @@ class TestWorkloadDifferential:
 
     @pytest.mark.parametrize("abbr", ("BP", "HS"))
     def test_gto_policy_identical(self, workload_streams, abbr):
-        classified, warp_size, warps_per_cta = workload_streams[abbr]
+        classified, warp_size, warps_per_cta, _ = workload_streams[abbr]
         config = GpuConfig(scheduler_policy=SchedulerPolicy.GTO)
         for arch in paper_architectures():
             processed = process_classified(classified, arch, warp_size)
