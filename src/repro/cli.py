@@ -8,6 +8,7 @@ Examples::
     python -m repro profile bp --scale small
     python -m repro timeline bp --scale small --trace-out bp.trace.json
     python -m repro suite --trace-out suite.trace.json --metrics-out suite.prom
+    python -m repro cache stats --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -593,6 +594,72 @@ def _timeline_main(argv: list[str]) -> int:
     return 0
 
 
+def _cache_main(argv: list[str]) -> int:
+    """``repro cache``: inventory and maintenance of a cache directory.
+
+    ``stats`` prints a JSON inventory — per-stage entry counts and
+    on-disk bytes (v5 kinds like ``trace``/``ccols``/``pcols`` plus the
+    legacy ``trace_npz``/``classified_pickle``/``results_pickle``
+    shapes) and the orphaned temp files / superseded bank directories
+    still awaiting a sweep.  ``sweep`` reclaims those orphans now
+    (every runner also sweeps on cache open, but only debris older than
+    the age gate).
+    """
+    from repro.experiments import store
+
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or garbage-collect an experiment cache "
+        "directory.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "sweep"),
+        help="stats: per-stage entry counts and bytes as JSON; "
+        "sweep: remove orphaned temp files and superseded v5 banks",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="cache directory to inspect",
+    )
+    parser.add_argument(
+        "--max-age",
+        type=float,
+        default=store.TMP_SWEEP_AGE_SECONDS,
+        metavar="SECONDS",
+        help="sweep only: reclaim orphans older than this many seconds "
+        f"(default: {store.TMP_SWEEP_AGE_SECONDS:.0f}; 0 sweeps "
+        "everything, unsafe while writers are live)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.action == "sweep":
+        swept = store.sweep_orphans(args.cache_dir, age_seconds=args.max_age)
+        report = {
+            "cache_dir": str(args.cache_dir),
+            "tmp_files": swept.tmp_files,
+            "orphan_bank_dirs": swept.orphan_bank_dirs,
+            "bytes_freed": swept.bytes_freed,
+        }
+    else:
+        report = store.scan_cache(args.cache_dir)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"[wrote report to {args.json}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -604,11 +671,14 @@ def main(argv: list[str] | None = None) -> int:
         return _profile_main(arguments[1:])
     if arguments[:1] == ["timeline"]:
         return _timeline_main(arguments[1:])
+    if arguments[:1] == ["cache"]:
+        return _cache_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the G-Scalar paper's figures and tables.",
         epilog="'repro lint --help' describes the static-analysis gate; "
-        "'repro timeline --help' the cycle-level introspection command.",
+        "'repro timeline --help' the cycle-level introspection command; "
+        "'repro cache --help' the cache inventory/GC command.",
     )
     parser.add_argument(
         "experiment",

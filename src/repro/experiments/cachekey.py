@@ -131,6 +131,44 @@ def classified_fingerprint(
     return fingerprint("classified", stage_version, classifier, trace_fp)
 
 
+def columns_fingerprint(
+    trace_fp: str, stage_version: int, classifier: str = "batch"
+) -> str:
+    """Fingerprint identifying one :class:`ClassifiedColumns` bank set.
+
+    Same dependency closure as :func:`classified_fingerprint` — the
+    columns are a pure function of the classified stream — but under a
+    distinct label, so the columnar bank entry and the event-list
+    sidecar for the same stream can never be confused for one another.
+    """
+    return fingerprint("ccols", stage_version, classifier, trace_fp)
+
+
+def processed_fingerprint(
+    trace_fp: str,
+    arch: ArchitectureConfig,
+    config: GpuConfig,
+    stage_version: int,
+    engine: str = "batch",
+    classifier: str = "batch",
+    analysis_version: int | None = None,
+) -> str:
+    """Fingerprint identifying one :class:`ProcessedColumns` bank set.
+
+    Processed columns depend on the architecture interpretation but not
+    on the SM timing engine or the energy parameters — unlike
+    :func:`stage_fingerprint` for the timing/power results — so they
+    get their own, narrower closure: swapping ``--sm-engine`` reuses
+    the processed banks while re-simulating, exactly as it should.
+    """
+    parts = [
+        "pcols", stage_version, trace_fp, arch, config, engine, classifier,
+    ]
+    if analysis_version is not None:
+        parts.append(("analysis", analysis_version))
+    return fingerprint(*parts)
+
+
 def stage_fingerprint(
     trace_fp: str,
     arch: ArchitectureConfig,

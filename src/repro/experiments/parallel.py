@@ -25,7 +25,13 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.config import ArchitectureConfig, GpuConfig
-from repro.experiments.runner import ExperimentRunner, RunnerStats, paper_architectures
+from repro.experiments.runner import (
+    DEFAULT_TRANSPORT,
+    ExperimentRunner,
+    RunnerStats,
+    paper_architectures,
+)
+from repro.experiments.shm import AdoptedSegment, ShmHandle
 from repro.obs.telemetry import telemetry_session
 from repro.power.energy import EnergyParams
 
@@ -37,7 +43,10 @@ class MatrixTask:
     All fields are plain (frozen) dataclasses or builtins, so a task
     pickles cleanly under both the ``fork`` and ``spawn`` start methods.
     ``telemetry`` asks the worker to run with an enabled telemetry
-    registry and ship its snapshot back in the return payload.
+    registry and ship its snapshot back in the return payload.  ``shm``
+    (optional) points at a shared-memory export of the benchmark's
+    already-materialized columnar trace: the worker adopts those pages
+    read-only instead of re-reading (or re-executing) the trace.
     """
 
     abbr: str
@@ -51,6 +60,8 @@ class MatrixTask:
     classifier: str = "batch"
     arch_engine: str = "batch"
     sm_engine: str = "event"
+    transport: str = DEFAULT_TRANSPORT
+    shm: ShmHandle | None = None
 
 
 def _run_task(task: MatrixTask) -> dict:
@@ -62,13 +73,32 @@ def _run_task(task: MatrixTask) -> dict:
         classifier=task.classifier,
         arch_engine=task.arch_engine,
         sm_engine=task.sm_engine,
+        transport=task.transport,
     )
-    runner.run(task.abbr)
-    for warp_size in task.warp_sizes:
-        runner.trace_with_warp_size(task.abbr, warp_size)
-    for arch in task.arches:
-        runner.power(task.abbr, arch)
-    return runner.stats.to_payload()
+    segment = None
+    if task.shm is not None:
+        segment = AdoptedSegment(task.shm)
+        runner.adopt_shared(
+            task.abbr,
+            segment.columnar(),
+            task.shm.fingerprint,
+            task.shm.total_bytes,
+        )
+    try:
+        runner.run(task.abbr)
+        for warp_size in task.warp_sizes:
+            runner.trace_with_warp_size(task.abbr, warp_size)
+        for arch in task.arches:
+            runner.power(task.abbr, arch)
+        payload = runner.stats.to_payload()
+    finally:
+        if segment is not None:
+            # Drop the runner's references to the shared views before
+            # closing the map (CPython refuses to close a buffer with
+            # live exports; detach() collects and tolerates leaks).
+            runner = None
+            segment.detach()
+    return payload
 
 
 def execute_task(task: MatrixTask) -> dict:
@@ -104,6 +134,8 @@ def run_matrix(
     classifier: str = "batch",
     arch_engine: str = "batch",
     sm_engine: str = "event",
+    transport: str = DEFAULT_TRANSPORT,
+    shm_handles: "dict[str, ShmHandle] | None" = None,
 ) -> RunnerStats:
     """Execute the benchmark × architecture matrix across processes.
 
@@ -111,9 +143,14 @@ def run_matrix(
     completed, total)`` each time a benchmark finishes, in completion
     order.  With ``telemetry`` set, every worker records into an
     enabled registry whose snapshot merges into the returned stats.
-    Returns the stats aggregated over every worker.
+    ``shm_handles`` maps benchmark abbreviations to shared-memory
+    exports of columnar traces the parent already materialized
+    (:class:`~repro.experiments.shm.ShmExporter`); matching workers
+    adopt the shared pages instead of re-reading the trace.  Returns
+    the stats aggregated over every worker.
     """
     arch_list = tuple(arches) if arches is not None else paper_architectures()
+    handles = shm_handles or {}
     tasks = [
         MatrixTask(
             abbr=abbr,
@@ -127,6 +164,8 @@ def run_matrix(
             classifier=classifier,
             arch_engine=arch_engine,
             sm_engine=sm_engine,
+            transport=transport,
+            shm=handles.get(abbr),
         )
         for abbr in names
     ]

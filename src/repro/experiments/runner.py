@@ -13,35 +13,46 @@ executes each benchmark exactly once.
 With ``cache_dir`` set, every expensive stage also persists on disk so
 it can be shared *across* processes:
 
-* traces as compressed ``.npz`` archives (:mod:`repro.simt.serialize`),
-* classified streams and per-architecture timing/power results as
-  pickle sidecars.
+* traces, classified columns and processed columns in the zero-copy v5
+  manifest/bank layout (:mod:`repro.experiments.store`) — a warm hit
+  memory-maps page-aligned ``.npy`` banks read-only instead of
+  deserializing them;
+* classified event streams and per-architecture timing/power results
+  as small pickle sidecars.
 
-Each cached artifact embeds a content fingerprint
+Legacy v3 ``.npz`` traces are still read and upgraded to v5 in place;
+``transport="legacy"`` pins the old npz path (migration tests, the
+transport benchmark's reference arm).  Each cached artifact embeds a
+content fingerprint
 (:mod:`repro.experiments.cachekey`) covering the kernel, scale, warp
 size, architecture, GPU configuration and energy parameters; a
 mismatch — or any corrupt file — falls back to re-execution and
-overwrites the stale entry.  :meth:`ExperimentRunner.prefetch` fans the
+overwrites the stale entry, and staleness is decided from the v5
+manifest (or a peek at a pickle sidecar's first bytes) without
+materializing payloads.  :meth:`ExperimentRunner.prefetch` fans the
 benchmark × architecture matrix out over a process pool
-(:mod:`repro.experiments.parallel`) that communicates exclusively
-through this cache, and :attr:`ExperimentRunner.stats` counts cache
-hits, misses, re-executions and per-stage wall time for observability.
+(:mod:`repro.experiments.parallel`) that communicates through this
+cache plus shared-memory exports of already-materialized traces
+(:mod:`repro.experiments.shm`), and :attr:`ExperimentRunner.stats`
+counts cache hits, misses, re-executions, per-stage wall time and the
+transport byte counters (``bytes_mapped`` / ``bytes_copied`` /
+``bytes_deserialized``) for observability.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import re
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 from repro.analysis.static_.widths import WIDTH_ANALYSIS_VERSION, analyze_widths
 from repro.config import ArchitectureConfig, GpuConfig
 from repro.errors import TraceError
-from repro.experiments import cachekey
+from repro.experiments import cachekey, store
 from repro.obs.instrument import record_columnar_warps
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.power.accounting import PowerAccountant
@@ -62,7 +73,12 @@ from repro.scalar.batch import (
 from repro.scalar.columns import ClassifiedColumns, ProcessedColumns
 from repro.scalar.tracker import ClassifiedEvent
 from repro.simt.executor import run_kernel
-from repro.simt.serialize import load_columnar, save_trace
+from repro.simt.serialize import (
+    load_columnar,
+    load_columnar_v5,
+    save_columnar_v5,
+    save_trace,
+)
 from repro.simt.trace import ColumnarTrace, KernelTrace, opcode_labels
 from repro.timing.gpu import simulate_architecture, simulate_architecture_columns
 from repro.timing.sm import TimingResult
@@ -86,6 +102,35 @@ from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workl
 #: reshaped and :class:`~repro.timing.sm.TimingResult` gained
 #: ``stalls_per_scheduler``), changing the pickled timing-result shape.
 STAGE_VERSION = 6
+
+#: Cache transports.  ``mmap`` (default) reads and writes the v5
+#: manifest + page-aligned bank layout (:mod:`repro.experiments.store`)
+#: and opens banks as read-only memory maps — with transparent dual
+#: read of legacy v3 ``.npz`` traces, which are upgraded to v5 on their
+#: first hit.  ``legacy`` pins the pre-v5 compressed-npz/pickle forms,
+#: kept for migration tests and as the reference arm of
+#: ``bench --transport``.
+TRANSPORT_CHOICES = ("mmap", "legacy")
+DEFAULT_TRANSPORT = "mmap"
+
+#: Pickle-protocol-aware fingerprint peek for legacy sidecars: the
+#: payload dicts are written fingerprint-first, so the SHORT_BINUNICODE
+#: key/value pair (``\x8c <len> bytes``, optionally memoized) sits in
+#: the first few dozen bytes of the file.  Matching it there lets the
+#: staleness check skip unpickling megabytes of stale payload.
+_PICKLE_FP_RE = re.compile(
+    rb"\x8c\x0bfingerprint\x94?\x8c"
+    + bytes([cachekey.DIGEST_CHARS])
+    + rb"([0-9a-f]{%d})" % cachekey.DIGEST_CHARS
+)
+_PICKLE_PEEK_BYTES = 512
+
+
+def _columnar_nbytes(columnar: ColumnarTrace) -> int:
+    """Total payload bytes of a columnar trace's arrays."""
+    from repro.simt.serialize import _ARRAY_FIELDS
+
+    return int(sum(getattr(columnar, name).nbytes for name in _ARRAY_FIELDS))
 
 
 def paper_architectures() -> tuple[ArchitectureConfig, ...]:
@@ -219,21 +264,73 @@ class RunnerStats:
         return payload
 
 
-@dataclass
 class BenchmarkRun:
-    """Cached functional-level artifacts of one benchmark."""
+    """Cached functional-level artifacts of one benchmark.
 
-    abbr: str
-    built: BuiltWorkload
-    trace: KernelTrace
-    classified: list[list[ClassifiedEvent]] = field(repr=False, default_factory=list)
-    #: Content fingerprint of the (kernel, scale, warp-size) combination
-    #: that produced ``trace``; stage sidecars derive their keys from it.
-    trace_fingerprint: str = ""
-    #: The columnar form of ``trace`` when it came from the .npz cache;
-    #: lets the columnar pipeline reuse its arrays instead of
-    #: re-extracting them from event objects.
-    columnar: ColumnarTrace | None = field(repr=False, default=None)
+    ``trace`` (the per-event form) and ``classified`` (the classified
+    event stream) are **lazy**: a cache hit hands back columnar arrays
+    — memory-mapped under the v5 transport — and neither the event
+    objects nor the classified pickle are materialized until something
+    actually reads them.  A fully warm run that replays its results
+    sidecars therefore never unpickles a single event.
+    """
+
+    def __init__(
+        self,
+        abbr: str,
+        built: BuiltWorkload,
+        trace_fingerprint: str = "",
+        trace: KernelTrace | None = None,
+        columnar: ColumnarTrace | None = None,
+        classified: list[list[ClassifiedEvent]] | None = None,
+        classified_loader: "Callable[[BenchmarkRun], list[list[ClassifiedEvent]]] | None" = None,
+    ):
+        if trace is None and columnar is None:
+            raise ValueError("BenchmarkRun needs a trace or a columnar trace")
+        self.abbr = abbr
+        self.built = built
+        #: Content fingerprint of the (kernel, scale, warp-size)
+        #: combination that produced the trace; stage sidecars derive
+        #: their keys from it.
+        self.trace_fingerprint = trace_fingerprint
+        #: The columnar form when the trace came from the cache (or a
+        #: shared-memory adoption); the columnar pipeline reuses these
+        #: arrays instead of re-extracting them from event objects.
+        self.columnar = columnar
+        self._trace = trace
+        self._classified = classified
+        self._classified_loader = classified_loader
+
+    def __repr__(self) -> str:
+        return (
+            f"BenchmarkRun(abbr={self.abbr!r}, "
+            f"trace_fingerprint={self.trace_fingerprint!r})"
+        )
+
+    @property
+    def warp_size(self) -> int:
+        """Warp size without forcing event materialization."""
+        if self._trace is not None:
+            return self._trace.warp_size
+        return self.columnar.warp_size
+
+    @property
+    def trace(self) -> KernelTrace:
+        """The event-form trace (materialized from columnar on demand)."""
+        if self._trace is None:
+            self._trace = self.columnar.to_trace()
+        return self._trace
+
+    @property
+    def classified(self) -> list[list[ClassifiedEvent]]:
+        """The classified stream (loaded or computed on first access)."""
+        if self._classified is None:
+            loader = self._classified_loader
+            if loader is None:
+                raise ValueError(f"{self.abbr}: no classified stream available")
+            self._classified = loader(self)
+            self._classified_loader = None
+        return self._classified
 
 
 class ExperimentRunner:
@@ -249,9 +346,15 @@ class ExperimentRunner:
         classifier: str = DEFAULT_CLASSIFIER,
         arch_engine: str = DEFAULT_ARCH_ENGINE,
         sm_engine: str = DEFAULT_SM_ENGINE,
+        transport: str = DEFAULT_TRANSPORT,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
+        if transport not in TRANSPORT_CHOICES:
+            raise ValueError(
+                f"unknown transport {transport!r}; known: "
+                f"{', '.join(TRANSPORT_CHOICES)}"
+            )
         if classifier not in CLASSIFIER_CHOICES:
             raise ValueError(
                 f"unknown classifier {classifier!r}; known: "
@@ -270,6 +373,7 @@ class ExperimentRunner:
         self.classifier = classifier
         self.arch_engine = arch_engine
         self.sm_engine = sm_engine
+        self.transport = transport
         self.scale = SCALES[scale]
         self.config = config or GpuConfig()
         self.params = params or DEFAULT_ENERGY
@@ -282,7 +386,18 @@ class ExperimentRunner:
         # own spans); otherwise the stats own a private registry.
         telemetry = get_telemetry()
         self.stats = RunnerStats(telemetry=telemetry if telemetry.enabled else None)
+        if self.cache_dir is not None:
+            # Reclaim crashed-writer debris and superseded v5 banks on
+            # open (age-gated, so live writers are never swept).
+            swept = store.sweep_orphans(self.cache_dir)
+            if swept.tmp_files:
+                self.stats.bump("cache_tmp_swept", swept.tmp_files)
+            if swept.orphan_bank_dirs:
+                self.stats.bump("cache_banks_swept", swept.orphan_bank_dirs)
+            if swept.bytes_freed:
+                self.stats.bump("cache_bytes_swept", swept.bytes_freed)
         self._runs: dict[str, BenchmarkRun] = {}
+        self._adopted: dict[str, tuple[ColumnarTrace, str, int]] = {}
         self._warp_traces: dict[tuple[str, int], KernelTrace] = {}
         self._static_widths: dict[str, tuple[int, ...]] = {}
         self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
@@ -303,27 +418,62 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # On-disk cache plumbing.
     # ------------------------------------------------------------------
+    def _trace_stem(self, key: str, warp_size: int) -> str:
+        suffix = "" if warp_size == 32 else f"_w{warp_size}"
+        return f"{key}_{self.scale.name}{suffix}"
+
     def _trace_path(self, key: str, warp_size: int) -> Path:
         assert self.cache_dir is not None
-        suffix = "" if warp_size == 32 else f"_w{warp_size}"
-        return self.cache_dir / f"{key}_{self.scale.name}{suffix}.npz"
+        return self.cache_dir / f"{self._trace_stem(key, warp_size)}.npz"
+
+    def _stage_stem(self, key: str, stage: str) -> str:
+        return f"{key}_{self.scale.name}_{stage}"
 
     def _sidecar_path(self, key: str, stage: str) -> Path:
         assert self.cache_dir is not None
-        return self.cache_dir / f"{key}_{self.scale.name}_{stage}.pkl"
+        return self.cache_dir / f"{self._stage_stem(key, stage)}.pkl"
 
     @staticmethod
     def _replace_into(tmp: Path, final: Path) -> None:
         os.replace(tmp, final)
 
+    @staticmethod
+    def _peek_sidecar_fingerprint(path: Path) -> str | None:
+        """Extract a legacy sidecar's fingerprint from its first bytes.
+
+        ``None`` when the pattern isn't found (unreadable file, foreign
+        pickle protocol, reordered payload) — the caller then falls
+        back to the full unpickle-and-check, so the peek is purely an
+        optimization, never a correctness dependency.
+        """
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(_PICKLE_PEEK_BYTES)
+        except OSError:
+            return None
+        match = _PICKLE_FP_RE.search(head)
+        return match.group(1).decode() if match else None
+
     def _load_sidecar(self, path: Path, fingerprint: str) -> dict | None:
-        """Read a pickle sidecar; ``None`` on absence, damage or staleness."""
+        """Read a pickle sidecar; ``None`` on absence, damage or staleness.
+
+        Staleness is decided from the fingerprint *peeked* out of the
+        file's first bytes whenever possible, so a stale entry is
+        rejected without deserializing its (potentially large) payload.
+        """
         if not path.exists():
+            return None
+        peeked = self._peek_sidecar_fingerprint(path)
+        if peeked is not None and peeked != fingerprint:
+            self._log(f"discarding stale sidecar {path.name} (header peek)")
+            self.stats.bump("sidecar_stale_skipped")
+            self.stats.bump("sidecar_invalid")
             return None
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
             if payload.get("fingerprint") == fingerprint:
+                self.stats.bump("bytes_deserialized", path.stat().st_size)
                 return payload
             self._log(f"discarding stale sidecar {path.name}")
         except Exception as exc:
@@ -340,22 +490,77 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Trace stage.
     # ------------------------------------------------------------------
+    def _record_trace_hit(self, key: str, columnar: ColumnarTrace) -> None:
+        self.stats.bump("trace_cache_hits")
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # Cache hits skip the executor, so feed the instruction-mix
+            # counters from the columnar arrays instead — same numbers
+            # either way.
+            record_columnar_warps(telemetry, columnar, opcode_labels())
+
+    def adopt_shared(
+        self,
+        abbr: str,
+        columnar: ColumnarTrace,
+        fingerprint: str,
+        nbytes: int = 0,
+    ) -> None:
+        """Pre-seed a benchmark's trace from a shared-memory segment.
+
+        Pool workers call this with the views of an
+        :class:`~repro.experiments.shm.AdoptedSegment` before running:
+        :meth:`run` then starts from the parent's already-materialized
+        columns instead of touching the disk cache at all.  The
+        fingerprint travels with the handle and is re-checked against
+        the worker's own kernel/scale at use, so an adopted segment can
+        never smuggle in a stale trace.
+        """
+        self._adopted[self._normalize(abbr)] = (columnar, fingerprint, nbytes)
+
     def _obtain_trace(
         self, key: str, built: BuiltWorkload, warp_size: int
     ) -> tuple[KernelTrace | ColumnarTrace, str]:
         """Load a fingerprint-matching cached trace or execute and cache.
 
         A cache hit returns the :class:`ColumnarTrace` exactly as it
-        lies on disk — no per-event reconstruction.  Callers that need
-        the event form either hand it to the batch classifier (which
-        materializes events once, during classification) or call
+        lies on disk — under the default ``mmap`` transport its arrays
+        are read-only memory maps of the v5 banks, so the hit copies
+        nothing.  Legacy v3 ``.npz`` entries are still read (and
+        upgraded to v5 in place) when no v5 entry exists.  Callers that
+        need the event form either hand it to the batch classifier
+        (which materializes events once, during classification) or call
         ``.to_trace()`` themselves.  A cache miss executes and returns
         the event-form :class:`KernelTrace` directly.
         """
         fingerprint = cachekey.trace_fingerprint(built.kernel, self.scale, warp_size)
+        if warp_size == 32:
+            adopted = self._adopted.get(key)
+            if adopted is not None and adopted[1] == fingerprint:
+                self.stats.bump("trace_shm_adopted")
+                self.stats.bump("bytes_mapped", adopted[2])
+                self._log(f"adopted shared-memory trace for {key}")
+                self._record_trace_hit(key, adopted[0])
+                return adopted[0], fingerprint
         path = None
         if self.cache_dir is not None:
+            stem = self._trace_stem(key, warp_size)
             path = self._trace_path(key, warp_size)
+            if self.transport != "legacy":
+                with self.stats.timer(
+                    "trace_load", benchmark=key, warp_size=warp_size
+                ):
+                    columnar, status, entry = load_columnar_v5(
+                        self.cache_dir, stem, fingerprint
+                    )
+                if status == "hit":
+                    self.stats.bump("bytes_mapped", entry.bytes_mapped)
+                    self._log(f"mapped v5 trace for {key} (warp {warp_size})")
+                    self._record_trace_hit(key, columnar)
+                    return columnar, fingerprint
+                if status in ("stale", "corrupt"):
+                    self._log(f"discarding {status} v5 trace entry for {key}")
+                    self.stats.bump("trace_cache_invalid")
             if path.exists():
                 try:
                     with self.stats.timer("trace_load", benchmark=key, warp_size=warp_size):
@@ -364,14 +569,19 @@ class ExperimentRunner:
                     self._log(f"discarding cached trace {path.name}: {exc}")
                     self.stats.bump("trace_cache_invalid")
                 else:
-                    self.stats.bump("trace_cache_hits")
+                    self.stats.bump("bytes_deserialized", _columnar_nbytes(columnar))
                     self._log(f"loaded cached trace for {key} (warp {warp_size})")
-                    telemetry = get_telemetry()
-                    if telemetry.enabled:
-                        # Cache hits skip the executor, so feed the
-                        # instruction-mix counters from the columnar
-                        # arrays instead — same numbers either way.
-                        record_columnar_warps(telemetry, columnar, opcode_labels())
+                    if self.transport != "legacy":
+                        # Write-through upgrade: the next hit on this
+                        # entry is a zero-copy map, not a decompress.
+                        with self.stats.timer(
+                            "trace_save", benchmark=key, warp_size=warp_size
+                        ):
+                            save_columnar_v5(
+                                columnar, self.cache_dir, stem, fingerprint
+                            )
+                        self.stats.bump("cache_migrated_v5")
+                    self._record_trace_hit(key, columnar)
                     return columnar, fingerprint
             self.stats.bump("trace_cache_misses")
         self._log(f"executing {key} at scale {self.scale.name!r} warp {warp_size}")
@@ -381,32 +591,39 @@ class ExperimentRunner:
                 built.kernel, built.launch, built.memory, warp_size=warp_size
             )
         if path is not None:
-            # Write-then-rename so a concurrent reader never sees a
-            # half-written archive (np.savez only appends ".npz" to
-            # names lacking it, so the temp name must keep the suffix).
-            tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
             with self.stats.timer("trace_save", benchmark=key, warp_size=warp_size):
-                save_trace(trace, tmp, fingerprint=fingerprint)
-                self._replace_into(tmp, path)
+                if self.transport == "legacy":
+                    # Write-then-rename so a concurrent reader never
+                    # sees a half-written archive (np.savez only
+                    # appends ".npz" to names lacking it, so the temp
+                    # name must keep the suffix).
+                    tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+                    save_trace(trace, tmp, fingerprint=fingerprint)
+                    self._replace_into(tmp, path)
+                else:
+                    save_columnar_v5(
+                        trace.to_columnar(), self.cache_dir, stem, fingerprint
+                    )
         return trace, fingerprint
 
     def _obtain_classified(
-        self,
-        key: str,
-        built: BuiltWorkload,
-        trace_fingerprint: str,
-        trace: KernelTrace | ColumnarTrace,
-    ) -> tuple[KernelTrace, list[list[ClassifiedEvent]]]:
-        """Classified stream (cached or computed) plus the event-form trace.
+        self, run: BenchmarkRun
+    ) -> list[list[ClassifiedEvent]]:
+        """Classified stream for one run (cached or computed).
 
-        When the trace arrived columnar (a cache hit) and the batch
-        engine is selected, classification runs straight off the
+        This is :class:`BenchmarkRun`'s lazy ``classified`` loader —
+        nothing here executes until a consumer actually reads the
+        per-event stream, so a warm run that only replays results
+        sidecars (or only touches the columnar banks) never unpickles
+        the event list at all.  When the trace is columnar and the
+        batch engine is selected, classification runs straight off the
         columnar arrays and materializes the event form as a by-product
-        — one object per event total, shared between the returned trace
-        and the classified stream.
+        — one object per event total, shared between ``run.trace`` and
+        the classified stream.
         """
+        key = run.abbr
         fingerprint = cachekey.classified_fingerprint(
-            trace_fingerprint, STAGE_VERSION, self.classifier
+            run.trace_fingerprint, STAGE_VERSION, self.classifier
         )
         path = None
         if self.cache_dir is not None:
@@ -414,30 +631,23 @@ class ExperimentRunner:
             payload = self._load_sidecar(path, fingerprint)
             if payload is not None:
                 self.stats.bump("classified_cache_hits")
-                if isinstance(trace, ColumnarTrace):
-                    trace = trace.to_trace()
-                return trace, payload["classified"]
+                return payload["classified"]
             self.stats.bump("classified_cache_misses")
         with self.stats.timer("classify", benchmark=key):
-            if isinstance(trace, ColumnarTrace):
-                if self.classifier == "batch":
-                    trace, classified = classify_columnar_batch(
-                        trace, built.kernel.num_registers
-                    )
-                else:
-                    trace = trace.to_trace()
-                    classified = classify_trace_with(
-                        trace, built.kernel.num_registers, self.classifier
-                    )
+            if run._trace is None and self.classifier == "batch":
+                trace, classified = classify_columnar_batch(
+                    run.columnar, run.built.kernel.num_registers
+                )
+                run._trace = trace
             else:
                 classified = classify_trace_with(
-                    trace, built.kernel.num_registers, self.classifier
+                    run.trace, run.built.kernel.num_registers, self.classifier
                 )
         if path is not None:
             self._store_sidecar(
                 path, {"fingerprint": fingerprint, "classified": classified}
             )
-        return trace, classified
+        return classified
 
     # ------------------------------------------------------------------
     def benchmark_names(self) -> list[str]:
@@ -457,14 +667,13 @@ class ExperimentRunner:
             built = spec.builder(self.scale)
             trace, fingerprint = self._obtain_trace(key, built, 32)
             columnar = trace if isinstance(trace, ColumnarTrace) else None
-            trace, classified = self._obtain_classified(key, built, fingerprint, trace)
             self._runs[key] = BenchmarkRun(
                 abbr=key,
                 built=built,
-                trace=trace,
-                classified=classified,
+                trace=None if columnar is not None else trace,
                 trace_fingerprint=fingerprint,
                 columnar=columnar,
+                classified_loader=self._obtain_classified,
             )
         return self._runs[key]
 
@@ -503,7 +712,7 @@ class ExperimentRunner:
             run = self.run(key)
             with self.stats.timer("width_analysis", benchmark=key):
                 self._static_widths[key] = analyze_widths(
-                    run.built.kernel, warp_size=run.trace.warp_size
+                    run.built.kernel, warp_size=run.warp_size
                 ).register_enc
         return self._static_widths[key]
 
@@ -520,32 +729,106 @@ class ExperimentRunner:
             widths = self._widths_for(key[0], arch)
             with self.stats.timer("process", benchmark=key[0], arch=arch.name):
                 self._processed[key] = process_classified(
-                    run.classified, arch, run.trace.warp_size, static_widths=widths
+                    run.classified, arch, run.warp_size, static_widths=widths
                 )
         return self._processed[key]
 
+    def _load_column_banks(self, stem: str, fingerprint: str, kind: str):
+        """Open one v5 column-bank entry; ``None`` unless a clean hit."""
+        if self.cache_dir is None or self.transport == "legacy":
+            return None
+        entry, status = store.load_entry(self.cache_dir, stem, fingerprint)
+        if status == "hit" and entry.kind == kind:
+            self.stats.bump(f"{kind}_cache_hits")
+            self.stats.bump("bytes_mapped", entry.bytes_mapped)
+            return entry
+        if status == "hit" or status in ("stale", "corrupt"):
+            self._log(f"discarding {status} {kind} banks {stem}")
+            self.stats.bump("sidecar_invalid")
+        self.stats.bump(f"{kind}_cache_misses")
+        return None
+
+    def _store_column_banks(
+        self, stem: str, fingerprint: str, kind: str, warp_size: int, arrays
+    ) -> None:
+        if self.cache_dir is None or self.transport == "legacy":
+            return
+        store.store_entry(
+            self.cache_dir,
+            stem,
+            fingerprint=fingerprint,
+            kind=kind,
+            meta={"warp_size": int(warp_size)},
+            arrays=arrays,
+        )
+
     def classified_columns(self, abbr: str) -> ClassifiedColumns:
         """Columnar classified stream (architecture-independent, shared
-        by every architecture's batch interpretation)."""
+        by every architecture's batch interpretation).
+
+        Persisted as v5 ``ccols`` banks: a warm hit maps the arrays
+        read-only and never touches the classified event pickle.
+        """
         key = self._normalize(abbr)
         if key not in self._classified_columns:
             run = self.run(key)
-            with self.stats.timer("columns", benchmark=key):
-                self._classified_columns[key] = ClassifiedColumns.from_classified(
-                    run.classified, run.trace.warp_size, columnar=run.columnar
+            fingerprint = cachekey.columns_fingerprint(
+                run.trace_fingerprint, STAGE_VERSION, self.classifier
+            )
+            stem = self._stage_stem(key, "ccols")
+            entry = self._load_column_banks(stem, fingerprint, "ccols")
+            if entry is not None:
+                self._classified_columns[key] = ClassifiedColumns.from_arrays(
+                    int(entry.meta["warp_size"]), entry.arrays
                 )
+                return self._classified_columns[key]
+            with self.stats.timer("columns", benchmark=key):
+                ccols = ClassifiedColumns.from_classified(
+                    run.classified, run.warp_size, columnar=run.columnar
+                )
+            self._store_column_banks(
+                stem, fingerprint, "ccols", ccols.warp_size, ccols.as_arrays()
+            )
+            self._classified_columns[key] = ccols
         return self._classified_columns[key]
 
     def processed_columns(self, abbr: str, arch: ArchitectureConfig) -> ProcessedColumns:
-        """Per-architecture columnar processed trace for one benchmark."""
+        """Per-architecture columnar processed trace for one benchmark.
+
+        Persisted as v5 ``pcols`` banks keyed on the interpretation
+        closure only (not the SM engine or energy parameters), so
+        re-simulating under a different SM engine replays these banks
+        instead of re-interpreting.
+        """
         key = (self._normalize(abbr), arch.name)
         if key not in self._processed_columns:
+            run = self.run(key[0])
+            fingerprint = cachekey.processed_fingerprint(
+                run.trace_fingerprint,
+                arch,
+                self.config,
+                STAGE_VERSION,
+                engine=self.arch_engine,
+                classifier=self.classifier,
+                analysis_version=(
+                    WIDTH_ANALYSIS_VERSION if arch.static_compression else None
+                ),
+            )
+            stem = self._stage_stem(key[0], f"pcols_{arch.name}")
+            entry = self._load_column_banks(stem, fingerprint, "pcols")
+            if entry is not None:
+                self._processed_columns[key] = ProcessedColumns.from_arrays(
+                    int(entry.meta["warp_size"]), entry.arrays
+                )
+                return self._processed_columns[key]
             ccols = self.classified_columns(key[0])
             widths = self._widths_for(key[0], arch)
             with self.stats.timer("process", benchmark=key[0], arch=arch.name):
-                self._processed_columns[key] = process_columns(
-                    ccols, arch, static_widths=widths
-                )
+                pcols = process_columns(ccols, arch, static_widths=widths)
+            self._store_column_banks(
+                stem, fingerprint, "pcols", pcols.warp_size, pcols.as_arrays()
+            )
+            self._processed_columns[key] = pcols
         return self._processed_columns[key]
 
     def _results_fingerprint(self, run: BenchmarkRun, arch: ArchitectureConfig) -> str:
@@ -593,12 +876,12 @@ class ExperimentRunner:
     def warps_per_cta(self, abbr: str) -> int | None:
         """Warps per CTA of one benchmark's launch (barrier scope)."""
         run = self.run(self._normalize(abbr))
-        return run.built.launch.warps_per_cta(run.trace.warp_size)
+        return run.built.launch.warps_per_cta(run.warp_size)
 
     def _compute_timing(self, key: str, arch: ArchitectureConfig) -> None:
         self._log(f"timing {key} on {arch.name}")
         run = self.run(key)
-        warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
+        warps_per_cta = run.built.launch.warps_per_cta(run.warp_size)
         with self.stats.timer(
             "timing", benchmark=key, arch=arch.name, sm_engine=self.sm_engine
         ):
@@ -646,7 +929,7 @@ class ExperimentRunner:
         key = self._normalize(abbr)
         engine = sm_engine or self.sm_engine
         run = self.run(key)
-        warps_per_cta = run.built.launch.warps_per_cta(run.trace.warp_size)
+        warps_per_cta = run.built.launch.warps_per_cta(run.warp_size)
         self._log(f"timeline {key} on {arch.name} ({engine} engine)")
         with self.stats.timer(
             "timeline", benchmark=key, arch=arch.name, sm_engine=engine
@@ -732,21 +1015,49 @@ class ExperimentRunner:
                         "processes communicate through the on-disk cache"
                     )
                 from repro.experiments.parallel import run_matrix
+                from repro.experiments.shm import ShmExporter
 
-                worker_stats = run_matrix(
-                    names=wanted,
-                    scale=self.scale.name,
-                    cache_dir=self.cache_dir,
-                    jobs=jobs,
-                    warp_sizes=tuple(warp_sizes),
-                    arches=arch_list,
-                    config=self.config,
-                    params=self.params,
-                    progress=progress,
-                    telemetry=get_telemetry().enabled,
-                    classifier=self.classifier,
-                    arch_engine=self.arch_engine,
-                    sm_engine=self.sm_engine,
-                )
+                # In-process fan-out shortcut: any columnar trace this
+                # runner already materialized is exported once into
+                # shared memory so workers adopt the pages instead of
+                # re-opening the disk entry.  The one export copy is
+                # what ``bytes_copied`` counts; each adoption counts as
+                # mapped bytes in the worker that performs it.
+                handles = {}
+                with ShmExporter() as exporter:
+                    for abbr in wanted:
+                        seeded = self._runs.get(abbr)
+                        if seeded is None:
+                            continue
+                        columnar = seeded.columnar
+                        if columnar is None:
+                            # Freshly-executed trace: pack it once so
+                            # the copy is shared by every worker.
+                            columnar = seeded.trace.to_columnar()
+                            seeded.columnar = columnar
+                        with self.stats.timer("shm_export", benchmark=abbr):
+                            handle = exporter.export_columnar(
+                                columnar, seeded.trace_fingerprint
+                            )
+                        handles[abbr] = handle
+                        self.stats.bump("shm_exports")
+                        self.stats.bump("bytes_copied", handle.total_bytes)
+                    worker_stats = run_matrix(
+                        names=wanted,
+                        scale=self.scale.name,
+                        cache_dir=self.cache_dir,
+                        jobs=jobs,
+                        warp_sizes=tuple(warp_sizes),
+                        arches=arch_list,
+                        config=self.config,
+                        params=self.params,
+                        progress=progress,
+                        telemetry=get_telemetry().enabled,
+                        classifier=self.classifier,
+                        arch_engine=self.arch_engine,
+                        sm_engine=self.sm_engine,
+                        transport=self.transport,
+                        shm_handles=handles or None,
+                    )
                 self.stats.merge(worker_stats)
         return self.stats

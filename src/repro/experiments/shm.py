@@ -1,0 +1,198 @@
+"""Shared-memory fan-out of already-materialized columnar traces.
+
+The v5 cache makes *disk* hits zero-copy (``np.load(mmap_mode="r")``)
+— but a parallel :meth:`~repro.experiments.runner.ExperimentRunner.
+prefetch` has a second transport opportunity: when the parent has
+already materialized a benchmark's :class:`~repro.simt.trace.
+ColumnarTrace` in memory, pool workers should not re-read (or worse,
+re-execute) it.  This module copies those arrays **once** into a POSIX
+``multiprocessing.shared_memory`` segment and hands workers a small
+picklable :class:`ShmHandle`; each worker attaches and rebuilds the
+columnar trace as read-only views over the shared pages — per-worker
+cost is a map, not a copy, regardless of trace size or pool width.
+
+Transport accounting: the parent's one export counts as
+``bytes_copied`` (an explicit copy into the segment); each worker's
+attach counts as ``bytes_mapped`` (views over shared pages).
+
+Lifecycle rules (they encode real POSIX/CPython behavior):
+
+* The **parent** owns the segments: :class:`ShmExporter` keeps every
+  ``SharedMemory`` object alive until :meth:`ShmExporter.close`, which
+  closes and unlinks them.  Unlinking while workers still hold maps is
+  safe — their pages survive until they detach (same semantics the v5
+  bank GC relies on).
+* **Workers** must drop every array view before closing their map:
+  CPython refuses to close a ``memoryview``-exporting mmap
+  (``BufferError``).  :meth:`AdoptedSegment.detach` releases the views,
+  runs a collection to clear any stragglers, and swallows the
+  ``BufferError`` if a consumer leaked a reference — leaking a map for
+  the worker's remaining lifetime beats crashing the task.
+* Nobody calls ``resource_tracker.unregister``: under the default
+  ``fork`` start method the children share the parent's tracker, so a
+  child unregistering would delete the parent's entry and the segment
+  would leak if the parent died before ``close``.  The tracker may
+  therefore double-unlink at interpreter exit; the parent's own unlink
+  already swallows ``FileNotFoundError`` for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.simt.serialize import _ARRAY_FIELDS
+from repro.simt.trace import ColumnarTrace
+
+#: Array offsets inside a segment are page-aligned, mirroring the v5
+#: bank layout on disk.
+_ALIGN = 4096
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Where one array lives inside a shared segment."""
+
+    name: str
+    dtype: str  # np.lib.format descr string
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable descriptor of one exported columnar trace.
+
+    Everything a worker needs to attach: the POSIX segment name, the
+    array schema with offsets, and the trace identity (fingerprint +
+    header fields) so the adopting runner can seed its cache state
+    exactly as a disk hit would.
+    """
+
+    segment: str
+    fingerprint: str
+    kernel_name: str
+    warp_size: int
+    arrays: tuple[ShmArraySpec, ...]
+    total_bytes: int
+
+
+class ShmExporter:
+    """Parent-side: copy columnar traces into shared segments once.
+
+    Use as a context manager around the pool fan-out; exiting closes
+    and unlinks every segment (workers that are still attached keep
+    their pages until they detach).
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def export_columnar(
+        self, columnar: ColumnarTrace, fingerprint: str
+    ) -> ShmHandle:
+        """Copy one columnar trace into a fresh shared segment."""
+        specs = []
+        offset = 0
+        for name in _ARRAY_FIELDS:
+            array = np.ascontiguousarray(getattr(columnar, name))
+            specs.append(
+                ShmArraySpec(
+                    name=name,
+                    dtype=np.lib.format.dtype_to_descr(array.dtype),
+                    shape=tuple(int(dim) for dim in array.shape),
+                    offset=offset,
+                    nbytes=int(array.nbytes),
+                )
+            )
+            offset += -(-array.nbytes // _ALIGN) * _ALIGN
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._segments.append(segment)
+        for spec in specs:
+            if spec.nbytes == 0:
+                continue
+            array = np.ascontiguousarray(getattr(columnar, spec.name))
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=segment.buf,
+                offset=spec.offset,
+            )
+            view[...] = array
+            del view  # release the buffer export before any close()
+        return ShmHandle(
+            segment=segment.name,
+            fingerprint=fingerprint,
+            kernel_name=columnar.kernel_name,
+            warp_size=columnar.warp_size,
+            arrays=tuple(specs),
+            total_bytes=sum(spec.nbytes for spec in specs),
+        )
+
+    def close(self) -> None:
+        """Close and unlink every exported segment."""
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # a live local view; unlink still works
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # resource tracker (or a sibling) got there first
+        self._segments.clear()
+
+    def __enter__(self) -> "ShmExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AdoptedSegment:
+    """Worker-side attachment to one exported segment."""
+
+    def __init__(self, handle: ShmHandle):
+        self.handle = handle
+        self._segment = shared_memory.SharedMemory(name=handle.segment)
+        self.arrays: dict[str, np.ndarray] = {}
+        for spec in handle.arrays:
+            if spec.nbytes == 0:
+                array = np.empty(spec.shape, dtype=np.dtype(spec.dtype))
+            else:
+                array = np.ndarray(
+                    spec.shape,
+                    dtype=np.dtype(spec.dtype),
+                    buffer=self._segment.buf,
+                    offset=spec.offset,
+                )
+            array.flags.writeable = False
+            self.arrays[spec.name] = array
+
+    def columnar(self) -> ColumnarTrace:
+        """The shared trace as read-only views (no copies)."""
+        return ColumnarTrace(
+            kernel_name=self.handle.kernel_name,
+            warp_size=self.handle.warp_size,
+            **{name: self.arrays[name] for name in _ARRAY_FIELDS},
+        )
+
+    def detach(self) -> None:
+        """Drop the views and close the map (keep the segment linked).
+
+        Never unregisters with the resource tracker — see the module
+        docstring for why that would corrupt the parent's bookkeeping
+        under ``fork``.
+        """
+        self.arrays.clear()
+        gc.collect()  # clear dropped views so the mmap can close
+        try:
+            self._segment.close()
+        except BufferError:
+            # A consumer kept a view alive; leaking this map until
+            # process exit is harmless, crashing the task is not.
+            pass

@@ -34,7 +34,7 @@ lowering to run without touching a single per-event object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -135,6 +135,20 @@ class ClassifiedColumns:
     @property
     def num_events(self) -> int:
         return int(self.opcode_ids.shape[0])
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All array fields by name (the v5 bank payload)."""
+        return {name: getattr(self, name) for name in CLASSIFIED_ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(
+        cls, warp_size: int, arrays: dict[str, np.ndarray]
+    ) -> "ClassifiedColumns":
+        """Rebuild from :meth:`as_arrays` output (mmap views welcome)."""
+        return cls(
+            warp_size=warp_size,
+            **{name: arrays[name] for name in CLASSIFIED_ARRAY_FIELDS},
+        )
 
     def warp_bounds(self) -> np.ndarray:
         """``(n_warps + 1,)`` event offsets of each warp's segment."""
@@ -292,6 +306,14 @@ class ClassifiedColumns:
         )
 
 
+#: Array fields of :class:`ClassifiedColumns` in declaration order —
+#: the schema of its v5 cache banks (``warp_size`` is the only scalar
+#: field and travels in the manifest metadata instead).
+CLASSIFIED_ARRAY_FIELDS = tuple(
+    f.name for f in fields(ClassifiedColumns) if f.name != "warp_size"
+)
+
+
 def _popcount(masks: np.ndarray) -> np.ndarray:
     """Vectorized popcount of an integer mask array -> int32 counts."""
     if masks.size == 0:
@@ -348,6 +370,20 @@ class ProcessedColumns:
     @property
     def num_accesses(self) -> int:
         return int(self.acc_kind_ids.shape[0])
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All array fields by name (the v5 bank payload)."""
+        return {name: getattr(self, name) for name in PROCESSED_ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(
+        cls, warp_size: int, arrays: dict[str, np.ndarray]
+    ) -> "ProcessedColumns":
+        """Rebuild from :meth:`as_arrays` output (mmap views welcome)."""
+        return cls(
+            warp_size=warp_size,
+            **{name: arrays[name] for name in PROCESSED_ARRAY_FIELDS},
+        )
 
     @classmethod
     def from_events(
@@ -433,6 +469,13 @@ class ProcessedColumns:
             acc_masks=np.array(acc_masks, dtype=np.uint64),
             acc_sidecar=np.array(sidecar, dtype=bool),
         )
+
+
+#: Array fields of :class:`ProcessedColumns` in declaration order — the
+#: schema of its v5 cache banks.
+PROCESSED_ARRAY_FIELDS = tuple(
+    f.name for f in fields(ProcessedColumns) if f.name != "warp_size"
+)
 
 
 def processed_columns_equal(a: ProcessedColumns, b: ProcessedColumns) -> bool:

@@ -88,6 +88,75 @@ def save_trace(
     save_columnar(trace.to_columnar(), path, fingerprint=fingerprint)
 
 
+def save_columnar_v5(
+    columnar: ColumnarTrace,
+    cache_dir: str | Path,
+    stem: str,
+    fingerprint: str,
+) -> None:
+    """Write a columnar trace as a v5 manifest + page-aligned banks.
+
+    Unlike :func:`save_columnar`, nothing is compressed: each array
+    lands as its own ``.npy`` bank so :func:`load_columnar_v5` can hand
+    back read-only memory-mapped views instead of decompressed copies.
+    The fingerprint lives in the manifest, so staleness is decided
+    without opening a single bank.
+    """
+    from repro.experiments import store
+
+    store.store_entry(
+        cache_dir,
+        stem,
+        fingerprint=fingerprint,
+        kind="trace",
+        meta={
+            "format_version": _FORMAT_VERSION,
+            "kernel_name": columnar.kernel_name,
+            "warp_size": columnar.warp_size,
+        },
+        arrays={name: getattr(columnar, name) for name in _ARRAY_FIELDS},
+    )
+
+
+def load_columnar_v5(
+    cache_dir: str | Path,
+    stem: str,
+    expected_fingerprint: str | None = None,
+    mmap: bool = True,
+):
+    """Read a v5 trace entry; returns ``(columnar, status, entry)``.
+
+    ``status`` follows :func:`repro.experiments.store.load_entry`
+    (``hit`` / ``absent`` / ``stale`` / ``corrupt``); on anything but a
+    hit the first two members are ``(None, status, None)`` and callers
+    fall back to the legacy ``.npz`` or re-execute.  On a hit the
+    columnar arrays are read-only mmap views; ``entry`` carries the
+    ``bytes_mapped`` / ``bytes_deserialized`` transport counters.
+    """
+    from repro.experiments import store
+
+    entry, status = store.load_entry(
+        cache_dir, stem, expected_fingerprint, mmap=mmap
+    )
+    if entry is None:
+        return None, status, None
+    meta = entry.meta
+    if (
+        entry.kind != "trace"
+        or meta.get("format_version") != _FORMAT_VERSION
+        or set(entry.arrays) != set(_ARRAY_FIELDS)
+    ):
+        return None, "corrupt", None
+    columnar = ColumnarTrace(
+        kernel_name=meta["kernel_name"],
+        warp_size=meta["warp_size"],
+        **{name: entry.arrays[name] for name in _ARRAY_FIELDS},
+    )
+    if int(columnar.warp_lengths.sum()) != columnar.num_events:
+        return None, "corrupt", None
+    return columnar, "hit", entry
+
+
 def load_columnar(
     path: str | Path, expected_fingerprint: str | None = None
 ) -> ColumnarTrace:

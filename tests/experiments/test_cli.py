@@ -152,7 +152,7 @@ class TestCacheAndJobs:
         cache = tmp_path / "cache"
         assert main(["fig1", "--scale", "tiny", "--cache-dir", str(cache)]) == 0
         first = capsys.readouterr().out
-        assert any(cache.glob("*.npz"))
+        assert any(cache.glob("*.v5.json"))
         assert main(["fig1", "--scale", "tiny", "--cache-dir", str(cache)]) == 0
         assert capsys.readouterr().out == first
 
@@ -186,7 +186,50 @@ class TestCacheAndJobs:
         ]
         assert main(argv) == 0
         assert capsys.readouterr().out == serial
-        assert any(cache.glob("*_w64.npz"))
+        assert any(cache.glob("*_w64.v5.json"))
+
+
+class TestCacheCommand:
+    def test_stats_reports_stage_inventory(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        assert main(["fig1", "--scale", "tiny", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stages"]["trace"]["entries"] == 17
+        assert report["stages"]["trace"]["bytes"] > 0
+        assert report["total_bytes"] > 0
+        assert report["orphans"]["tmp_files"] == 0
+
+    def test_sweep_reclaims_debris(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        (cache / "half-written.123.tmp").write_bytes(b"x" * 10)
+        argv = ["cache", "sweep", "--cache-dir", str(cache), "--max-age", "0"]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tmp_files"] == 1
+        assert report["bytes_freed"] == 10
+        assert list(cache.iterdir()) == []
+
+    def test_json_written(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        argv = ["cache", "stats", "--cache-dir", str(cache), "--json", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert json.loads(out.read_text())["total_bytes"] == 0
+
+    def test_cache_dir_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "stats"])
 
 
 class TestTimelineCommand:

@@ -28,8 +28,8 @@ class TestExecuteTask:
         )
         stats = execute_task(task)
         assert stats["counters"]["trace_executions"] == 2  # warp 32 + 64
-        assert (tmp_path / "HS_tiny.npz").exists()
-        assert (tmp_path / "HS_tiny_w64.npz").exists()
+        assert (tmp_path / "HS_tiny.v5.json").exists()
+        assert (tmp_path / "HS_tiny_w64.v5.json").exists()
         assert (tmp_path / "HS_tiny_classified.pkl").exists()
         assert (tmp_path / "HS_tiny_results_baseline.pkl").exists()
 
@@ -109,6 +109,6 @@ class TestPrefetch:
     def test_prefetch_normalizes_names(self, tmp_path):
         runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         runner.prefetch(names=["hs"], jobs=1, arches=())
-        assert (tmp_path / "HS_tiny.npz").exists()
+        assert (tmp_path / "HS_tiny.v5.json").exists()
         assert runner.run("HS").abbr == "HS"
         assert runner.stats.trace_executions == 1

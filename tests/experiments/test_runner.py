@@ -79,7 +79,7 @@ class TestTraceCache:
     def test_disk_cache_round_trip(self, tmp_path):
         first = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         run_a = first.run("HS")
-        assert (tmp_path / "HS_tiny.npz").exists()
+        assert (tmp_path / "HS_tiny.v5.json").exists()
         assert first.stats.trace_executions == 1
         second = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         run_b = second.run("HS")
@@ -93,7 +93,7 @@ class TestTraceCache:
     def test_warp64_trace_cached_on_disk(self, tmp_path):
         first = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         trace_a = first.trace_with_warp_size("hs", 64)
-        assert (tmp_path / "HS_tiny_w64.npz").exists()
+        assert (tmp_path / "HS_tiny_w64.v5.json").exists()
         second = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         trace_b = second.trace_with_warp_size("HS", 64)
         assert second.stats.trace_executions == 0
@@ -106,21 +106,24 @@ class TestTraceCache:
         runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         runner.run("HS")
         runner.trace_with_warp_size("HS", 64)
-        assert (tmp_path / "HS_tiny.npz").exists()
-        assert (tmp_path / "HS_tiny_w64.npz").exists()
+        assert (tmp_path / "HS_tiny.v5.json").exists()
+        assert (tmp_path / "HS_tiny_w64.v5.json").exists()
         fresh = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         assert fresh.trace_with_warp_size("HS", 64).warp_size == 64
         assert fresh.run("HS").trace.warp_size == 32
 
     def test_fingerprint_mismatch_triggers_reexecution(self, tmp_path):
-        from repro.simt.serialize import load_trace, save_trace
+        import json
 
         seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         good = seeded.run("HS").trace
-        path = tmp_path / "HS_tiny.npz"
-        # Rewrite the cache entry under a wrong fingerprint, simulating
-        # a kernel/scale edit since the trace was recorded.
-        save_trace(good, path, fingerprint="0" * 16)
+        manifest = tmp_path / "HS_tiny.v5.json"
+        # Rewrite the manifest under a wrong fingerprint, simulating a
+        # kernel/scale edit since the trace was recorded.  The peek is
+        # cheap — staleness is decided before any bank is mapped.
+        doc = json.loads(manifest.read_text())
+        doc["fingerprint"] = "0" * 16
+        manifest.write_text(json.dumps(doc))
         runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         run = runner.run("HS")
         assert runner.stats.trace_executions == 1
@@ -134,8 +137,8 @@ class TestTraceCache:
     def test_corrupt_cache_file_recovered(self, tmp_path):
         seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         expected = seeded.run("HS").trace.total_instructions
-        path = tmp_path / "HS_tiny.npz"
-        path.write_bytes(b"not an npz archive")
+        path = tmp_path / "HS_tiny.v5.json"
+        path.write_bytes(b"not a manifest")
         runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         run = runner.run("HS")
         assert run.trace.total_instructions == expected
@@ -180,3 +183,73 @@ class TestTraceCache:
         tweaked.power("HS", arch)
         assert tweaked.stats.counters.get("result_cache_hits", 0) == 0
         assert tweaked.stats.counters["result_cache_misses"] >= 1
+
+    def test_stale_sidecar_skipped_without_unpickling(self, tmp_path):
+        """A result sidecar left by different energy params is rejected
+        from its peeked fingerprint alone — counted separately from
+        damage, because no payload was materialized to find out."""
+        from repro.power.energy import EnergyParams
+
+        arch = ArchitectureConfig.gscalar()
+        seeded = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        seeded.power("HS", arch)
+        tweaked = ExperimentRunner(
+            scale="tiny", cache_dir=tmp_path, params=EnergyParams(alu_lane_pj=99.0)
+        )
+        tweaked.power("HS", arch)
+        assert tweaked.stats.counters["sidecar_stale_skipped"] >= 1
+
+
+class TestTransport:
+    def test_unknown_transport_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="transport"):
+            ExperimentRunner(scale="tiny", cache_dir=tmp_path, transport="carrier-pigeon")
+
+    def test_legacy_transport_writes_npz(self, tmp_path):
+        legacy = ExperimentRunner(scale="tiny", cache_dir=tmp_path, transport="legacy")
+        legacy.run("HS")
+        assert (tmp_path / "HS_tiny.npz").exists()
+        assert not (tmp_path / "HS_tiny.v5.json").exists()
+        warm = ExperimentRunner(scale="tiny", cache_dir=tmp_path, transport="legacy")
+        warm.run("HS")
+        assert warm.stats.trace_executions == 0
+        assert warm.stats.counters["trace_cache_hits"] == 1
+        assert warm.stats.counters["bytes_deserialized"] > 0
+        assert warm.stats.counters.get("bytes_mapped", 0) == 0
+
+    def test_legacy_npz_migrates_to_v5(self, tmp_path):
+        legacy = ExperimentRunner(scale="tiny", cache_dir=tmp_path, transport="legacy")
+        expected = legacy.run("HS").trace.total_instructions
+        # First mmap-transport open reads the npz once and writes the
+        # entry through to v5 — no re-execution.
+        migrator = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        assert migrator.run("HS").trace.total_instructions == expected
+        assert migrator.stats.trace_executions == 0
+        assert migrator.stats.counters["cache_migrated_v5"] == 1
+        assert (tmp_path / "HS_tiny.v5.json").exists()
+        # From then on the hit is a zero-copy map, not a decompress.
+        warm = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
+        assert warm.run("HS").trace.total_instructions == expected
+        assert warm.stats.counters.get("cache_migrated_v5", 0) == 0
+        assert warm.stats.counters["bytes_mapped"] > 0
+
+    def test_mmap_hit_results_match_legacy(self, tmp_path):
+        """Every modeled architecture's power report is bit-identical
+        whether the trace came through the legacy decompress path or
+        the v5 zero-copy map."""
+        from repro.experiments.runner import matrix_architectures
+
+        legacy_dir = tmp_path / "legacy"
+        mmap_dir = tmp_path / "mmap"
+        legacy = ExperimentRunner(scale="tiny", cache_dir=legacy_dir, transport="legacy")
+        seeder = ExperimentRunner(scale="tiny", cache_dir=mmap_dir)
+        for arch in matrix_architectures():
+            seeder.power("HS", arch)
+        warm = ExperimentRunner(scale="tiny", cache_dir=mmap_dir)
+        for arch in matrix_architectures():
+            via_pickle = legacy.power("HS", arch)
+            via_mmap = warm.power("HS", arch)
+            assert via_mmap.ipc_per_watt == via_pickle.ipc_per_watt
+            assert via_mmap.cycles == via_pickle.cycles
+            assert via_mmap.total_power_w == via_pickle.total_power_w
+        assert warm.stats.counters["bytes_mapped"] > 0

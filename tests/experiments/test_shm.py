@@ -1,0 +1,121 @@
+"""Tests for shared-memory fan-out of columnar traces."""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments.shm import AdoptedSegment, ShmExporter
+from repro.simt.executor import run_kernel
+from repro.simt.serialize import _ARRAY_FIELDS
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="module")
+def columnar():
+    built = build_workload("HS", "tiny")
+    return run_kernel(
+        built.kernel, built.launch, built.memory
+    ).to_columnar()
+
+
+class TestExportAdopt:
+    def test_round_trip_is_bit_identical(self, columnar):
+        with ShmExporter() as exporter:
+            handle = exporter.export_columnar(columnar, "fp-1")
+            assert handle.fingerprint == "fp-1"
+            assert handle.warp_size == columnar.warp_size
+            assert handle.total_bytes == sum(
+                int(np.ascontiguousarray(getattr(columnar, name)).nbytes)
+                for name in _ARRAY_FIELDS
+            )
+            segment = AdoptedSegment(handle)
+            try:
+                adopted = segment.columnar()
+                for name in _ARRAY_FIELDS:
+                    assert np.array_equal(
+                        getattr(adopted, name), getattr(columnar, name)
+                    ), name
+            finally:
+                segment.detach()
+
+    def test_adopted_views_are_read_only(self, columnar):
+        with ShmExporter() as exporter:
+            handle = exporter.export_columnar(columnar, "fp-1")
+            segment = AdoptedSegment(handle)
+            try:
+                with pytest.raises(ValueError):
+                    segment.columnar().opcode_ids[0] = 1
+            finally:
+                segment.detach()
+
+    def test_offsets_are_page_aligned(self, columnar):
+        with ShmExporter() as exporter:
+            handle = exporter.export_columnar(columnar, "fp-1")
+            for spec in handle.arrays:
+                assert spec.offset % 4096 == 0
+
+    def test_handle_is_picklable(self, columnar):
+        with ShmExporter() as exporter:
+            handle = exporter.export_columnar(columnar, "fp-1")
+            rebuilt = pickle.loads(pickle.dumps(handle))
+            assert rebuilt == handle
+
+    def test_close_unlinks_segments(self, columnar):
+        from multiprocessing import shared_memory
+
+        exporter = ShmExporter()
+        handle = exporter.export_columnar(columnar, "fp-1")
+        exporter.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.segment)
+
+    def test_close_is_idempotent(self, columnar):
+        exporter = ShmExporter()
+        exporter.export_columnar(columnar, "fp-1")
+        exporter.close()
+        exporter.close()
+
+
+def _checksum_worker(handle, queue):
+    segment = AdoptedSegment(handle)
+    try:
+        adopted = segment.columnar()
+        queue.put(
+            {
+                name: int(
+                    np.asarray(getattr(adopted, name)).view(np.uint8).sum()
+                )
+                for name in _ARRAY_FIELDS
+            }
+        )
+    finally:
+        segment.detach()
+
+
+class TestCrossProcess:
+    def test_workers_see_identical_bytes(self, columnar):
+        expected = {
+            name: int(
+                np.ascontiguousarray(getattr(columnar, name))
+                .view(np.uint8)
+                .sum()
+            )
+            for name in _ARRAY_FIELDS
+        }
+        ctx = multiprocessing.get_context("fork")
+        with ShmExporter() as exporter:
+            handle = exporter.export_columnar(columnar, "fp-1")
+            queue = ctx.Queue()
+            workers = [
+                ctx.Process(target=_checksum_worker, args=(handle, queue))
+                for _ in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            payloads = [queue.get(timeout=30) for _ in workers]
+            for worker in workers:
+                worker.join(timeout=30)
+                assert worker.exitcode == 0
+        assert payloads == [expected, expected]

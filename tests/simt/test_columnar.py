@@ -149,9 +149,15 @@ class TestRunnerCacheRecovery:
         baseline_stats = trace_statistics(cold.run("BP").classified)
         assert cold.stats.counters["trace_executions"] == 1
 
-        cached = list(tmp_path.glob("*.npz"))
-        assert len(cached) == 1
-        _rewrite_header(cached[0], version=_FORMAT_VERSION - 1)
+        manifests = [
+            path
+            for path in tmp_path.glob("*.v5.json")
+            if "_ccols" not in path.name and "_pcols" not in path.name
+        ]
+        assert len(manifests) == 1
+        doc = json.loads(manifests[0].read_text())
+        doc["meta"]["format_version"] = _FORMAT_VERSION - 1
+        manifests[0].write_text(json.dumps(doc))
         for sidecar in tmp_path.glob("*.pkl"):
             sidecar.unlink()
 
@@ -162,7 +168,7 @@ class TestRunnerCacheRecovery:
         assert counters["trace_executions"] == 1
         assert stats == baseline_stats
 
-        # The overwritten entry is a clean v3 file: a third runner hits.
+        # The overwritten entry is a clean v5 entry: a third runner hits.
         warm = ExperimentRunner(scale="tiny", cache_dir=tmp_path)
         assert trace_statistics(warm.run("BP").classified) == baseline_stats
         assert warm.stats.counters["trace_cache_hits"] == 1
