@@ -765,9 +765,27 @@ def main(argv: list[str] | None = None) -> int:
         help="SM timing engine: 'event' (event-driven, default) or "
         "'cycle' (cycle-by-cycle reference model; bit-identical output)",
     )
+    parser.add_argument(
+        "--chunk-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the pipeline in N-event chunks with carry state "
+        "between chunks (bounded memory, bit-identical output; "
+        "default: whole-trace). Requires the batch classifier and "
+        "batch arch engine",
+    )
     args = parser.parse_args(arguments)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.chunk_events is not None:
+        if args.chunk_events < 1:
+            parser.error("--chunk-events must be >= 1")
+        if args.classifier != "batch" or args.arch_engine != "batch":
+            parser.error(
+                "--chunk-events requires --classifier=batch and "
+                "--arch-engine=batch"
+            )
     if args.widths and args.experiment not in ("staticdyn", "all"):
         parser.error("--widths only applies to the staticdyn experiment")
 
@@ -816,6 +834,7 @@ def _experiment_main(
             classifier=args.classifier,
             arch_engine=args.arch_engine,
             sm_engine=args.sm_engine,
+            chunk_events=args.chunk_events,
         )
         if needs_runner
         else None

@@ -47,6 +47,12 @@ class MatrixTask:
     (optional) points at a shared-memory export of the benchmark's
     already-materialized columnar trace: the worker adopts those pages
     read-only instead of re-reading (or re-executing) the trace.
+    ``bank_hints`` carries (stem, fingerprint) pairs of v5 bank entries
+    the parent has already verified — ccols/pcols banks, per-chunk
+    banks and chunk-grid indexes — so the worker's presence probes
+    trust the parent instead of re-reading each manifest.
+    ``chunk_events`` propagates the parent's streaming chunk size, so
+    workers compute chunked (and share the same per-chunk bank grid).
     """
 
     abbr: str
@@ -61,7 +67,9 @@ class MatrixTask:
     arch_engine: str = "batch"
     sm_engine: str = "event"
     transport: str = DEFAULT_TRANSPORT
+    chunk_events: int | None = None
     shm: ShmHandle | None = None
+    bank_hints: tuple[tuple[str, str], ...] = ()
 
 
 def _run_task(task: MatrixTask) -> dict:
@@ -74,7 +82,10 @@ def _run_task(task: MatrixTask) -> dict:
         arch_engine=task.arch_engine,
         sm_engine=task.sm_engine,
         transport=task.transport,
+        chunk_events=task.chunk_events,
     )
+    if task.bank_hints:
+        runner.adopt_bank_hints(dict(task.bank_hints))
     segment = None
     if task.shm is not None:
         segment = AdoptedSegment(task.shm)
@@ -135,7 +146,9 @@ def run_matrix(
     arch_engine: str = "batch",
     sm_engine: str = "event",
     transport: str = DEFAULT_TRANSPORT,
+    chunk_events: int | None = None,
     shm_handles: "dict[str, ShmHandle] | None" = None,
+    bank_hints: "dict[str, tuple[tuple[str, str], ...]] | None" = None,
 ) -> RunnerStats:
     """Execute the benchmark × architecture matrix across processes.
 
@@ -146,11 +159,15 @@ def run_matrix(
     ``shm_handles`` maps benchmark abbreviations to shared-memory
     exports of columnar traces the parent already materialized
     (:class:`~repro.experiments.shm.ShmExporter`); matching workers
-    adopt the shared pages instead of re-reading the trace.  Returns
-    the stats aggregated over every worker.
+    adopt the shared pages instead of re-reading the trace.
+    ``bank_hints`` maps abbreviations to the (stem, fingerprint) pairs
+    of v5 bank entries the parent has already verified; ``chunk_events``
+    makes workers stream their compute in chunks.  Returns the stats
+    aggregated over every worker.
     """
     arch_list = tuple(arches) if arches is not None else paper_architectures()
     handles = shm_handles or {}
+    hints = bank_hints or {}
     tasks = [
         MatrixTask(
             abbr=abbr,
@@ -165,7 +182,9 @@ def run_matrix(
             arch_engine=arch_engine,
             sm_engine=sm_engine,
             transport=transport,
+            chunk_events=chunk_events,
             shm=handles.get(abbr),
+            bank_hints=hints.get(abbr, ()),
         )
         for abbr in names
     ]

@@ -54,20 +54,26 @@ from repro.config import ArchitectureConfig, GpuConfig
 from repro.errors import TraceError
 from repro.experiments import cachekey, store
 from repro.obs.instrument import record_columnar_warps
+from repro.obs.memory import record_bytes_in_flight, record_peak_rss
 from repro.obs.telemetry import Telemetry, get_telemetry
-from repro.power.accounting import PowerAccountant
+from repro.experiments.streaming import _array_bytes
+from repro.power.accounting import PowerAccountant, _PowerAggregates
 from repro.power.energy import DEFAULT_ENERGY, EnergyParams
 from repro.power.report import PowerReport
 from repro.scalar.arch_batch import (
     ARCH_ENGINE_CHOICES,
     DEFAULT_ARCH_ENGINE,
+    ArchCarry,
     process_columns,
+    process_columns_chunk,
 )
 from repro.scalar.architectures import ProcessedEvent, process_classified
 from repro.scalar.batch import (
     CLASSIFIER_CHOICES,
     DEFAULT_CLASSIFIER,
+    ClassifierCarry,
     classify_columnar_batch,
+    classify_columnar_chunk,
     classify_trace_with,
 )
 from repro.scalar.columns import ClassifiedColumns, ProcessedColumns
@@ -79,11 +85,26 @@ from repro.simt.serialize import (
     save_columnar_v5,
     save_trace,
 )
-from repro.simt.trace import ColumnarTrace, KernelTrace, opcode_labels
-from repro.timing.gpu import simulate_architecture, simulate_architecture_columns
+from repro.simt.trace import (
+    ColumnarTrace,
+    KernelTrace,
+    iter_chunks,
+    opcode_labels,
+)
+from repro.timing.gpu import (
+    simulate_architecture,
+    simulate_architecture_columns,
+    simulate_warp_ops,
+)
+from repro.timing.ops import build_timing_ops_columns
 from repro.timing.sm import TimingResult
 from repro.timing.sm_event import DEFAULT_SM_ENGINE, SM_ENGINE_CHOICES
 from repro.workloads.registry import SCALES, BuiltWorkload, all_workloads, workload_by_name
+from repro.workloads.synth import (
+    iter_synthetic_chunks,
+    materialize_synthetic,
+    synthetic_replicas,
+)
 
 #: Version of the pickled stage sidecars (classified streams and
 #: timing/power results).  Bump to invalidate all of them at once,
@@ -113,6 +134,10 @@ STAGE_VERSION = 6
 TRANSPORT_CHOICES = ("mmap", "legacy")
 DEFAULT_TRANSPORT = "mmap"
 
+#: Chunk size used when a synthetic (``synthetic_events > 0``) scale is
+#: streamed without an explicit ``--chunk-events``.
+DEFAULT_STREAM_CHUNK = 65536
+
 #: Pickle-protocol-aware fingerprint peek for legacy sidecars: the
 #: payload dicts are written fingerprint-first, so the SHORT_BINUNICODE
 #: key/value pair (``\x8c <len> bytes``, optionally memoized) sits in
@@ -124,6 +149,14 @@ _PICKLE_FP_RE = re.compile(
     + rb"([0-9a-f]{%d})" % cachekey.DIGEST_CHARS
 )
 _PICKLE_PEEK_BYTES = 512
+
+
+class _ChunkBankMiss(Exception):
+    """A per-chunk v5 bank verified present vanished before its load.
+
+    Raised inside a warm streamed pass; carry state cannot restart
+    mid-stream, so the handler recomputes the whole pass cold.
+    """
 
 
 def _columnar_nbytes(columnar: ColumnarTrace) -> int:
@@ -241,14 +274,32 @@ class RunnerStats:
         """Functional executions actually performed (cache misses paid)."""
         return self.counters.get("trace_executions", 0)
 
+    @property
+    def gauges(self) -> dict[str, float]:
+        """High-water-mark gauges (peak RSS, bytes in flight, ...)."""
+        rendered = {}
+        for (name, labels), value in sorted(self.telemetry.gauges.items()):
+            if labels:
+                inner = ",".join(f"{k}={v}" for k, v in labels)
+                name = f"{name}{{{inner}}}"
+            rendered[name] = value
+        return rendered
+
     def to_dict(self) -> dict:
-        """JSON-serializable snapshot (``--stats-json`` output shape)."""
+        """JSON-serializable snapshot (``--stats-json`` output shape).
+
+        Stamps the process's peak RSS into the gauges first, so every
+        stats snapshot reports it even for whole-trace runs that never
+        touched the streaming gauges.
+        """
+        record_peak_rss(self.telemetry)
         return {
             "counters": dict(sorted(self.counters.items())),
             "stage_seconds": {
                 stage: round(value, 6)
                 for stage, value in sorted(self.stage_seconds.items())
             },
+            "gauges": self.gauges,
         }
 
     def to_payload(self) -> dict:
@@ -284,8 +335,10 @@ class BenchmarkRun:
         columnar: ColumnarTrace | None = None,
         classified: list[list[ClassifiedEvent]] | None = None,
         classified_loader: "Callable[[BenchmarkRun], list[list[ClassifiedEvent]]] | None" = None,
+        columnar_loader: "Callable[[BenchmarkRun], ColumnarTrace] | None" = None,
+        warp_size: int | None = None,
     ):
-        if trace is None and columnar is None:
+        if trace is None and columnar is None and columnar_loader is None:
             raise ValueError("BenchmarkRun needs a trace or a columnar trace")
         self.abbr = abbr
         self.built = built
@@ -293,13 +346,16 @@ class BenchmarkRun:
         #: combination that produced the trace; stage sidecars derive
         #: their keys from it.
         self.trace_fingerprint = trace_fingerprint
-        #: The columnar form when the trace came from the cache (or a
-        #: shared-memory adoption); the columnar pipeline reuses these
-        #: arrays instead of re-extracting them from event objects.
-        self.columnar = columnar
+        self._columnar = columnar
         self._trace = trace
         self._classified = classified
         self._classified_loader = classified_loader
+        #: Deferred materializer for the columnar form — the synthetic
+        #: large tier installs one so a streamed run (which consumes the
+        #: replica generator, never the whole trace) can carry a
+        #: BenchmarkRun without paying the materialization.
+        self._columnar_loader = columnar_loader
+        self._warp_size = warp_size
 
     def __repr__(self) -> str:
         return (
@@ -309,10 +365,24 @@ class BenchmarkRun:
 
     @property
     def warp_size(self) -> int:
-        """Warp size without forcing event materialization."""
+        """Warp size without forcing any materialization."""
+        if self._warp_size is not None:
+            return self._warp_size
         if self._trace is not None:
             return self._trace.warp_size
         return self.columnar.warp_size
+
+    @property
+    def columnar(self) -> ColumnarTrace | None:
+        """The columnar form when the trace came from the cache (or a
+        shared-memory adoption, or a deferred synthetic materializer);
+        the columnar pipeline reuses these arrays instead of
+        re-extracting them from event objects."""
+        if self._columnar is None and self._columnar_loader is not None:
+            loader = self._columnar_loader
+            self._columnar_loader = None
+            self._columnar = loader(self)
+        return self._columnar
 
     @property
     def trace(self) -> KernelTrace:
@@ -347,9 +417,19 @@ class ExperimentRunner:
         arch_engine: str = DEFAULT_ARCH_ENGINE,
         sm_engine: str = DEFAULT_SM_ENGINE,
         transport: str = DEFAULT_TRANSPORT,
+        chunk_events: int | None = None,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
+        if chunk_events is not None:
+            if chunk_events < 1:
+                raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
+            if classifier != "batch" or arch_engine != "batch":
+                raise ValueError(
+                    "chunked streaming requires the batch classifier and "
+                    "batch arch engine (the per-event engines have no "
+                    "chunk carry-state)"
+                )
         if transport not in TRANSPORT_CHOICES:
             raise ValueError(
                 f"unknown transport {transport!r}; known: "
@@ -374,6 +454,7 @@ class ExperimentRunner:
         self.arch_engine = arch_engine
         self.sm_engine = sm_engine
         self.transport = transport
+        self.chunk_events = chunk_events
         self.scale = SCALES[scale]
         self.config = config or GpuConfig()
         self.params = params or DEFAULT_ENERGY
@@ -397,7 +478,14 @@ class ExperimentRunner:
             if swept.bytes_freed:
                 self.stats.bump("cache_bytes_swept", swept.bytes_freed)
         self._runs: dict[str, BenchmarkRun] = {}
+        self._seeds: dict[str, tuple[ColumnarTrace, int]] = {}
         self._adopted: dict[str, tuple[ColumnarTrace, str, int]] = {}
+        #: v5 bank stems this runner has verified (stored or cleanly
+        #: loaded) mapped to their fingerprints.  Prefetch ships the
+        #: relevant slice to pool workers (:meth:`adopt_bank_hints`), so
+        #: workers trust the parent's verification instead of re-probing
+        #: every manifest.
+        self._bank_hints: dict[str, str] = {}
         self._warp_traces: dict[tuple[str, int], KernelTrace] = {}
         self._static_widths: dict[str, tuple[int, ...]] = {}
         self._processed: dict[tuple[str, str], list[list[ProcessedEvent]]] = {}
@@ -667,15 +755,48 @@ class ExperimentRunner:
             built = spec.builder(self.scale)
             trace, fingerprint = self._obtain_trace(key, built, 32)
             columnar = trace if isinstance(trace, ColumnarTrace) else None
-            self._runs[key] = BenchmarkRun(
-                abbr=key,
-                built=built,
-                trace=None if columnar is not None else trace,
-                trace_fingerprint=fingerprint,
-                columnar=columnar,
-                classified_loader=self._obtain_classified,
-            )
+            if self.scale.synthetic_events > 0:
+                # Synthetic tier: what was executed (and cached) above is
+                # the *seed* trace.  The run carries a deferred
+                # materializer instead of the replicated whole trace, so
+                # a streamed pass (which consumes the replica generator)
+                # never pays for — or holds — the 10^6+-event form.
+                seed = columnar if columnar is not None else trace.to_columnar()
+                replicas = synthetic_replicas(seed, self.scale)
+                self._seeds[key] = (seed, replicas)
+                self._log(
+                    f"{key}: synthetic tier, {replicas} replicas of "
+                    f"{seed.num_events} seed events"
+                )
+                self._runs[key] = BenchmarkRun(
+                    abbr=key,
+                    built=built,
+                    trace_fingerprint=fingerprint,
+                    columnar_loader=self._materialize_synthetic,
+                    warp_size=seed.warp_size,
+                    classified_loader=self._obtain_classified,
+                )
+            else:
+                self._runs[key] = BenchmarkRun(
+                    abbr=key,
+                    built=built,
+                    trace=None if columnar is not None else trace,
+                    trace_fingerprint=fingerprint,
+                    columnar=columnar,
+                    classified_loader=self._obtain_classified,
+                )
         return self._runs[key]
+
+    def _materialize_synthetic(self, run: BenchmarkRun) -> ColumnarTrace:
+        """Build the whole replicated trace (the non-streaming arm)."""
+        seed, replicas = self._seeds[run.abbr]
+        self._log(
+            f"materializing synthetic {run.abbr}: {replicas} replicas, "
+            f"{seed.num_events * replicas} events"
+        )
+        self.stats.bump("synthetic_materializations")
+        with self.stats.timer("synthetic_materialize", benchmark=run.abbr):
+            return materialize_synthetic(seed, replicas)
 
     def trace_with_warp_size(self, abbr: str, warp_size: int) -> KernelTrace:
         """Re-execute a benchmark with a different warp size (Figure 10).
@@ -733,14 +854,29 @@ class ExperimentRunner:
                 )
         return self._processed[key]
 
+    def adopt_bank_hints(self, hints: dict[str, str]) -> None:
+        """Pre-seed v5 bank stems -> fingerprints verified by the parent.
+
+        Pool workers receive the parent's already-verified manifest set
+        (:meth:`prefetch` collects it from every store and clean load),
+        so their presence probes — chunk-grid completeness checks in
+        particular — skip the per-manifest re-read.
+        """
+        self._bank_hints.update(hints)
+        if hints:
+            self.stats.bump("bank_hints_adopted", len(hints))
+
     def _load_column_banks(self, stem: str, fingerprint: str, kind: str):
         """Open one v5 column-bank entry; ``None`` unless a clean hit."""
         if self.cache_dir is None or self.transport == "legacy":
             return None
+        if self._bank_hints.get(stem) == fingerprint:
+            self.stats.bump("bank_hint_hits")
         entry, status = store.load_entry(self.cache_dir, stem, fingerprint)
         if status == "hit" and entry.kind == kind:
             self.stats.bump(f"{kind}_cache_hits")
             self.stats.bump("bytes_mapped", entry.bytes_mapped)
+            self._bank_hints[stem] = fingerprint
             return entry
         if status == "hit" or status in ("stale", "corrupt"):
             self._log(f"discarding {status} {kind} banks {stem}")
@@ -749,18 +885,28 @@ class ExperimentRunner:
         return None
 
     def _store_column_banks(
-        self, stem: str, fingerprint: str, kind: str, warp_size: int, arrays
+        self,
+        stem: str,
+        fingerprint: str,
+        kind: str,
+        warp_size: int,
+        arrays,
+        extra_meta: dict | None = None,
     ) -> None:
         if self.cache_dir is None or self.transport == "legacy":
             return
+        meta = {"warp_size": int(warp_size)}
+        if extra_meta:
+            meta.update(extra_meta)
         store.store_entry(
             self.cache_dir,
             stem,
             fingerprint=fingerprint,
             kind=kind,
-            meta={"warp_size": int(warp_size)},
+            meta=meta,
             arrays=arrays,
         )
+        self._bank_hints[stem] = fingerprint
 
     def classified_columns(self, abbr: str) -> ClassifiedColumns:
         """Columnar classified stream (architecture-independent, shared
@@ -903,11 +1049,267 @@ class ExperimentRunner:
                     sm_engine=self.sm_engine,
                 )
 
+    # ------------------------------------------------------------------
+    # Chunk-streaming compute (``chunk_events`` set).
+    # ------------------------------------------------------------------
+    def _chunk_stem(self, key: str, stage: str, index: int) -> str:
+        """Stem of one per-chunk v5 bank entry (grid size in the name,
+        so different chunk sizes never collide)."""
+        return self._stage_stem(key, f"{stage}_ck{self.chunk_events}_{index:05d}")
+
+    def _chunk_index_stem(self, key: str) -> str:
+        return self._stage_stem(key, f"ccols_ck{self.chunk_events}_idx")
+
+    def _chunk_stream(self, key: str) -> Iterator:
+        """The chunk source: replica generator for synthetic tiers
+        (nothing whole-trace is ever built), ``iter_chunks`` otherwise."""
+        assert self.chunk_events is not None
+        run = self.run(key)
+        seeded = self._seeds.get(key)
+        if seeded is not None:
+            return iter_synthetic_chunks(seeded[0], seeded[1], self.chunk_events)
+        columnar = run.columnar
+        if columnar is None:
+            columnar = run.trace.to_columnar()
+            run._columnar = columnar
+        return iter_chunks(columnar, self.chunk_events)
+
+    def _warm_chunk_index(self, key: str, fingerprint: str) -> dict | None:
+        """The chunk-grid index entry's meta, on a clean hit only."""
+        if self.cache_dir is None or self.transport == "legacy":
+            return None
+        entry, status = store.load_entry(
+            self.cache_dir, self._chunk_index_stem(key), fingerprint
+        )
+        if entry is None or entry.kind != "ckidx":
+            if status in ("stale", "corrupt"):
+                self._log(f"discarding {status} chunk index for {key}")
+                self.stats.bump("sidecar_invalid")
+            return None
+        if int(entry.meta.get("chunk_events", -1)) != self.chunk_events:
+            return None
+        return entry.meta
+
+    def _chunks_all_present(self, stems: list[str], fingerprint: str) -> bool:
+        """O(1)-per-chunk probe that every bank entry exists and matches.
+
+        Checked *before* streaming so a warm pass never discovers a
+        missing chunk halfway through (carry state cannot restart
+        mid-stream; a miss would force a full recompute anyway).
+        """
+        if self.cache_dir is None or self.transport == "legacy":
+            return False
+        for stem in stems:
+            if self._bank_hints.get(stem) == fingerprint:
+                # Verified by this runner (or shipped from the parent's
+                # verification via adopt_bank_hints): no manifest re-read.
+                self.stats.bump("bank_probes_skipped")
+                continue
+            manifest = store.peek_manifest(self.cache_dir, stem)
+            if manifest is None or manifest.get("fingerprint") != fingerprint:
+                return False
+            self._bank_hints[stem] = fingerprint
+        return True
+
+    def _iter_ccols_fragments(
+        self, key: str, force_cold: bool = False
+    ) -> Iterator[tuple[dict, ClassifiedColumns]]:
+        """Yield ``(chunk_meta, ccols)`` per chunk, warm or cold.
+
+        Warm: every chunk's ``ccols`` banks verified present up front,
+        then streamed one memory-mapped fragment at a time — the full
+        classified columns never coexist.  Cold: classify each chunk
+        with the carry threaded through, persist its banks, and write
+        the grid index entry last (so a crashed writer never leaves a
+        complete-looking index over missing chunks).
+        """
+        run = self.run(key)
+        fingerprint = cachekey.columns_fingerprint(
+            run.trace_fingerprint, STAGE_VERSION, self.classifier
+        )
+        if not force_cold:
+            index = self._warm_chunk_index(key, fingerprint)
+            if index is not None:
+                stems = [
+                    self._chunk_stem(key, "ccols", i)
+                    for i in range(int(index["num_chunks"]))
+                ]
+                if self._chunks_all_present(stems, fingerprint):
+                    for stem in stems:
+                        entry = self._load_column_banks(stem, fingerprint, "ccols")
+                        if entry is None:
+                            raise _ChunkBankMiss(stem)
+                        yield entry.meta, ClassifiedColumns.from_arrays(
+                            int(entry.meta["warp_size"]), entry.arrays
+                        )
+                    return
+        carry = ClassifierCarry()
+        chunk_metas: list[dict] = []
+        for chunk in self._chunk_stream(key):
+            with self.stats.timer("classify", benchmark=key):
+                classified = classify_columnar_chunk(
+                    chunk, run.built.kernel.num_registers, carry
+                )
+                ccols = ClassifiedColumns.from_classified(
+                    classified, chunk.columnar.warp_size, columnar=chunk.columnar
+                )
+            del classified
+            meta = {
+                "warp_size": int(ccols.warp_size),
+                "index": int(chunk.index),
+                "start_event": int(chunk.start_event),
+                "warp_start": int(chunk.warp_start),
+                "first_warp_continued": bool(chunk.first_warp_continued),
+                "last_warp_continues": bool(chunk.last_warp_continues),
+            }
+            self._store_column_banks(
+                self._chunk_stem(key, "ccols", chunk.index),
+                fingerprint,
+                "ccols",
+                ccols.warp_size,
+                ccols.as_arrays(),
+                extra_meta=meta,
+            )
+            chunk_metas.append(meta)
+            yield meta, ccols
+        if self.cache_dir is not None and self.transport != "legacy":
+            store.store_entry(
+                self.cache_dir,
+                self._chunk_index_stem(key),
+                fingerprint=fingerprint,
+                kind="ckidx",
+                meta={
+                    "chunk_events": int(self.chunk_events),
+                    "num_chunks": len(chunk_metas),
+                    "chunks": chunk_metas,
+                },
+            )
+            self._bank_hints[self._chunk_index_stem(key)] = fingerprint
+
+    def _stream_arch_pass(
+        self, key: str, arch: ArchitectureConfig, force_cold: bool = False
+    ) -> None:
+        """One architecture's full streamed pass: chunked classify /
+        process / aggregate, then the SM simulation barrier."""
+        run = self.run(key)
+        widths = self._widths_for(key, arch)
+        accountant = PowerAccountant(arch, self.params, self.config)
+        pfp = cachekey.processed_fingerprint(
+            run.trace_fingerprint,
+            arch,
+            self.config,
+            STAGE_VERSION,
+            engine=self.arch_engine,
+            classifier=self.classifier,
+            analysis_version=(
+                WIDTH_ANALYSIS_VERSION if arch.static_compression else None
+            ),
+        )
+        cfp = cachekey.columns_fingerprint(
+            run.trace_fingerprint, STAGE_VERSION, self.classifier
+        )
+        pcols_warm = False
+        if not force_cold:
+            index = self._warm_chunk_index(key, cfp)
+            if index is not None:
+                pcols_warm = self._chunks_all_present(
+                    [
+                        self._chunk_stem(key, f"pcols_{arch.name}", i)
+                        for i in range(int(index["num_chunks"]))
+                    ],
+                    pfp,
+                )
+        carry = ArchCarry()
+        agg = _PowerAggregates()
+        warp_ops: list[list] = []
+        for meta, ccols in self._iter_ccols_fragments(key, force_cold=force_cold):
+            warp_start = int(meta["warp_start"])
+            if pcols_warm:
+                entry = self._load_column_banks(
+                    self._chunk_stem(key, f"pcols_{arch.name}", int(meta["index"])),
+                    pfp,
+                    "pcols",
+                )
+                if entry is None:
+                    raise _ChunkBankMiss(f"pcols_{arch.name} chunk {meta['index']}")
+                pcols = ProcessedColumns.from_arrays(
+                    int(entry.meta["warp_size"]), entry.arrays
+                )
+            else:
+                with self.stats.timer("process", benchmark=key, arch=arch.name):
+                    pcols = process_columns_chunk(
+                        ccols,
+                        arch,
+                        carry,
+                        warp_start=warp_start,
+                        first_warp_continued=bool(meta["first_warp_continued"]),
+                        last_warp_continues=bool(meta["last_warp_continues"]),
+                        static_widths=widths,
+                    )
+                self._store_column_banks(
+                    self._chunk_stem(key, f"pcols_{arch.name}", int(meta["index"])),
+                    pfp,
+                    "pcols",
+                    pcols.warp_size,
+                    pcols.as_arrays(),
+                    extra_meta={"warp_start": warp_start, "index": int(meta["index"])},
+                )
+            agg.merge(accountant.aggregates_from_columns(pcols, warp_base=warp_start))
+            fragments = build_timing_ops_columns(ccols, pcols, arch, self.config)
+            for local, fragment in enumerate(fragments):
+                warp = warp_start + local
+                if warp < len(warp_ops):
+                    warp_ops[warp].extend(fragment)
+                else:
+                    warp_ops.append(fragment)
+            self.stats.bump("stream_chunks")
+            # Gauges land in the stats registry: the shared one when
+            # telemetry is on, else the runner's private registry — so
+            # ``--stats-json`` reports them without a telemetry session.
+            record_bytes_in_flight(
+                _array_bytes(ccols) + _array_bytes(pcols), self.stats.telemetry
+            )
+            record_peak_rss(self.stats.telemetry)
+        warps_per_cta = run.built.launch.warps_per_cta(run.warp_size)
+        with self.stats.timer(
+            "timing", benchmark=key, arch=arch.name, sm_engine=self.sm_engine
+        ):
+            timing = simulate_warp_ops(
+                warp_ops,
+                arch,
+                self.config,
+                warps_per_cta=warps_per_cta,
+                sm_engine=self.sm_engine,
+            )
+        with self.stats.timer("power", benchmark=key, arch=arch.name):
+            power = accountant.account_aggregates(agg, timing)
+        self._timing[(key, arch.name)] = timing
+        self._power[(key, arch.name)] = power
+
+    def _compute_streamed(self, key: str, arch: ArchitectureConfig) -> None:
+        """Streamed timing + power for one pair (fills both caches).
+
+        A chunk bank vanishing between the up-front presence probe and
+        its load (concurrent sweep) aborts the pass; carry state cannot
+        resume mid-stream, so the recovery is one full cold recompute.
+        """
+        self._log(f"streaming {key} on {arch.name} (chunk_events={self.chunk_events})")
+        try:
+            self._stream_arch_pass(key, arch)
+        except _ChunkBankMiss as exc:
+            self._log(f"chunk bank vanished mid-stream ({exc}); recomputing cold")
+            self.stats.bump("stream_cold_restarts")
+            self._stream_arch_pass(key, arch, force_cold=True)
+        self._store_results(key, arch)
+
     def timing(self, abbr: str, arch: ArchitectureConfig) -> TimingResult:
         """Cycle-level result for one (benchmark, architecture) pair."""
         key = self._normalize(abbr)
         if (key, arch.name) not in self._timing and not self._load_results(key, arch):
-            self._compute_timing(key, arch)
+            if self.chunk_events is not None:
+                self._compute_streamed(key, arch)
+            else:
+                self._compute_timing(key, arch)
         return self._timing[(key, arch.name)]
 
     def timeline(
@@ -958,6 +1360,10 @@ class ExperimentRunner:
         key = self._normalize(abbr)
         if (key, arch.name) not in self._power and not self._load_results(key, arch):
             timing = self.timing(key, arch)
+            if (key, arch.name) in self._power:
+                # A streamed timing pass accounts power chunk by chunk
+                # alongside timing, so both landed in one pass.
+                return self._power[(key, arch.name)]
             accountant = PowerAccountant(arch, self.params, self.config)
             with self.stats.timer("power", benchmark=key, arch=arch.name):
                 if self.arch_engine == "batch":
@@ -1027,14 +1433,17 @@ class ExperimentRunner:
                 with ShmExporter() as exporter:
                     for abbr in wanted:
                         seeded = self._runs.get(abbr)
-                        if seeded is None:
+                        if seeded is None or abbr in self._seeds:
+                            # Synthetic runs export nothing: workers
+                            # regenerate replicas from the (cached)
+                            # seed rather than shipping 10^6+ events.
                             continue
                         columnar = seeded.columnar
                         if columnar is None:
                             # Freshly-executed trace: pack it once so
                             # the copy is shared by every worker.
                             columnar = seeded.trace.to_columnar()
-                            seeded.columnar = columnar
+                            seeded._columnar = columnar
                         with self.stats.timer("shm_export", benchmark=abbr):
                             handle = exporter.export_columnar(
                                 columnar, seeded.trace_fingerprint
@@ -1042,6 +1451,20 @@ class ExperimentRunner:
                         handles[abbr] = handle
                         self.stats.bump("shm_exports")
                         self.stats.bump("bytes_copied", handle.total_bytes)
+                    # Ship each worker the manifest set this runner has
+                    # already verified for its benchmark, so the worker
+                    # skips per-manifest re-probes on warm banks.
+                    bank_hints = {
+                        abbr: hints
+                        for abbr in wanted
+                        if (
+                            hints := tuple(
+                                (stem, fp)
+                                for stem, fp in self._bank_hints.items()
+                                if stem.startswith(f"{abbr}_")
+                            )
+                        )
+                    }
                     worker_stats = run_matrix(
                         names=wanted,
                         scale=self.scale.name,
@@ -1057,7 +1480,9 @@ class ExperimentRunner:
                         arch_engine=self.arch_engine,
                         sm_engine=self.sm_engine,
                         transport=self.transport,
+                        chunk_events=self.chunk_events,
                         shm_handles=handles or None,
+                        bank_hints=bank_hints or None,
                     )
                 self.stats.merge(worker_stats)
         return self.stats

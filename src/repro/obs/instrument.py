@@ -84,8 +84,11 @@ def record_columnar_warps(
 
 
 def record_classified_warp(
-    telemetry: Telemetry, events: Iterable[Any], warp_size: int
-) -> None:
+    telemetry: Telemetry,
+    events: Iterable[Any],
+    warp_size: int,
+    previous_class: str | None = None,
+) -> str | None:
     """Roll one warp's classified event stream into the registry.
 
     Covers the tracker-level distributions the paper's figures are
@@ -95,13 +98,19 @@ def record_classified_warp(
     :func:`repro.compression.stats.compare_trace`), the data-array
     bytes the prefix elides, the §4.2 divergent-mask match/miss rate,
     and the §3.3 decompress-move count.
+
+    ``previous_class`` resumes the consecutive-class transition counter
+    across a chunk boundary for a warp split mid-stream; the returned
+    value is the fragment's last class (or ``previous_class`` when the
+    fragment is empty), which the chunked classifier carries to the
+    warp's next fragment so chunked telemetry matches whole-trace
+    telemetry exactly.
     """
     classes: dict[str, int] = {}
     transitions: dict[tuple[str, str], int] = {}
     enc_counts: dict[int, int] = {}
     mask_checks = {"match": 0, "miss": 0}
     decompress_moves = 0
-    previous_class: str | None = None
 
     for item in events:
         name = item.scalar_class.value
@@ -136,6 +145,7 @@ def record_classified_warp(
             telemetry.count("divergent_mask_checks", count, result=result)
     if decompress_moves:
         telemetry.count("decompress_moves", decompress_moves)
+    return previous_class
 
 
 def record_rf_accesses(
@@ -167,6 +177,7 @@ def record_rf_accesses_columns(
     columns: Any,
     kind_labels: dict[int, str],
     num_banks: int,
+    warp_base: int = 0,
 ) -> None:
     """Roll a whole columnar access table into the registry.
 
@@ -178,6 +189,10 @@ def record_rf_accesses_columns(
     every event's accesses individually (the counters are additive).
     ``kind_labels`` maps stored access-kind ids to their label strings,
     keeping this module free of simulation-package imports.
+    ``warp_base`` is the global index of the table's first warp — the
+    chunk-streaming pipeline records one fragment at a time, and bank
+    attribution must use global warp indices for chunked totals to
+    match the whole-trace pass.
     """
     import numpy as np
 
@@ -194,7 +209,7 @@ def record_rf_accesses_columns(
 
     # Bank attribution: register r of warp w -> bank (r + w) % num_banks.
     warp_of_event = np.repeat(
-        np.arange(len(columns.warp_lengths), dtype=np.int64),
+        np.arange(warp_base, warp_base + len(columns.warp_lengths), dtype=np.int64),
         columns.warp_lengths,
     )
     warp_of_access = np.repeat(warp_of_event, np.diff(columns.acc_offsets))

@@ -1,6 +1,6 @@
 """Prometheus text-format exposition of a telemetry registry.
 
-Renders counters and histograms in the plain-text exposition format
+Renders counters, gauges and histograms in the plain-text exposition format
 (``# TYPE`` comments, ``name{label="value"} number`` samples).  Metric
 names are prefixed ``repro_`` and sanitized; counter names get the
 conventional ``_total`` suffix when they lack one.  Histograms are
@@ -31,6 +31,8 @@ _HELP = {
     "sm_stall_scheduler_cycles": "Idle scheduler-cycles attributed per stall cause.",
     "sm_issued_instructions": "Instructions issued per scheduler.",
     "sm_cycles": "Total simulated SM cycles.",
+    "peak_rss_bytes": "Peak resident set size of the recording process (high-water mark).",
+    "bytes_in_flight": "Peak live chunk-array bytes across streamed pipeline chunks.",
 }
 
 
@@ -76,6 +78,17 @@ def prometheus_text(telemetry: Telemetry) -> str:
             lines.append(f"# HELP {metric} {_HELP[name]}")
         lines.append(f"# TYPE {metric} counter")
         for labels, value in sorted(by_counter[name]):
+            lines.append(f"{metric}{_labels_text(labels)} {_number(value)}")
+
+    by_gauge: dict[str, list[tuple[LabelKey, float]]] = {}
+    for (name, labels), value in telemetry.gauges.items():
+        by_gauge.setdefault(name, []).append((labels, value))
+    for name in sorted(by_gauge):
+        metric = _metric_name(name, counter=False)
+        if name in _HELP:
+            lines.append(f"# HELP {metric} {_HELP[name]}")
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in sorted(by_gauge[name]):
             lines.append(f"{metric}{_labels_text(labels)} {_number(value)}")
 
     by_histogram: dict[str, list[tuple[LabelKey, dict[float, int]]]] = {}

@@ -1,4 +1,4 @@
-"""Process-local telemetry registry: counters, histograms, spans.
+"""Process-local telemetry registry: counters, histograms, gauges, spans.
 
 One :class:`Telemetry` instance is a self-contained metrics registry:
 
@@ -8,6 +8,10 @@ One :class:`Telemetry` instance is a self-contained metrics registry:
   suited to the pipeline's small-domain distributions (enc prefix
   0..4, reconvergence-stack depth) and exported with cumulative
   ``le`` buckets in the Prometheus text format;
+* **gauges** — point-in-time levels (peak RSS, bytes in flight) with
+  high-water-mark merge semantics: :meth:`Telemetry.gauge_max` keeps
+  the largest value seen and :meth:`Telemetry.merge` folds gauges by
+  max, so a worker pool reports fleet-wide peaks;
 * **spans** — nestable wall-clock intervals carrying a process id and
   a logical thread id, the raw material of the Chrome trace-event
   export (:mod:`repro.obs.chrome_trace`).
@@ -163,6 +167,7 @@ class Telemetry:
     def __init__(self, sink=None):
         self.counters: dict[tuple[str, LabelKey], float] = {}
         self.histograms: dict[tuple[str, LabelKey], dict[float, int]] = {}
+        self.gauges: dict[tuple[str, LabelKey], float] = {}
         self.spans: list[SpanEvent] = []
         self._sink = sink
         # Anchor perf_counter to the wall clock once, so span
@@ -181,6 +186,23 @@ class Telemetry:
         """Record ``count`` observations of ``value`` in a histogram."""
         bucket = self.histograms.setdefault((name, _label_key(labels)), {})
         bucket[value] = bucket.get(value, 0) + count
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        """Set a (labelled) gauge to ``value`` (last write wins)."""
+        self.gauges[(name, _label_key(labels))] = value
+
+    def gauge_max(self, name: str, value: float, **labels: Any) -> None:
+        """Raise a (labelled) gauge to ``value`` if it is higher.
+
+        High-water-mark semantics (peak RSS, peak bytes in flight):
+        recording sites call this freely and the gauge keeps the
+        maximum ever seen; :meth:`merge` folds gauges with the same
+        max rule, so a pool of workers reports the fleet-wide peak.
+        """
+        key = (name, _label_key(labels))
+        current = self.gauges.get(key)
+        if current is None or value > current:
+            self.gauges[key] = value
 
     def span(self, name: str, cat: str = "", tid: int | None = None, **args: Any):
         """Nestable wall-clock span (use as a context manager)."""
@@ -208,6 +230,17 @@ class Telemetry:
     def histogram(self, name: str, **labels: Any) -> dict[float, int]:
         return dict(self.histograms.get((name, _label_key(labels)), {}))
 
+    def gauge_value(self, name: str, **labels: Any) -> float | None:
+        return self.gauges.get((name, _label_key(labels)))
+
+    def gauges_named(self, name: str) -> dict[LabelKey, float]:
+        """All label sets (and values) recorded under one gauge name."""
+        return {
+            labels: value
+            for (metric, labels), value in self.gauges.items()
+            if metric == name
+        }
+
     def counter_names(self) -> Iterator[str]:
         seen: set[str] = set()
         for metric, _ in self.counters:
@@ -229,6 +262,10 @@ class Telemetry:
                 [name, [list(pair) for pair in labels], sorted(bucket.items())]
                 for (name, labels), bucket in self.histograms.items()
             ],
+            "gauges": [
+                [name, [list(pair) for pair in labels], value]
+                for (name, labels), value in self.gauges.items()
+            ],
             "spans": [span.to_dict() for span in self.spans],
         }
 
@@ -246,6 +283,11 @@ class Telemetry:
             bucket = self.histograms.setdefault(key, {})
             for value, count in items:
                 bucket[value] = bucket.get(value, 0) + count
+        for name, labels, value in other.get("gauges", ()):
+            key = (name, tuple((str(k), str(v)) for k, v in labels))
+            current = self.gauges.get(key)
+            if current is None or value > current:
+                self.gauges[key] = value
         for payload in other.get("spans", ()):
             self.spans.append(SpanEvent.from_dict(payload))
 
@@ -271,6 +313,12 @@ class NullTelemetry(Telemetry):
         return None
 
     def observe(self, name: str, value: float, count: int = 1, **labels: Any) -> None:
+        return None
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float, **labels: Any) -> None:
         return None
 
     def span(self, name: str, cat: str = "", tid: int | None = None, **args: Any):

@@ -61,6 +61,23 @@ class _PowerAggregates:
     #: energy-distinct access shape -> count.
     access_tally: dict[TallyKey, int] = field(default_factory=dict)
 
+    def merge(self, other: "_PowerAggregates") -> None:
+        """Fold another aggregate set into this one (exact: all counts
+        are integers and the evaluator iterates sorted keys, so merged
+        per-chunk aggregates reproduce whole-trace reports bit-for-bit).
+        """
+        self.instructions += other.instructions
+        self.extra_instructions += other.extra_instructions
+        self.extra_exec_lanes += other.extra_exec_lanes
+        self.compressor_ops += other.compressor_ops
+        self.decompressor_ops += other.decompressor_ops
+        for opcode_id, lanes in other.exec_lanes_by_opcode.items():
+            self.exec_lanes_by_opcode[opcode_id] = (
+                self.exec_lanes_by_opcode.get(opcode_id, 0) + lanes
+            )
+        for key, count in other.access_tally.items():
+            self.access_tally[key] = self.access_tally.get(key, 0) + count
+
 
 class PowerAccountant:
     """Energy accounting for one architecture."""
@@ -136,6 +153,37 @@ class PowerAccountant:
         with array reductions, then shares its evaluator — the output
         is bit-identical to the per-event engine for the same stream.
         """
+        return self.account_aggregates(
+            self.aggregates_from_columns(columns), timing
+        )
+
+    # ------------------------------------------------------------------
+    def account_aggregates(
+        self,
+        agg: _PowerAggregates,
+        timing: TimingResult,
+    ) -> PowerReport:
+        """Evaluate pre-built aggregates (the chunk-streaming entry).
+
+        The streaming pipeline builds one :class:`_PowerAggregates` per
+        chunk with :meth:`aggregates_from_columns` and folds them with
+        :meth:`_PowerAggregates.merge`; this evaluates the merged total
+        exactly as :meth:`account_columns` would for the whole trace.
+        """
+        return self._report_from_aggregates(agg, timing, get_telemetry())
+
+    # ------------------------------------------------------------------
+    def aggregates_from_columns(
+        self, columns: ProcessedColumns, warp_base: int = 0
+    ) -> _PowerAggregates:
+        """Reduce one columnar processed stream (or chunk) to aggregates.
+
+        Also rolls the stream's register-file access shapes into the
+        active telemetry registry — those counters are additive, so
+        per-chunk calls sum to the whole-trace totals.  ``warp_base``
+        (the global index of the stream's first warp) keeps chunked
+        bank-attribution telemetry identical to the whole-trace pass.
+        """
         telemetry = get_telemetry()
         if telemetry.enabled:
             record_rf_accesses_columns(
@@ -143,6 +191,7 @@ class PowerAccountant:
                 columns,
                 {k: v.value for k, v in ID_TO_ACCESS_KIND.items()},
                 self.config.register_file_banks,
+                warp_base=warp_base,
             )
 
         agg = _PowerAggregates()
@@ -221,7 +270,7 @@ class PowerAccountant:
                 )
                 tally[key] = count
 
-        return self._report_from_aggregates(agg, timing, telemetry)
+        return agg
 
     # ------------------------------------------------------------------
     def _report_from_aggregates(

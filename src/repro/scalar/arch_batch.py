@@ -108,6 +108,57 @@ def process_columns(
     return _process_plain(ccols, arch)
 
 
+class ArchCarry:
+    """Per-warp interpretation state threaded between trace chunks.
+
+    Of the four interpretation regimes only the dedicated-scalar-RF
+    walk is stateful (LRU residency feeds back into later decisions);
+    the carry holds each split warp's live
+    :class:`~repro.regfile.scalar_rf.ScalarRegisterFile`, keyed by
+    global warp index.  Completed warps are dropped eagerly, so at most
+    one entry lives between chunks per stream.
+    """
+
+    def __init__(self) -> None:
+        self.scalar_rfs: dict[int, ScalarRegisterFile] = {}
+
+
+def process_columns_chunk(
+    ccols: ClassifiedColumns,
+    arch: ArchitectureConfig,
+    carry: ArchCarry,
+    warp_start: int = 0,
+    first_warp_continued: bool = False,
+    last_warp_continues: bool = False,
+    move_elision=None,
+    static_widths=None,
+) -> ProcessedColumns:
+    """Interpret one chunk's classified columns for one architecture.
+
+    The chunk-streaming counterpart of :func:`process_columns`: the
+    stateless regimes (compressed, plain, static) are pure functions of
+    the chunk's rows and dispatch unchanged; the dedicated-scalar-RF
+    walk resumes split warps from ``carry`` so concatenated chunk
+    outputs match the whole-trace interpretation bit-for-bit.
+    """
+    if ccols.warp_size < 1:
+        raise ConfigError(f"warp_size must be >= 1, got {ccols.warp_size}")
+    if arch.dedicated_scalar_rf and not (
+        arch.static_compression or arch.register_compression
+    ):
+        return _process_scalar_rf(
+            ccols,
+            arch,
+            carry=carry,
+            warp_start=warp_start,
+            first_warp_continued=first_warp_continued,
+            last_warp_continues=last_warp_continues,
+        )
+    return process_columns(
+        ccols, arch, move_elision=move_elision, static_widths=static_widths
+    )
+
+
 # ----------------------------------------------------------------------
 # Shared helpers.
 # ----------------------------------------------------------------------
@@ -463,7 +514,12 @@ def _process_static(
 # Dedicated scalar RF (prior-work ALU-scalar): sequential sidecar walk.
 # ----------------------------------------------------------------------
 def _process_scalar_rf(
-    ccols: ClassifiedColumns, arch: ArchitectureConfig
+    ccols: ClassifiedColumns,
+    arch: ArchitectureConfig,
+    carry: "ArchCarry | None" = None,
+    warp_start: int = 0,
+    first_warp_continued: bool = False,
+    last_warp_continues: bool = False,
 ) -> ProcessedColumns:
     """Per-warp sequential walk driving a real
     :class:`~repro.regfile.scalar_rf.ScalarRegisterFile`.
@@ -473,6 +529,10 @@ def _process_scalar_rf(
     mirroring ``ArchitectureView._process_uncompressed`` op-for-op
     (including the resident-check-before-read ordering) keeps the walk
     bit-identical to the event engine.
+
+    ``carry`` (chunked mode) resumes a boundary-split warp's register
+    file from the previous chunk and parks it again for the next one;
+    interior warps always start fresh, exactly as in whole-trace mode.
     """
     accepts_lut = _accepts_lut(arch)
     count = ccols.num_events
@@ -495,8 +555,13 @@ def _process_scalar_rf(
     src_registers = ccols.src_registers
     bounds = ccols.warp_bounds()
 
-    for warp in range(len(ccols.warp_lengths)):
-        scalar_rf = ScalarRegisterFile()
+    num_warps = len(ccols.warp_lengths)
+    for warp in range(num_warps):
+        scalar_rf = None
+        if carry is not None and warp == 0 and first_warp_continued:
+            scalar_rf = carry.scalar_rfs.pop(warp_start + warp, None)
+        if scalar_rf is None:
+            scalar_rf = ScalarRegisterFile()
         for index in range(int(bounds[warp]), int(bounds[warp + 1])):
             sources = [
                 int(src_registers[k])
@@ -547,6 +612,8 @@ def _process_scalar_rf(
                         registers.append(destination)
                         acc_masks.append(0)
             acc_offsets[index + 1] = len(kind_ids)
+        if carry is not None and warp == num_warps - 1 and last_warp_continues:
+            carry.scalar_rfs[warp_start + warp] = scalar_rf
 
     no_half = np.zeros(count, dtype=bool)
     total = len(kind_ids)

@@ -57,6 +57,7 @@ from repro.simt.trace import (
     ID_TO_OPCODE,
     ColumnarTrace,
     KernelTrace,
+    TraceChunk,
     TraceEvent,
     WarpTrace,
 )
@@ -173,6 +174,10 @@ def _classify_events(
     events: list[TraceEvent],
     write_encodings: list[RegisterEncoding],
     warp_size: int,
+    state: dict[int, RegisterEncoding] | None = None,
+    read_cache: (
+        dict[int, tuple[RegisterEncoding, int | None, SourceRead]] | None
+    ) = None,
 ) -> list[ClassifiedEvent]:
     """The slim sequential sidecar loop over one warp's events.
 
@@ -184,14 +189,22 @@ def _classify_events(
     source tuple), and :class:`SourceRead` objects are reused while the
     source register's sidecar state is unchanged — both transparent to
     the output, which stays field-identical to the per-event tracker.
+
+    ``state`` / ``read_cache`` (optional) resume a warp split across
+    chunk boundaries: the chunked classifier passes the dicts carried
+    from the previous fragment and this pass mutates them in place, so
+    the next fragment continues exactly where this one stopped.  Fresh
+    dicts (the default) give whole-warp behavior, unchanged.
     """
     full_mask = (1 << warp_size) - 1
-    state: dict[int, RegisterEncoding] = {}
+    if state is None:
+        state = {}
     state_get = state.get
     # register -> (encoding identity, reader mask or None, SourceRead);
     # reads of an unchanged register rebuild nothing.  The mask only
     # matters for divergently-written sources (§4.2's BVR comparison).
-    read_cache: dict[int, tuple[RegisterEncoding, int | None, SourceRead]] = {}
+    if read_cache is None:
+        read_cache = {}
     cache_get = read_cache.get
     classified: list[ClassifiedEvent] = []
     append = classified.append
@@ -509,6 +522,163 @@ def classify_columnar_batch(
             if telemetry.enabled:
                 record_classified_warp(telemetry, classified_warp, warp_size)
     return trace, classified
+
+
+class ClassifierCarry:
+    """Per-warp sidecar state threaded between trace chunks.
+
+    The batch classifier's only sequential state is per-warp: the
+    register -> :class:`RegisterEncoding` sidecar map (BVR/EBR contents)
+    and the identity-keyed read cache of :func:`_classify_events`, plus
+    the warp's last scalar class (telemetry's consecutive-class
+    transition counter spans chunk boundaries).  The carry keys them by
+    *global* warp index; completed warps are dropped eagerly so the
+    carry holds at most one split warp between chunks.  Odd warp sizes
+    delegate to the per-event tracker, whose whole state machine is
+    carried instead.
+    """
+
+    def __init__(self) -> None:
+        self.states: dict[int, dict[int, RegisterEncoding]] = {}
+        self.read_caches: dict[
+            int, dict[int, tuple[RegisterEncoding, int | None, SourceRead]]
+        ] = {}
+        self.trackers: dict[int, RegisterStateTracker] = {}
+        self.last_class: dict[int, str | None] = {}
+
+
+def classify_columnar_chunk(
+    chunk: TraceChunk,
+    num_registers: int,
+    carry: ClassifierCarry,
+) -> list[list[ClassifiedEvent]]:
+    """Batch-classify one :class:`~repro.simt.trace.TraceChunk`.
+
+    The chunk-streaming counterpart of :func:`classify_columnar_batch`:
+    same per-chunk whole-batch encoding math, same sequential sidecar
+    loop — but warps cut by a chunk boundary resume from the carried
+    ``state``/``read_cache`` dicts instead of starting fresh, so
+    concatenating every chunk's fragments reproduces the whole-trace
+    classified stream bit-for-bit.  Returns one event-fragment list per
+    warp present in the chunk (split warps contribute one fragment per
+    chunk they span); the event form is *not* accumulated — per-event
+    Python objects live only as long as the chunk's fragments do.
+    """
+    if num_registers < 0:
+        raise TraceError(f"num_registers must be >= 0, got {num_registers}")
+    columnar = chunk.columnar
+    warp_size = columnar.warp_size
+    telemetry = get_telemetry()
+    classified: list[list[ClassifiedEvent]] = []
+
+    opcode_ids = columnar.opcode_ids.tolist()
+    dst = columnar.dst.tolist()
+    mask_ints = columnar.masks.tolist()
+    blocks = columnar.blocks.tolist()
+    varying = columnar.varying.tolist()
+    scalar_nonreg = columnar.scalar_nonreg.tolist()
+    src_offsets = columnar.src_offsets.tolist()
+    src_flat = columnar.src_flat.tolist()
+    values_index = columnar.values_index.tolist()
+    addr_index = columnar.addr_index.tolist()
+    values_matrix = columnar.values
+    addresses_matrix = columnar.addresses
+    lane_limit = 1 << warp_size
+
+    if warp_size % 2 == 0 and columnar.num_events:
+        write_positions_all = np.flatnonzero(
+            (columnar.dst >= 0) & (columnar.values_index >= 0)
+        )
+        if write_positions_all.size:
+            all_encodings = _write_encodings(
+                np.ascontiguousarray(
+                    values_matrix[columnar.values_index[write_positions_all]],
+                    dtype=np.uint32,
+                ),
+                columnar.masks[write_positions_all],
+                warp_size,
+            )
+        else:
+            all_encodings = []
+    else:
+        write_positions_all = np.empty(0, dtype=np.int64)
+        all_encodings = []
+
+    num_warps = columnar.num_warps
+    for local, (_, segment) in enumerate(columnar.warp_slices()):
+        global_warp = chunk.warp_start + local
+        continued = local == 0 and chunk.first_warp_continued
+        continues = local == num_warps - 1 and chunk.last_warp_continues
+        events: list[TraceEvent] = []
+        for position in range(segment.start, segment.stop):
+            mask = mask_ints[position]
+            if mask >= lane_limit:
+                raise TraceError(
+                    f"event mask {mask:#x} wider than warp size {warp_size}"
+                )
+            value_row = values_index[position]
+            addr_row = addr_index[position]
+            events.append(
+                TraceEvent(
+                    opcode=ID_TO_OPCODE[opcode_ids[position]],
+                    dst=None if dst[position] < 0 else dst[position],
+                    src_regs=tuple(
+                        src_flat[
+                            src_offsets[position]:src_offsets[position + 1]
+                        ]
+                    ),
+                    active_mask=mask,
+                    block_id=blocks[position],
+                    dst_values=values_matrix[value_row]
+                    if value_row >= 0
+                    else None,
+                    addresses=addresses_matrix[addr_row]
+                    if addr_row >= 0
+                    else None,
+                    varying_special_src=varying[position],
+                    scalar_nonreg_srcs=scalar_nonreg[position],
+                )
+            )
+
+        if warp_size % 2 != 0:
+            tracker = carry.trackers.pop(global_warp, None) if continued else None
+            if tracker is None:
+                tracker = RegisterStateTracker(num_registers, warp_size)
+            fragment = [tracker.classify(event) for event in events]
+            if continues:
+                carry.trackers[global_warp] = tracker
+        else:
+            state = carry.states.pop(global_warp, None) if continued else None
+            read_cache = (
+                carry.read_caches.pop(global_warp, None) if continued else None
+            )
+            if state is None:
+                state = {}
+            if read_cache is None:
+                read_cache = {}
+            lo = int(
+                np.searchsorted(write_positions_all, segment.start, "left")
+            )
+            hi = int(
+                np.searchsorted(write_positions_all, segment.stop, "left")
+            )
+            fragment = _classify_events(
+                events, all_encodings[lo:hi], warp_size, state, read_cache
+            )
+            if continues:
+                carry.states[global_warp] = state
+                carry.read_caches[global_warp] = read_cache
+        classified.append(fragment)
+        if telemetry.enabled:
+            previous = (
+                carry.last_class.pop(global_warp, None) if continued else None
+            )
+            last = record_classified_warp(
+                telemetry, fragment, warp_size, previous_class=previous
+            )
+            if continues:
+                carry.last_class[global_warp] = last
+    return classified
 
 
 def classify_trace_with(

@@ -11,6 +11,17 @@ spuriously):
   :func:`repro.scalar.tracker.classify_trace` (per-event reference)
   vs :func:`repro.scalar.batch.classify_trace_batch` (vectorized).
   The committed ``BENCH_classify.json`` is this output.
+* **--streaming**: measures the chunk-streaming pipeline's throughput
+  and *memory boundedness* on the replicated synthetic stream: the
+  streamed arm (:class:`repro.experiments.streaming.StreamingPipeline`
+  in aggregates-only mode) and the whole-trace arm (materialize +
+  classify + interpret) each run in a child process, optionally under
+  a hard ``RLIMIT_AS`` ceiling (``--rss-limit-mb``) — at the large
+  tier the streamed arm completes where the whole-trace arm dies of
+  :class:`MemoryError`.  Reports events/s, peak RSS and peak
+  bytes-in-flight per arm; ``speedup`` is the memory ratio (whole-arm
+  over streamed-arm peak), so ``--min-speedup`` gates boundedness.
+  The committed ``BENCH_streaming.json`` is this output.
 * **--pipeline**: times the whole classify → interpret → lower →
   **simulate** → account spine over all four paper architectures —
   reference path (``classify_trace`` + ``process_classified`` +
@@ -74,6 +85,10 @@ from repro.workloads.registry import SCALES, all_workloads, build_workload
 # the registry) keeps a DRAM-bound workload in the committed perf-smoke
 # set so memory-system regressions surface too.
 DEFAULT_BENCHMARKS = ("BP", "LC", "LBM")
+#: Streaming mode runs each arm once over a 10^6+-event stream; one
+#: benchmark keeps the committed artifact's runtime reasonable (HS has
+#: a mid-sized seed and both uniform and divergent phases).
+DEFAULT_STREAMING_BENCHMARKS = ("HS",)
 DEFAULT_WARMUP = 1
 
 
@@ -371,7 +386,200 @@ def measure_transport(
     }
 
 
+def _run_streaming_arm(
+    benchmark: str, scale_name: str, arm: str, chunk_events: int
+) -> dict:
+    """One memory-measurement arm over the replicated synthetic stream.
+
+    ``streamed`` feeds :class:`~repro.experiments.streaming.
+    StreamingPipeline` (aggregates-only mode: the bounded spine, no
+    timing-op accumulation) one generated chunk at a time; ``whole``
+    materializes the full replicated trace and runs the whole-trace
+    engines over it — the arm whose footprint grows with the stream.
+    """
+    from repro.experiments.streaming import StreamingPipeline, _array_bytes
+    from repro.obs.memory import peak_rss_bytes
+    from repro.workloads.synth import (
+        iter_synthetic_chunks,
+        materialize_synthetic,
+        synthetic_replicas,
+    )
+
+    built = build_workload(benchmark, scale_name)
+    trace = run_kernel(built.kernel, built.launch, built.memory)
+    seed = trace.to_columnar()
+    num_registers = built.kernel.num_registers
+    del trace, built
+    scale = SCALES[scale_name]
+    replicas = synthetic_replicas(seed, scale)
+    arches = paper_architectures()
+    if arm == "streamed":
+        pipeline = StreamingPipeline(
+            arches, num_registers, collect_timing_ops=False
+        )
+        for chunk in iter_synthetic_chunks(seed, replicas, chunk_events):
+            pipeline.feed(chunk)
+        peak_in_flight = pipeline.peak_bytes_in_flight
+    else:
+        whole = materialize_synthetic(seed, replicas)
+        _, classified = classify_columnar_batch(whole, num_registers)
+        ccols = ClassifiedColumns.from_classified(
+            classified, whole.warp_size, columnar=whole
+        )
+        del classified
+        peak_in_flight = _array_bytes(whole) + _array_bytes(ccols)
+        for arch in arches:
+            pcols = process_columns(ccols, arch)
+            PowerAccountant(arch).aggregates_from_columns(pcols)
+            peak_in_flight = max(
+                peak_in_flight,
+                _array_bytes(whole) + _array_bytes(ccols) + _array_bytes(pcols),
+            )
+    return {
+        "events": seed.num_events * replicas,
+        "replicas": replicas,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "peak_bytes_in_flight": peak_in_flight,
+    }
+
+
+def _probe_main(argv: list[str]) -> int:
+    """Hidden child-process entry point for one streaming arm.
+
+    Applies the address-space ceiling *to this process only*, runs the
+    arm, and prints one JSON line.  Exit 3 means the arm exceeded the
+    ceiling (:class:`MemoryError`) — an expected outcome the parent
+    records, distinct from real failures.
+    """
+    import resource
+
+    benchmark, scale_name, arm, chunk_events, limit_mb = argv
+    limit_mb = int(limit_mb)
+    if limit_mb > 0:
+        limit = limit_mb * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    started = time.perf_counter()
+    try:
+        result = _run_streaming_arm(
+            benchmark, scale_name, arm, int(chunk_events)
+        )
+    except MemoryError:
+        print(json.dumps({"completed": False, "error": "MemoryError"}))
+        return 3
+    result["completed"] = True
+    result["seconds"] = round(time.perf_counter() - started, 6)
+    print(json.dumps(result))
+    return 0
+
+
+def measure_streaming(
+    benchmark: str, scale: str, chunk_events: int, rss_limit_mb: int
+) -> dict:
+    """Streamed vs whole-trace memory arms for one benchmark.
+
+    Bit-equality gate first (on the seed trace, whole outputs
+    included): the streamed pipeline's timing and power must equal the
+    whole-trace engines' exactly.  Then each arm runs once in a child
+    process — so one arm's allocator high-water mark can never pollute
+    the other's RSS, and the ``--rss-limit-mb`` ceiling kills only the
+    arm that actually exceeds it.
+    """
+    import os
+    import subprocess
+
+    from repro.experiments.streaming import stream_pipeline
+    from repro.simt.trace import iter_chunks
+
+    built = build_workload(benchmark, scale)
+    trace: KernelTrace = run_kernel(built.kernel, built.launch, built.memory)
+    seed = trace.to_columnar()
+    num_registers = built.kernel.num_registers
+    config = GpuConfig()
+    arches = paper_architectures()
+    warps_per_cta = built.launch.warps_per_cta(seed.warp_size)
+
+    outcome = stream_pipeline(
+        iter_chunks(seed, max(1, seed.num_events // 7)),
+        arches,
+        num_registers,
+        config=config,
+        warps_per_cta=warps_per_cta,
+    )
+    _, classified = classify_columnar_batch(seed, num_registers)
+    ccols = ClassifiedColumns.from_classified(
+        classified, seed.warp_size, columnar=seed
+    )
+    for arch in arches:
+        pcols = process_columns(ccols, arch)
+        timing = simulate_architecture_columns(
+            ccols, pcols, arch, config,
+            warps_per_cta=warps_per_cta, sm_engine="event",
+        )
+        report = PowerAccountant(arch, config=config).account_columns(
+            pcols, timing
+        )
+        if outcome.timing[arch.name] != timing or outcome.power[arch.name] != report:
+            raise AssertionError(
+                f"{benchmark}/{arch.name}: streamed pipeline disagrees "
+                "with the whole-trace engines"
+            )
+    del trace, classified, ccols
+
+    def spawn(arm: str) -> dict:
+        env = os.environ.copy()
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.scalar.bench", "--_probe",
+                benchmark, scale, arm, str(chunk_events), str(rss_limit_mb),
+            ],
+            capture_output=True, text=True, env=env,
+        )
+        if proc.returncode == 0:
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+        if proc.returncode == 3:
+            return {"completed": False, "error": "MemoryError"}
+        raise RuntimeError(
+            f"{benchmark}: probe arm {arm!r} failed "
+            f"(exit {proc.returncode}): {proc.stderr[-2000:]}"
+        )
+
+    streamed = spawn("streamed")
+    whole = spawn("whole")
+    if not streamed["completed"]:
+        raise AssertionError(
+            f"{benchmark}: the streamed arm itself exceeded the "
+            f"{rss_limit_mb} MiB ceiling — streaming is not bounded"
+        )
+    if whole.get("completed"):
+        # Both fit: the honest memory ratio is live-bytes over live-bytes.
+        memory_ratio = (
+            whole["peak_bytes_in_flight"] / streamed["peak_bytes_in_flight"]
+        )
+    else:
+        # The whole-trace arm needed more than the ceiling, so the
+        # ceiling itself is its (conservative) footprint lower bound.
+        memory_ratio = (
+            rss_limit_mb * 1024 * 1024 / streamed["peak_rss_bytes"]
+        )
+    return {
+        "benchmark": benchmark,
+        "scale": scale,
+        "chunk_events": chunk_events,
+        "rss_limit_mb": rss_limit_mb,
+        "events": streamed["events"],
+        "replicas": streamed["replicas"],
+        "events_per_second": round(streamed["events"] / streamed["seconds"], 1),
+        "streamed": streamed,
+        "whole_trace": whole,
+        "speedup": round(memory_ratio, 3),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["--_probe"]:
+        return _probe_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro.scalar.bench",
         description="Benchmark batch vs per-event pipeline engines.",
@@ -380,8 +588,9 @@ def main(argv: list[str] | None = None) -> int:
         "benchmarks",
         nargs="*",
         metavar="BENCHMARK",
-        default=list(DEFAULT_BENCHMARKS),
-        help=f"workload abbreviations (default: {' '.join(DEFAULT_BENCHMARKS)})",
+        default=[],
+        help=f"workload abbreviations (default: {' '.join(DEFAULT_BENCHMARKS)}; "
+        f"--streaming defaults to {' '.join(DEFAULT_STREAMING_BENCHMARKS)})",
     )
     parser.add_argument(
         "--scale",
@@ -422,6 +631,30 @@ def main(argv: list[str] | None = None) -> int:
         "mmap-warm",
     )
     parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="benchmark the chunk-streaming pipeline's memory boundedness "
+        "on the replicated synthetic stream: streamed vs whole-trace "
+        "arms in child processes (optionally under --rss-limit-mb); "
+        "speedup is the whole-over-streamed peak-memory ratio",
+    )
+    parser.add_argument(
+        "--chunk-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="streaming only: chunk size in events "
+        "(default: the runner's streaming default)",
+    )
+    parser.add_argument(
+        "--rss-limit-mb",
+        type=int,
+        default=0,
+        metavar="MB",
+        help="streaming only: hard RLIMIT_AS ceiling per arm child "
+        "process (default: 0, unlimited)",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -434,27 +667,49 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the report to PATH",
     )
-    args = parser.parse_args(argv)
-    if args.pipeline and args.transport:
-        parser.error("--pipeline and --transport are mutually exclusive")
-    benchmarks = [name.strip().upper() for name in args.benchmarks]
-
-    if args.transport:
-        measurer = measure_transport
-    elif args.pipeline:
-        measurer = measure_pipeline
-    else:
-        measurer = measure
-    results = [
-        measurer(name, args.scale, args.repeats, args.warmup)
-        for name in benchmarks
+    args = parser.parse_args(arguments)
+    if sum((args.pipeline, args.transport, args.streaming)) > 1:
+        parser.error(
+            "--pipeline, --transport and --streaming are mutually exclusive"
+        )
+    if args.chunk_events is not None and not args.streaming:
+        parser.error("--chunk-events only applies to --streaming")
+    if args.chunk_events is not None and args.chunk_events < 1:
+        parser.error("--chunk-events must be >= 1")
+    defaults = (
+        DEFAULT_STREAMING_BENCHMARKS if args.streaming else DEFAULT_BENCHMARKS
+    )
+    benchmarks = [
+        name.strip().upper() for name in (args.benchmarks or defaults)
     ]
+
+    if args.streaming:
+        from repro.experiments.runner import DEFAULT_STREAM_CHUNK
+
+        chunk_events = args.chunk_events or DEFAULT_STREAM_CHUNK
+        results = [
+            measure_streaming(name, args.scale, chunk_events, args.rss_limit_mb)
+            for name in benchmarks
+        ]
+    else:
+        if args.transport:
+            measurer = measure_transport
+        elif args.pipeline:
+            measurer = measure_pipeline
+        else:
+            measurer = measure
+        results = [
+            measurer(name, args.scale, args.repeats, args.warmup)
+            for name in benchmarks
+        ]
     worst = min(result["speedup"] for result in results)
     measured = set(benchmarks)
     skipped = [
         spec.abbr for spec in all_workloads() if spec.abbr not in measured
     ]
-    if args.transport:
+    if args.streaming:
+        mode = "streaming"
+    elif args.transport:
         mode = "transport"
     elif args.pipeline:
         mode = "pipeline"

@@ -273,6 +273,85 @@ class ColumnarTrace:
             addresses=np.stack(addr_rows) if addr_rows else empty,
         )
 
+    def slice_events(self, start: int, stop: int) -> "ColumnarTrace":
+        """View-based sub-trace over the event range ``[start, stop)``.
+
+        Fixed-width columns come back as views of this trace's arrays;
+        the ragged tables (``src_offsets``/``values_index``/
+        ``addr_index``) are rebased to the range, which is cheap — the
+        snapshot and address *rows* stay views because
+        :meth:`from_trace` appends them in event order, so any event
+        range maps to a contiguous row range.  Warp tables cover the
+        warps whose segments intersect the range, with boundary warps'
+        lengths clipped to it (:class:`TraceChunk` records whether they
+        continue across the cut).
+        """
+        warp_lo, warp_hi, warp_lengths = self._warps_in_range(start, stop)
+        src_offsets = (
+            self.src_offsets[start : stop + 1] - self.src_offsets[start]
+        )
+        src_flat = self.src_flat[
+            self.src_offsets[start] : self.src_offsets[stop]
+        ]
+        values_index, values = _rebase_rows(
+            self.values_index[start:stop], self.values, self.warp_size
+        )
+        addr_index, addresses = _rebase_rows(
+            self.addr_index[start:stop], self.addresses, self.warp_size
+        )
+        return ColumnarTrace(
+            kernel_name=self.kernel_name,
+            warp_size=self.warp_size,
+            warp_ids=self.warp_ids[warp_lo:warp_hi],
+            warp_lengths=warp_lengths,
+            opcode_ids=self.opcode_ids[start:stop],
+            dst=self.dst[start:stop],
+            masks=self.masks[start:stop],
+            blocks=self.blocks[start:stop],
+            varying=self.varying[start:stop],
+            scalar_nonreg=self.scalar_nonreg[start:stop],
+            src_offsets=src_offsets,
+            src_flat=src_flat,
+            values_index=values_index,
+            values=values,
+            addr_index=addr_index,
+            addresses=addresses,
+        )
+
+    def _warp_bounds(self) -> np.ndarray:
+        """Cumulative event bounds: warp *w* owns ``[b[w], b[w + 1])``."""
+        bounds = np.zeros(self.num_warps + 1, dtype=np.int64)
+        np.cumsum(self.warp_lengths, out=bounds[1:])
+        return bounds
+
+    def _warps_in_range(
+        self, start: int, stop: int
+    ) -> tuple[int, int, np.ndarray]:
+        """Warps whose segments touch ``[start, stop)``.
+
+        Returns ``(first_warp, one_past_last_warp, clipped_lengths)``.
+        A zero-length warp sitting exactly on a chunk boundary goes to
+        the chunk *starting* there (or, at the end of the trace, to the
+        final chunk), so every warp lands in exactly one chunk.
+        """
+        bounds = self._warp_bounds()
+        starts, ends = bounds[:-1], bounds[1:]
+        total = int(bounds[-1])
+        include = (starts < stop) & (ends > start)
+        zero = starts == ends
+        include |= zero & (starts >= start) & (
+            (starts < stop) | ((stop == total) & (starts == stop))
+        )
+        selected = np.flatnonzero(include)
+        if selected.size == 0:
+            return 0, 0, np.zeros(0, dtype=np.int64)
+        warp_lo = int(selected[0])
+        warp_hi = int(selected[-1]) + 1
+        lengths = np.clip(ends[warp_lo:warp_hi], start, stop) - np.clip(
+            starts[warp_lo:warp_hi], start, stop
+        )
+        return warp_lo, warp_hi, lengths.astype(np.int64)
+
     def to_trace(self) -> KernelTrace:
         """Materialize the event form (each snapshot row copied out)."""
         if int(self.warp_lengths.sum()) != self.num_events:
@@ -325,3 +404,152 @@ class ColumnarTrace:
                 position += 1
             trace.warps.append(warp)
         return trace
+
+
+def _rebase_rows(
+    index: np.ndarray, rows: np.ndarray, warp_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rebase a row-index column to a sliced row matrix.
+
+    ``index`` is a slice of ``values_index``/``addr_index``; the rows it
+    references are contiguous (appended in event order), so the slice's
+    rows are ``rows[first:last + 1]`` and the rebased index subtracts
+    ``first``.  Events without a row keep ``-1``.
+    """
+    present = index >= 0
+    if not present.any():
+        return (
+            np.full(index.shape[0], -1, dtype=np.int64),
+            np.empty((0, warp_size), dtype=rows.dtype),
+        )
+    referenced = index[present]
+    first = int(referenced[0])
+    last = int(referenced[-1])
+    rebased = np.where(present, index - first, -1).astype(np.int64)
+    return rebased, rows[first : last + 1]
+
+
+@dataclass
+class TraceChunk:
+    """One event-range window of a streamed trace.
+
+    ``columnar`` is a self-consistent :class:`ColumnarTrace` covering
+    this chunk's events only (views of the parent's arrays when produced
+    by :func:`iter_chunks`).  Warps split by a chunk boundary appear in
+    both neighbouring chunks with clipped lengths;
+    ``first_warp_continued`` / ``last_warp_continues`` tell a streaming
+    consumer which carry-state to thread across the cut, and
+    ``warp_start`` gives the *global* index of the chunk's first warp so
+    per-warp carries can be keyed consistently across chunks.
+    """
+
+    columnar: ColumnarTrace
+    index: int
+    start_event: int
+    warp_start: int
+    first_warp_continued: bool
+    last_warp_continues: bool
+
+    @property
+    def num_events(self) -> int:
+        return self.columnar.num_events
+
+
+def iter_chunks(columnar: ColumnarTrace, chunk_events: int):
+    """Stream a columnar trace as :class:`TraceChunk` windows.
+
+    Chunk boundaries fall every ``chunk_events`` events regardless of
+    warp structure — warps are split mid-stream and the per-layer carry
+    objects (classifier BVR/EBR state, scalar-RF residency, timing-op
+    accumulators, power aggregates) resume them.  An empty trace yields
+    one empty chunk so streaming consumers build their (empty) outputs
+    through the same path as every other trace.
+    """
+    if chunk_events < 1:
+        raise TraceError(f"chunk_events must be >= 1, got {chunk_events}")
+    total = columnar.num_events
+    bounds = columnar._warp_bounds()
+    index = 0
+    start = 0
+    while True:
+        stop = min(start + chunk_events, total)
+        piece = columnar.slice_events(start, stop)
+        warp_lo, warp_hi, _ = columnar._warps_in_range(start, stop)
+        yield TraceChunk(
+            columnar=piece,
+            index=index,
+            start_event=start,
+            warp_start=warp_lo,
+            first_warp_continued=(
+                warp_hi > warp_lo and int(bounds[warp_lo]) < start
+            ),
+            last_warp_continues=(
+                warp_hi > warp_lo and int(bounds[warp_hi]) > stop
+            ),
+        )
+        index += 1
+        start = stop
+        if start >= total:
+            return
+
+
+def concat_columnar(traces: list[ColumnarTrace]) -> ColumnarTrace:
+    """Concatenate whole-warp columnar traces into one stream.
+
+    The inverse of warp-aligned slicing: per-event and flat arrays
+    concatenate, offset/row-index tables rebase.  Used to materialize
+    the whole-trace arm of a synthetic replica stream
+    (:mod:`repro.workloads.synth`) for differential comparison — the
+    streamed arm never builds this.
+    """
+    if not traces:
+        raise TraceError("concat_columnar needs >= 1 trace")
+    first = traces[0]
+    src_offsets = np.zeros(
+        sum(t.num_events for t in traces) + 1, dtype=np.int64
+    )
+    position = 0
+    src_base = 0
+    values_index_parts = []
+    addr_index_parts = []
+    values_base = 0
+    addr_base = 0
+    for trace in traces:
+        count = trace.num_events
+        src_offsets[position + 1 : position + count + 1] = (
+            trace.src_offsets[1:] - trace.src_offsets[0] + src_base
+        )
+        src_base = int(src_offsets[position + count])
+        position += count
+        values_index_parts.append(
+            np.where(
+                trace.values_index >= 0,
+                trace.values_index + values_base,
+                -1,
+            ).astype(np.int64)
+        )
+        values_base += int(trace.values.shape[0])
+        addr_index_parts.append(
+            np.where(
+                trace.addr_index >= 0, trace.addr_index + addr_base, -1
+            ).astype(np.int64)
+        )
+        addr_base += int(trace.addresses.shape[0])
+    return ColumnarTrace(
+        kernel_name=first.kernel_name,
+        warp_size=first.warp_size,
+        warp_ids=np.concatenate([t.warp_ids for t in traces]),
+        warp_lengths=np.concatenate([t.warp_lengths for t in traces]),
+        opcode_ids=np.concatenate([t.opcode_ids for t in traces]),
+        dst=np.concatenate([t.dst for t in traces]),
+        masks=np.concatenate([t.masks for t in traces]),
+        blocks=np.concatenate([t.blocks for t in traces]),
+        varying=np.concatenate([t.varying for t in traces]),
+        scalar_nonreg=np.concatenate([t.scalar_nonreg for t in traces]),
+        src_offsets=src_offsets,
+        src_flat=np.concatenate([t.src_flat for t in traces]),
+        values_index=np.concatenate(values_index_parts),
+        values=np.concatenate([t.values for t in traces]),
+        addr_index=np.concatenate(addr_index_parts),
+        addresses=np.concatenate([t.addresses for t in traces]),
+    )

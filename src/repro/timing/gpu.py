@@ -97,3 +97,32 @@ def simulate_architecture_columns(
         recorder=recorder,
     )
     return simulator.run()
+
+
+def simulate_warp_ops(
+    warp_ops: list[list[TimingOp]],
+    arch: ArchitectureConfig,
+    config: GpuConfig | None = None,
+    warps_per_cta: int | None = None,
+    sm_engine: str = DEFAULT_SM_ENGINE,
+    recorder=None,
+) -> TimingResult:
+    """Run the SM timing model over pre-lowered per-warp op lists.
+
+    The chunk-streaming pipeline lowers timing ops chunk by chunk
+    (:func:`build_timing_ops_columns` is a pure per-event function, so
+    fragment lowering is exact) and appends each fragment to its
+    warp's accumulated list; this entry point runs the simulation once
+    over the fully-assembled lists — both SM engines schedule whole
+    warps, so this is the one whole-trace barrier the stream keeps.
+    """
+    config = config or GpuConfig()
+    simulator = create_sm_simulator(
+        sm_engine,
+        warp_ops,
+        config,
+        extra_latency=arch.extra_pipeline_cycles,
+        warps_per_cta=warps_per_cta,
+        recorder=recorder,
+    )
+    return simulator.run()

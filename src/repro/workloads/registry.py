@@ -23,23 +23,42 @@ from repro.simt.memory_state import MemoryImage
 
 @dataclass(frozen=True)
 class ScaleConfig:
-    """Problem-size knobs shared by all workloads."""
+    """Problem-size knobs shared by all workloads.
+
+    ``synthetic_events``, when non-zero, marks the scale as a
+    *synthetic tier*: the workload's kernel is executed once at the
+    scale's grid/CTA dimensions to produce a seed trace, which
+    :mod:`repro.workloads.synth` then replicates (with seeded
+    per-replica value/address perturbation) until the stream reaches
+    at least ``synthetic_events`` events — the streaming pipeline's
+    10^6+-event large tier, generated without ever executing (or
+    materializing) a million-event trace.
+    """
 
     name: str
     grid_dim: int
     cta_dim: int
     inner_iterations: int
+    synthetic_events: int = 0
 
     def __post_init__(self) -> None:
         if self.grid_dim < 1 or self.cta_dim < 1 or self.inner_iterations < 1:
             raise WorkloadError("scale parameters must be >= 1")
+        if self.synthetic_events < 0:
+            raise WorkloadError("synthetic_events must be >= 0")
 
 
 SCALES: dict[str, ScaleConfig] = {
     "tiny": ScaleConfig(name="tiny", grid_dim=1, cta_dim=64, inner_iterations=2),
     "small": ScaleConfig(name="small", grid_dim=4, cta_dim=128, inner_iterations=4),
     "default": ScaleConfig(name="default", grid_dim=4, cta_dim=256, inner_iterations=8),
-    "large": ScaleConfig(name="large", grid_dim=8, cta_dim=256, inner_iterations=16),
+    "large": ScaleConfig(
+        name="large",
+        grid_dim=8,
+        cta_dim=256,
+        inner_iterations=16,
+        synthetic_events=1_100_000,
+    ),
 }
 
 

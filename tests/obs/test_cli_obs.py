@@ -154,8 +154,11 @@ class TestStatsJsonCompatibility:
             "experiment_seconds",
             "counters",
             "stage_seconds",
+            "gauges",
         }
         assert stats["counters"]["trace_executions"] == 17
+        # Every snapshot stamps the process high-water RSS, streamed or not.
+        assert stats["gauges"]["peak_rss_bytes"] > 0
         assert all(
             isinstance(value, (int, float))
             for value in stats["stage_seconds"].values()

@@ -1,0 +1,108 @@
+"""Gauges: high-water semantics, memory observables, Prometheus export."""
+
+from repro.obs.memory import (
+    peak_rss_bytes,
+    record_bytes_in_flight,
+    record_peak_rss,
+)
+from repro.obs.prometheus import prometheus_text
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+
+class TestGaugeSemantics:
+    def test_gauge_set_last_write_wins(self):
+        t = Telemetry()
+        t.gauge_set("level", 5)
+        t.gauge_set("level", 3)
+        assert t.gauge_value("level") == 3
+
+    def test_gauge_max_keeps_high_water(self):
+        t = Telemetry()
+        t.gauge_max("peak", 10)
+        t.gauge_max("peak", 4)
+        t.gauge_max("peak", 12)
+        assert t.gauge_value("peak") == 12
+
+    def test_gauge_labels_are_distinct_series(self):
+        t = Telemetry()
+        t.gauge_max("peak", 1, stage="classify")
+        t.gauge_max("peak", 2, stage="process")
+        named = t.gauges_named("peak")
+        assert len(named) == 2
+        assert t.gauge_value("peak", stage="classify") == 1
+        assert t.gauge_value("peak", stage="process") == 2
+
+    def test_missing_gauge_is_none(self):
+        assert Telemetry().gauge_value("absent") is None
+
+    def test_null_telemetry_ignores_gauges(self):
+        NULL_TELEMETRY.gauge_set("x", 1)
+        NULL_TELEMETRY.gauge_max("x", 2)
+        assert NULL_TELEMETRY.gauges == {}
+
+
+class TestGaugeMerge:
+    def test_snapshot_roundtrip(self):
+        t = Telemetry()
+        t.gauge_max("peak_rss_bytes", 100)
+        merged = Telemetry()
+        merged.merge(t.snapshot())
+        assert merged.gauge_value("peak_rss_bytes") == 100
+
+    def test_merge_folds_by_max(self):
+        # A worker pool reports the fleet-wide peak, not a sum.
+        parent = Telemetry()
+        parent.gauge_max("peak_rss_bytes", 100)
+        worker_a = Telemetry()
+        worker_a.gauge_max("peak_rss_bytes", 250)
+        worker_b = Telemetry()
+        worker_b.gauge_max("peak_rss_bytes", 80)
+        parent.merge(worker_a)
+        parent.merge(worker_b)
+        assert parent.gauge_value("peak_rss_bytes") == 250
+
+
+class TestMemoryObservables:
+    def test_peak_rss_is_positive(self):
+        assert peak_rss_bytes() > 0
+
+    def test_record_peak_rss_into_registry(self):
+        t = Telemetry()
+        value = record_peak_rss(t)
+        assert value == t.gauge_value("peak_rss_bytes")
+        assert value > 0
+
+    def test_record_bytes_in_flight_high_water(self):
+        t = Telemetry()
+        record_bytes_in_flight(500, t)
+        record_bytes_in_flight(200, t)
+        assert t.gauge_value("bytes_in_flight") == 500
+
+
+class TestPrometheusGauges:
+    def test_gauge_section_rendered(self):
+        t = Telemetry()
+        t.gauge_max("peak_rss_bytes", 1234)
+        t.gauge_max("bytes_in_flight", 42)
+        text = prometheus_text(t)
+        assert "# TYPE repro_peak_rss_bytes gauge" in text
+        assert "repro_peak_rss_bytes 1234" in text
+        assert "# HELP repro_peak_rss_bytes" in text
+        assert "# TYPE repro_bytes_in_flight gauge" in text
+        assert "repro_bytes_in_flight 42" in text
+        # Gauges never get the counter suffix.
+        assert "peak_rss_bytes_total" not in text
+
+    def test_gauge_labels_rendered(self):
+        t = Telemetry()
+        t.gauge_max("bytes_in_flight", 7, benchmark="HS")
+        text = prometheus_text(t)
+        assert 'repro_bytes_in_flight{benchmark="HS"} 7' in text
+
+    def test_counters_and_gauges_coexist(self):
+        t = Telemetry()
+        t.count("stream_chunks", 3)
+        t.gauge_max("bytes_in_flight", 9)
+        text = prometheus_text(t)
+        assert "# TYPE repro_stream_chunks_total counter" in text
+        assert "# TYPE repro_bytes_in_flight gauge" in text

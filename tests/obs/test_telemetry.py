@@ -93,7 +93,7 @@ class TestMergeAndSnapshot:
     def test_snapshot_is_plain_builtins_and_picklable(self):
         payload = self._populated().snapshot()
         assert pickle.loads(pickle.dumps(payload)) == payload
-        assert set(payload) == {"counters", "histograms", "spans"}
+        assert set(payload) == {"counters", "histograms", "gauges", "spans"}
 
     def test_merge_snapshot_matches_merge_registry(self):
         via_snapshot = Telemetry()
